@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the FFT workload kernels (the compute side
+//! of Tables I/II): monolithic radix-2, the Fig. 10 blocked decomposition
+//! across k, and the full 2-D flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fft::fft2d::{Fft2d, Matrix};
+use fft::{BlockedFft, Complex64, Radix2Plan};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_radix2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix2");
+    for n in [256usize, 1024, 4096] {
+        let plan = Radix2Plan::new(n);
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut y = x.clone();
+                plan.forward(&mut y);
+                black_box(y)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_blocked(c: &mut Criterion) {
+    // Table I's k sweep: same 1024-point transform, k-way delivery.
+    let mut g = c.benchmark_group("blocked_fft_1024");
+    let x = signal(1024);
+    for k in [1usize, 8, 64] {
+        let bf = BlockedFft::new(1024, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(bf.run(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft2d");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let m = Matrix::from_fn(n, n, |r, cc| {
+            Complex64::new((r as f64 * 0.3).sin(), (cc as f64 * 0.7).cos())
+        });
+        let plan = Fft2d::new(n, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(plan.forward(&m)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_radix2, bench_blocked, bench_fft2d);
+criterion_main!(benches);

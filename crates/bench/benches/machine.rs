@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the assembled P-sync machine: the end-to-end
+//! distributed 2-D FFT (per-phase event simulation + real numerics) and the
+//! Model II overlapped row-FFT phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fft::fft2d::Matrix;
+use fft::Complex64;
+use psync::model2::run_model2_rows;
+use psync::run_fft2d;
+use std::hint::black_box;
+
+fn input(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| {
+        Complex64::new((r as f64 * 0.3).sin(), (c as f64 * 0.7).cos())
+    })
+}
+
+fn bench_machine_fft2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_fft2d");
+    g.sample_size(10);
+    for (n, procs) in [(32usize, 8usize), (64, 16)] {
+        let m = input(n);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}_p{procs}")),
+            &procs,
+            |b, &procs| b.iter(|| black_box(run_fft2d(procs, &m))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_model2_rows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_model2_rows");
+    g.sample_size(10);
+    let procs = 8;
+    let n = 256;
+    let rows: Vec<Vec<Complex64>> = (0..procs)
+        .map(|p| {
+            (0..n)
+                .map(|i| Complex64::new((p * 31 + i) as f64 * 0.01, 0.0))
+                .collect()
+        })
+        .collect();
+    for k in [1usize, 16] {
+        g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| black_box(run_model2_rows(procs, n, k, &rows)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine_fft2d, bench_model2_rows);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the PSCAN simulator itself: CP compilation and
+//! SCA / SCA⁻¹ execution across node counts and interleave granularities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscan::compiler::{CpCompiler, GatherSpec, ScatterSpec};
+use pscan::network::{Pscan, PscanConfig};
+use std::hint::black_box;
+
+fn bench_cp_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cp_compile");
+    for nodes in [64usize, 1024] {
+        // Fine interleave: worst case for the run coalescer.
+        let spec = GatherSpec::interleaved(nodes, 1, 32);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| black_box(CpCompiler.compile_gather(&spec, n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sca_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sca_gather");
+    g.sample_size(10);
+    for (nodes, slots_per) in [(64usize, 256usize), (256, 64)] {
+        let p = Pscan::new(PscanConfig { nodes, ..Default::default() });
+        let spec = GatherSpec::interleaved(nodes, 1, slots_per);
+        let data: Vec<Vec<u64>> = (0..nodes).map(|n| vec![n as u64; slots_per]).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}x{slots_per}")),
+            &nodes,
+            |b, _| b.iter(|| black_box(p.gather(&spec, &data).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_sca_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sca_scatter");
+    g.sample_size(10);
+    let nodes = 256;
+    let p = Pscan::new(PscanConfig { nodes, ..Default::default() });
+    let spec = ScatterSpec::blocked(nodes, 64);
+    let burst: Vec<u64> = (0..(nodes * 64) as u64).collect();
+    g.bench_function("256x64_blocked", |b| {
+        b.iter(|| black_box(p.scatter(&spec, &burst).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cp_compile, bench_sca_gather, bench_sca_scatter);
+criterion_main!(benches);

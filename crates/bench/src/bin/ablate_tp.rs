@@ -1,0 +1,57 @@
+//! Ablation: reorder-staging cost `t_p` swept 1..=8 — extends Table III's
+//! two-point comparison into a curve.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablate_tp [--quick]
+//! ```
+
+use analytic::table3::Table3Params;
+use bench::{f, quick_mode, render_table, write_json};
+use emesh::mesh::MeshConfig;
+use emesh::workloads::load_transpose;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    t_p: u64,
+    mesh_cycles: u64,
+    multiplier: f64,
+}
+
+fn main() {
+    let (procs, row_len) = if quick_mode() { (64, 64) } else { (256, 256) };
+    let pscan = Table3Params {
+        n: row_len as u64,
+        p: procs as u64,
+        ..Default::default()
+    }
+    .pscan_cycles();
+
+    let mut points = Vec::new();
+    let mut cells = Vec::new();
+    for t_p in 1..=8u64 {
+        eprintln!("t_p = {t_p}...");
+        let mut mesh = load_transpose(MeshConfig::table3(procs, t_p), procs, row_len);
+        let cycles = mesh.run().expect("deadlock").cycles;
+        let multiplier = cycles as f64 / pscan as f64;
+        points.push(Point { t_p, mesh_cycles: cycles, multiplier });
+        cells.push(vec![t_p.to_string(), cycles.to_string(), f(multiplier, 2)]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Ablation: t_p sweep, transpose P = {procs}, N = {row_len} (PSCAN = {pscan} cycles)"),
+            &["t_p", "mesh cycles", "multiplier vs PSCAN"],
+            &cells
+        )
+    );
+    // The port-bound model predicts ~linear growth: (2 + t_p) per element.
+    let slope = (points[7].mesh_cycles - points[0].mesh_cycles) as f64 / 7.0;
+    println!(
+        "marginal cost per unit t_p: {:.0} cycles (elements = {}): {:.2} cycles/element",
+        slope,
+        procs * row_len,
+        slope / (procs * row_len) as f64
+    );
+    write_json("ablate_tp", &points);
+}

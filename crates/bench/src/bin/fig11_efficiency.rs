@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 11** — FFT compute efficiency vs k for P-sync and
+//! the electronic mesh, plus the ideal (zero-latency) bound.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig11_efficiency
+//! ```
+
+use analytic::fig11::fig11_curves;
+use bench::{f, render_table, write_json};
+
+fn main() {
+    let pts = fig11_curves();
+    let cells: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.k.to_string(),
+                f(p.ideal_pct, 2),
+                f(p.psync_pct, 2),
+                f(p.mesh_pct, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 11: FFT compute efficiency vs k (1024-pt rows, P = 256)",
+            &["k", "ideal (%)", "P-sync (%)", "mesh (%)"],
+            &cells
+        )
+    );
+    let mesh_peak = pts
+        .iter()
+        .max_by(|a, b| a.mesh_pct.partial_cmp(&b.mesh_pct).unwrap())
+        .unwrap();
+    let last = pts.last().unwrap();
+    println!(
+        "mesh peaks at k = {} ({:.1}%); P-sync reaches {:.1}% at k = {}",
+        mesh_peak.k, mesh_peak.mesh_pct, last.psync_pct, last.k
+    );
+    write_json("fig11", &pts);
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 13** — simulated 2-D FFT performance (GFLOPS, paper
+//! multiply-costing) vs core count for the ideal machine, P-sync, and the
+//! electronic mesh, under Model-I delivery and equalized bandwidth.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig13_scaling
+//! ```
+
+use bench::{f, render_table, write_json};
+use llmore::sweep::{paper_core_counts, sweep_cores};
+use llmore::SystemParams;
+
+fn main() {
+    let pts = sweep_cores(&SystemParams::default(), &paper_core_counts());
+    let cells: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.cores.to_string(),
+                f(p.ideal_gflops, 2),
+                f(p.psync_gflops, 2),
+                f(p.mesh_gflops, 2),
+                f(p.psync_gflops / p.mesh_gflops, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 13: 2-D FFT performance vs cores (1024x1024, 4 memory controllers)",
+            &["cores", "ideal GFLOPS", "P-sync GFLOPS", "mesh GFLOPS", "P-sync/mesh"],
+            &cells
+        )
+    );
+    let mesh_peak = pts
+        .iter()
+        .max_by(|a, b| a.mesh_gflops.partial_cmp(&b.mesh_gflops).unwrap())
+        .unwrap();
+    println!(
+        "mesh peaks at {} cores; P-sync/ideal at 4096 cores = {:.3}",
+        mesh_peak.cores,
+        pts.last().unwrap().psync_gflops / pts.last().unwrap().ideal_gflops
+    );
+    write_json("fig13", &pts);
+}

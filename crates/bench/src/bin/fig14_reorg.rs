@@ -1,0 +1,39 @@
+//! Regenerates **Fig. 14** — percentage of total runtime spent reorganizing
+//! data between the two 1-D FFT passes, vs core count.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig14_reorg
+//! ```
+
+use bench::{f, render_table, write_json};
+use llmore::sweep::{paper_core_counts, sweep_cores};
+use llmore::SystemParams;
+
+fn main() {
+    let pts = sweep_cores(&SystemParams::default(), &paper_core_counts());
+    let cells: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.cores.to_string(),
+                f(p.mesh_reorg_frac * 100.0, 1),
+                f(p.psync_reorg_frac * 100.0, 1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 14: % of runtime in data reorganization (2-D FFT)",
+            &["cores", "mesh (%)", "P-sync (%)"],
+            &cells
+        )
+    );
+    let last = pts.last().unwrap();
+    println!(
+        "at 4096 cores: mesh {:.1}% vs P-sync {:.1}% (paper: mesh keeps growing, P-sync levels off)",
+        last.mesh_reorg_frac * 100.0,
+        last.psync_reorg_frac * 100.0
+    );
+    write_json("fig14", &pts);
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Fig. 5** — energy per bit, electronic mesh vs PSCAN.
+//!
+//! Both networks carry the same gather (every node's data to memory) with
+//! 320 Gb/s to memory: the mesh through its four 80 Gb/s corner interfaces
+//! (energy measured by cycle-level simulation + ORION-style constants), the
+//! PSCAN through one 32 λ × 10 Gb/s bus (photonic device energy model).
+//! The paper reports "at least a 5.2× improvement for the networks
+//! simulated".
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig5_energy [--quick]
+//! ```
+
+use bench::{f, quick_mode, render_table, write_json};
+use emesh::energy::OrionParams;
+use emesh::mesh::{MeshConfig, RoutingPolicy};
+use emesh::topology::{MemifPlacement, Topology};
+use emesh::workloads::load_gather_energy;
+use photonics::energy::PhotonicEnergyModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    nodes: usize,
+    mesh_pj_per_bit: f64,
+    pscan_pj_per_bit: f64,
+    ratio: f64,
+}
+
+fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize) -> f64 {
+    let cfg = MeshConfig {
+        topology: Topology::square(nodes, MemifPlacement::FourCorners),
+        t_r: 1,
+        policy: RoutingPolicy::Xy,
+        memif: Default::default(),
+        buffer_depth: 2,
+        max_cycles: 1 << 34,
+    };
+    let mut mesh = load_gather_energy(cfg, words_per_node);
+    let res = mesh.run().expect("gather deadlocked");
+    let payload_bits = (nodes * words_per_node) as u64 * 64;
+    OrionParams::default().pj_per_payload_bit(&res.energy, nodes, payload_bits)
+}
+
+fn main() {
+    let sizes: &[usize] = if quick_mode() {
+        &[16, 64, 256]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let words = if quick_mode() { 64 } else { 256 };
+
+    let photonic = PhotonicEnergyModel::default();
+    let mut points = Vec::new();
+    let mut cells = Vec::new();
+    for &n in sizes {
+        eprintln!("simulating {n}-node mesh gather ({words} words/node)...");
+        let mesh = mesh_energy_pj_per_bit(n, words);
+        let pscan = photonic.sca_pj_per_bit(20.0, n);
+        let ratio = mesh / pscan;
+        points.push(Point {
+            nodes: n,
+            mesh_pj_per_bit: mesh,
+            pscan_pj_per_bit: pscan,
+            ratio,
+        });
+        cells.push(vec![
+            n.to_string(),
+            f(mesh, 2),
+            f(pscan, 3),
+            f(ratio, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig. 5: network energy per bit, SCA-equivalent gather (2 cm x 2 cm die)",
+            &["nodes", "mesh (pJ/bit)", "PSCAN (pJ/bit)", "mesh/PSCAN"],
+            &cells
+        )
+    );
+    let min_ratio = points.iter().map(|p| p.ratio).fold(f64::INFINITY, f64::min);
+    println!(
+        "minimum PSCAN advantage: {min_ratio:.1}x (paper: at least 5.2x)"
+    );
+    write_json("fig5_energy", &points);
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Table I** — compute efficiency for zero latency.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1
+//! ```
+
+use analytic::table1::{table1, PAPER_TABLE1};
+use bench::{f, render_table, write_json};
+
+fn main() {
+    let rows = table1();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .zip(&PAPER_TABLE1)
+        .map(|(r, &(_, _, _, _, _, paper_eta))| {
+            vec![
+                r.k.to_string(),
+                r.s_b.to_string(),
+                f(r.t_ck_ns, 0),
+                f(r.t_cf_ns, 0),
+                f(r.w_p_gbps, 1),
+                f(r.eta_pct, 2),
+                f(paper_eta, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table I: compute efficiency for zero latency (1024-pt FFT, P = 256)",
+            &["k", "S_b", "t_ck (ns)", "t_cf (ns)", "W_p (Gb/s)", "eta (%)", "paper eta (%)"],
+            &cells
+        )
+    );
+    write_json("table1", &rows);
+
+    // Exact-match audit against the printed paper values.
+    let mut mismatches = 0;
+    for (r, &(_, _, _, _, w_p, eta)) in rows.iter().zip(&PAPER_TABLE1) {
+        if (r.eta_pct - eta).abs() > 0.005 || (r.w_p_gbps - w_p).abs() > 0.05 {
+            mismatches += 1;
+        }
+    }
+    println!("paper-value mismatches: {mismatches} (expect 0)");
+}

@@ -1,0 +1,116 @@
+//! Regenerates **Table III** — transpose completion time in cycles.
+//!
+//! PSCAN side: both the closed-form Eq. (23)/(24) arithmetic and the actual
+//! bus-slot count of an end-to-end SCA writeback on the simulated machine.
+//! Mesh side: the cycle-level wormhole simulation at `t_p = 1` and
+//! `t_p = 4`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table3_transpose [--quick]
+//! ```
+//!
+//! `--quick` runs a 256-processor / 256-sample-row configuration (the full
+//! paper configuration is P = 1024, N = 1024 → 2²⁰ elements and takes a
+//! couple of minutes of simulation).
+
+use analytic::table3::{
+    table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
+};
+use bench::{f, quick_mode, render_table, write_json};
+use emesh::mesh::MeshConfig;
+use emesh::workloads::load_transpose;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Result {
+    procs: usize,
+    row_len: usize,
+    pscan_cycles: u64,
+    mesh_cycles_tp1: u64,
+    mesh_cycles_tp4: u64,
+    multiplier_tp1: f64,
+    multiplier_tp4: f64,
+    paper_multiplier_tp1: f64,
+    paper_multiplier_tp4: f64,
+}
+
+fn mesh_transpose_cycles(procs: usize, row_len: usize, t_p: u64) -> u64 {
+    let cfg = MeshConfig::table3(procs, t_p);
+    let mut mesh = load_transpose(cfg, procs, row_len);
+    let res = mesh.run().expect("transpose deadlocked");
+    let s = res.memif_stats[0];
+    assert_eq!(s.elements as usize, procs * row_len, "lost elements");
+    res.cycles
+}
+
+fn main() {
+    let (procs, row_len) = if quick_mode() { (256, 256) } else { (1024, 1024) };
+
+    // PSCAN closed form, scaled to this configuration.
+    let params = Table3Params {
+        n: row_len as u64,
+        p: procs as u64,
+        ..Default::default()
+    };
+    let pscan = params.pscan_cycles();
+
+    eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = 1)...");
+    let mesh1 = mesh_transpose_cycles(procs, row_len, 1);
+    eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = 4)...");
+    let mesh4 = mesh_transpose_cycles(procs, row_len, 4);
+
+    let result = Result {
+        procs,
+        row_len,
+        pscan_cycles: pscan,
+        mesh_cycles_tp1: mesh1,
+        mesh_cycles_tp4: mesh4,
+        multiplier_tp1: mesh1 as f64 / pscan as f64,
+        multiplier_tp4: mesh4 as f64 / pscan as f64,
+        paper_multiplier_tp1: PAPER_MESH_WRITEBACK_TP1 as f64 / table3_pscan_cycles() as f64,
+        paper_multiplier_tp4: PAPER_MESH_WRITEBACK_TP4 as f64 / table3_pscan_cycles() as f64,
+    };
+
+    let cells = vec![
+        vec![
+            "PSCAN (SCA)".to_string(),
+            "-".to_string(),
+            result.pscan_cycles.to_string(),
+            "1.00".to_string(),
+            "1.00".to_string(),
+        ],
+        vec![
+            "mesh".to_string(),
+            "1".to_string(),
+            result.mesh_cycles_tp1.to_string(),
+            f(result.multiplier_tp1, 2),
+            f(result.paper_multiplier_tp1, 2),
+        ],
+        vec![
+            "mesh".to_string(),
+            "4".to_string(),
+            result.mesh_cycles_tp4.to_string(),
+            f(result.multiplier_tp4, 2),
+            f(result.paper_multiplier_tp4, 2),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Table III: transpose writeback, P = {procs}, N = {row_len} ({} samples)",
+                procs * row_len
+            ),
+            &["network", "t_p", "writeback (cycles)", "multiplier", "paper multiplier"],
+            &cells
+        )
+    );
+    if !quick_mode() {
+        println!(
+            "paper PSCAN cycles: {} (ours: {})",
+            table3_pscan_cycles(),
+            result.pscan_cycles
+        );
+    }
+    write_json("table3", &result);
+}

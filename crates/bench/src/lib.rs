@@ -1,0 +1,118 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper, prints it as
+//! an aligned text table, and (unless `--no-json`) writes the raw rows to
+//! `results/<name>.json` so EXPERIMENTS.md numbers are reproducible and
+//! diffable.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    out.push_str(&rule);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:>width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+/// Where result JSON lands (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    // The harness binaries run from the workspace root via `cargo run`.
+    let dir = std::env::var("PSYNC_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Serialize experiment rows to `results/<name>.json` (best-effort: a
+/// read-only checkout just skips the write).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    if std::env::args().any(|a| a == "--no-json") {
+        return;
+    }
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialize {name}: {e}"),
+    }
+}
+
+/// `--quick` flag: harnesses shrink the expensive experiments.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Format a float with `d` decimals.
+pub fn f(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            "T",
+            &["k", "eta"],
+            &[
+                vec!["1".into(), "50.00".into()],
+                vec!["64".into(), "99.38".into()],
+            ],
+        );
+        assert!(t.contains("k"));
+        assert!(t.contains("99.38"));
+        // All data lines have the same width.
+        let lines: Vec<&str> = t.lines().skip(1).collect();
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(409.6, 1), "409.6");
+    }
+}

@@ -1,0 +1,148 @@
+//! The electronic TDM bus of paper Fig. 1 — the strawman the PSCAN fixes.
+//!
+//! "Four frequency-locked clocks with phase offsets φ0–φ3 are used to drive
+//! a shared bus ... However, two problems prevent this circuit from scaling
+//! in size and bandwidth. First, the differently phased clocks require
+//! low-skew distribution ... Second, at high clock rates, the bus will not
+//! scale effectively beyond tens of nodes because timing in that bus would
+//! be highly variable depending on the location of the driving node
+//! relative to the terminus."
+//!
+//! This module models those two limits quantitatively: (1) an RC-limited
+//! shared wire whose settling time grows with bus length (distributed RC:
+//! ~0.38·R·C per Elmore), and (2) a skew budget consumed by the spread of
+//! driver-to-terminus flight differences. Both shrink the usable clock as
+//! nodes are added — in contrast to the PSCAN, whose slot rate is
+//! length-independent.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of a repeater-less shared bus wire.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EbusParams {
+    /// Wire resistance per millimetre, ohms (global-layer Cu, ~25 Ω/mm).
+    pub r_ohm_per_mm: f64,
+    /// Wire capacitance per millimetre, femtofarads (~200 fF/mm).
+    pub c_ff_per_mm: f64,
+    /// Capacitive load per attached driver/receiver, femtofarads (~5 fF).
+    pub c_tap_ff: f64,
+    /// Fraction of the cycle the bus may spend settling (rest is margin,
+    /// setup/hold, and jitter). Typical: 0.5.
+    pub timing_fraction: f64,
+    /// Skew budget as a fraction of the cycle for the phased clocks.
+    pub skew_fraction: f64,
+    /// Achievable clock distribution skew, picoseconds (low-skew H-tree
+    /// over a large die: ~20 ps).
+    pub clock_skew_ps: f64,
+}
+
+impl Default for EbusParams {
+    fn default() -> Self {
+        EbusParams {
+            r_ohm_per_mm: 25.0,
+            c_ff_per_mm: 200.0,
+            c_tap_ff: 5.0,
+            timing_fraction: 0.5,
+            skew_fraction: 0.25,
+            clock_skew_ps: 20.0,
+        }
+    }
+}
+
+impl EbusParams {
+    /// Elmore settling time of the full bus with `nodes` taps over
+    /// `length_mm`, in picoseconds: `0.38·R_total·C_total` for the
+    /// distributed wire plus lumped tap loading.
+    pub fn settle_ps(&self, length_mm: f64, nodes: usize) -> f64 {
+        let r_total = self.r_ohm_per_mm * length_mm;
+        let c_wire = self.c_ff_per_mm * length_mm;
+        let c_taps = self.c_tap_ff * nodes as f64;
+        // fF * Ω = 1e-15 s * 1e... R[Ω]·C[fF] = R·C·1e-15 s = R·C·1e-3 ps.
+        0.38 * r_total * (c_wire + c_taps) * 1e-3
+    }
+
+    /// Maximum bus clock in GHz for a given geometry: the cycle must cover
+    /// the settling time within `timing_fraction`, and the phased-clock
+    /// skew must fit in `skew_fraction`.
+    pub fn max_clock_ghz(&self, length_mm: f64, nodes: usize) -> f64 {
+        let settle_limit = self.timing_fraction / (self.settle_ps(length_mm, nodes) * 1e-3);
+        let skew_limit = self.skew_fraction / (self.clock_skew_ps * 1e-3);
+        settle_limit.min(skew_limit)
+    }
+
+    /// Aggregate bandwidth in Gb/s for a `width`-bit bus at the maximum
+    /// feasible clock.
+    pub fn max_bandwidth_gbps(&self, length_mm: f64, nodes: usize, width: u64) -> f64 {
+        self.max_clock_ghz(length_mm, nodes) * width as f64
+    }
+
+    /// Largest node count on a serpentine of `mm_per_node` per tap that
+    /// still sustains `target_ghz` — the "tens of nodes" scaling wall.
+    pub fn max_nodes_at(&self, target_ghz: f64, mm_per_node: f64) -> usize {
+        let mut n = 1usize;
+        while n < 1 << 20 {
+            let next = n + 1;
+            if self.max_clock_ghz(mm_per_node * next as f64, next) < target_ghz {
+                return n;
+            }
+            n = next;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settling_grows_quadratically_with_length() {
+        let p = EbusParams::default();
+        let short = p.settle_ps(5.0, 4);
+        let long = p.settle_ps(50.0, 4);
+        // Wire RC dominates: 10x length -> ~100x settling.
+        assert!(long > short * 50.0, "{short} vs {long}");
+    }
+
+    #[test]
+    fn clock_collapses_with_bus_length() {
+        let p = EbusParams::default();
+        let f5 = p.max_clock_ghz(5.0, 8);
+        let f40 = p.max_clock_ghz(40.0, 64);
+        assert!(f5 > 2.0, "short bus should run GHz-class: {f5}");
+        assert!(f40 < 0.2, "long bus collapses: {f40}");
+    }
+
+    #[test]
+    fn tens_of_nodes_wall_at_2_5_ghz() {
+        // The paper's claim: "the bus will not scale effectively beyond
+        // tens of nodes" at high clock rates. At the mesh's 2.5 GHz with
+        // ~0.6 mm tap pitch (1024-node die), the wall is tens of taps.
+        let p = EbusParams::default();
+        let wall = p.max_nodes_at(2.5, 0.625);
+        assert!(
+            (4..100).contains(&wall),
+            "expected a tens-of-nodes wall, got {wall}"
+        );
+    }
+
+    #[test]
+    fn skew_limit_caps_even_short_busses() {
+        // With a 20 ps skew and a 25% budget, no bus exceeds 12.5 GHz no
+        // matter how short.
+        let p = EbusParams::default();
+        assert!(p.max_clock_ghz(0.1, 2) <= 12.5 + 1e-9);
+    }
+
+    #[test]
+    fn pscan_comparison_point() {
+        // At the PSCAN's full 64-node/2-cm-die geometry (bus ~16 cm), the
+        // electronic bus cannot even reach 100 MHz — while the photonic bus
+        // runs its full 10 GHz slot rate regardless of length. This is
+        // Fig. 1 vs Fig. 2 in one assertion.
+        let p = EbusParams::default();
+        let layout = photonics::waveguide::ChipLayout::square(20.0, 64);
+        let f = p.max_clock_ghz(layout.bus_length_mm(), 64);
+        assert!(f < 0.1, "electronic shared bus at 16 cm: {f} GHz");
+    }
+}

@@ -1,0 +1,165 @@
+//! Mesh coordinates and memory-interface placement.
+
+use serde::{Deserialize, Serialize};
+
+/// A node's (x, y) position in the mesh; node index = `y * width + x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeCoord {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+}
+
+/// Where memory interfaces attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemifPlacement {
+    /// A single interface at the (0, 0) corner — the Table III setup
+    /// ("a single memory port").
+    SingleCorner,
+    /// Four interfaces at the four corners — the Fig. 5 / Fig. 12 setup
+    /// ("four memory interfaces at the corner network nodes").
+    FourCorners,
+}
+
+/// A rectangular mesh topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Mesh width (columns).
+    pub width: u32,
+    /// Mesh height (rows).
+    pub height: u32,
+    /// Memory interface placement.
+    pub memifs: MemifPlacement,
+}
+
+impl Topology {
+    /// A square mesh of `n` nodes (n must be a perfect square).
+    pub fn square(n: usize, memifs: MemifPlacement) -> Self {
+        let side = (n as f64).sqrt().round() as u32;
+        assert_eq!(
+            (side * side) as usize,
+            n,
+            "square topology needs a perfect square, got {n}"
+        );
+        Topology {
+            width: side,
+            height: side,
+            memifs,
+        }
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+
+    /// Coordinate of node `id`.
+    pub fn coord(&self, id: u32) -> NodeCoord {
+        debug_assert!((id as usize) < self.nodes());
+        NodeCoord {
+            x: id % self.width,
+            y: id / self.width,
+        }
+    }
+
+    /// Node id at a coordinate.
+    pub fn id(&self, c: NodeCoord) -> u32 {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        c.y * self.width + c.x
+    }
+
+    /// Manhattan distance between two nodes, in hops.
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+
+    /// Node ids of the memory interfaces.
+    pub fn memif_nodes(&self) -> Vec<u32> {
+        match self.memifs {
+            MemifPlacement::SingleCorner => vec![0],
+            MemifPlacement::FourCorners => vec![
+                0,
+                self.width - 1,
+                (self.height - 1) * self.width,
+                self.height * self.width - 1,
+            ],
+        }
+    }
+
+    /// The memory interface nearest `node` (ties broken by lowest id) —
+    /// how LLMORE-style mapping assigns processors to memory ports.
+    pub fn nearest_memif(&self, node: u32) -> u32 {
+        *self
+            .memif_nodes()
+            .iter()
+            .min_by_key(|&&m| (self.hops(node, m), m))
+            .expect("at least one memif")
+    }
+
+    /// Average hop distance from all nodes to their nearest memif.
+    pub fn mean_hops_to_memif(&self) -> f64 {
+        let total: u64 = (0..self.nodes() as u32)
+            .map(|n| self.hops(n, self.nearest_memif(n)) as u64)
+            .sum();
+        total as f64 / self.nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_construction() {
+        let t = Topology::square(256, MemifPlacement::FourCorners);
+        assert_eq!((t.width, t.height), (16, 16));
+        assert_eq!(t.nodes(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_rejected() {
+        Topology::square(10, MemifPlacement::SingleCorner);
+    }
+
+    #[test]
+    fn coord_id_roundtrip() {
+        let t = Topology::square(64, MemifPlacement::SingleCorner);
+        for id in 0..64u32 {
+            assert_eq!(t.id(t.coord(id)), id);
+        }
+    }
+
+    #[test]
+    fn hop_distance() {
+        let t = Topology::square(16, MemifPlacement::SingleCorner);
+        // Node 0 = (0,0), node 15 = (3,3): 6 hops.
+        assert_eq!(t.hops(0, 15), 6);
+        assert_eq!(t.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn corner_memifs() {
+        let t = Topology::square(16, MemifPlacement::FourCorners);
+        assert_eq!(t.memif_nodes(), vec![0, 3, 12, 15]);
+        let s = Topology::square(16, MemifPlacement::SingleCorner);
+        assert_eq!(s.memif_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn nearest_memif_partitions_quadrants() {
+        let t = Topology::square(16, MemifPlacement::FourCorners);
+        assert_eq!(t.nearest_memif(5), 0); // (1,1) -> corner (0,0)
+        assert_eq!(t.nearest_memif(7), 3); // (3,1) -> corner (3,0)
+        assert_eq!(t.nearest_memif(10), 15); // (2,2) -> nearest is (3,3) at 2 hops
+    }
+
+    #[test]
+    fn four_corners_shrink_mean_distance() {
+        let one = Topology::square(256, MemifPlacement::SingleCorner);
+        let four = Topology::square(256, MemifPlacement::FourCorners);
+        assert!(four.mean_hops_to_memif() < one.mean_hops_to_memif() / 1.5);
+    }
+}

@@ -1,0 +1,293 @@
+//! The blocked FFT decomposition of paper Fig. 10.
+//!
+//! Model II delivers a processor's N-point row in `k` blocks. Because the
+//! DIT butterfly span doubles per stage, the first `log₂(N/k)` stages touch
+//! only elements within one block — so each block's sub-FFT runs as soon as
+//! the block arrives, overlapping the delivery of the next block. After the
+//! last block, a compute-only phase runs the remaining `log₂k` combine
+//! stages over the whole row.
+//!
+//! One subtlety the paper glosses: the elements of a deliverable block are a
+//! *decimated* (strided) subsequence of the natural-order row, namely the
+//! residue class `i ≡ rev_k(c) (mod k)` for block `c`. That is precisely a
+//! non-local gather — which the memory side (P-sync head node or mesh memory
+//! node) must perform, and which the SCA⁻¹ performs at full line rate.
+
+use crate::complex::Complex64;
+use crate::ops;
+use crate::radix2::{log2, Radix2Plan};
+
+/// A k-way blocked N-point FFT.
+#[derive(Debug, Clone)]
+pub struct BlockedFft {
+    plan: Radix2Plan,
+    k: usize,
+}
+
+impl BlockedFft {
+    /// Blocked FFT of length `n` delivered in `k` blocks (both powers of
+    /// two, `k ≤ n`).
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n.is_power_of_two(), "n must be a power of two");
+        assert!(k.is_power_of_two() && k <= n, "k must be a power of two ≤ n");
+        BlockedFft {
+            plan: Radix2Plan::new(n),
+            k,
+        }
+    }
+
+    /// Transform length N.
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Never empty (N ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of blocks k.
+    pub fn blocks(&self) -> usize {
+        self.k
+    }
+
+    /// Elements per block, `S_b = N/k`.
+    pub fn block_len(&self) -> usize {
+        self.plan.len() / self.k
+    }
+
+    /// The natural-order source indices that make up block `c`: the
+    /// decimated subsequence delivered in the c-th delivery cycle, in the
+    /// order the sub-FFT consumes them (bit-reversed within the block).
+    pub fn block_source_indices(&self, c: usize) -> Vec<usize> {
+        assert!(c < self.k, "block {c} out of range");
+        let n = self.plan.len();
+        let b = self.block_len();
+        let bits = log2(n);
+        (0..b)
+            .map(|r| {
+                let pos = c * b + r;
+                if bits == 0 {
+                    return pos;
+                }
+                // buf[pos] = x[rev_N(pos)]: global bit-reversed placement.
+                (pos.reverse_bits() >> (usize::BITS - bits)) & (n - 1)
+            })
+            .collect()
+    }
+
+    /// Run the blocked transform: deliver block-by-block, sub-FFT each
+    /// block on arrival, then the final combine phase. Returns the spectrum
+    /// (identical to a monolithic FFT of `x`).
+    pub fn run(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let n = self.plan.len();
+        assert_eq!(x.len(), n);
+        let b = self.block_len();
+        let mut buf = vec![Complex64::ZERO; n];
+        let sub_stages = log2(b);
+        for c in 0..self.k {
+            // "Delivery": gather the block's decimated elements.
+            for (r, &src) in self.block_source_indices(c).iter().enumerate() {
+                buf[c * b + r] = x[src];
+            }
+            // Sub-FFT on the freshly delivered block (stages 0..log2 B).
+            self.plan
+                .butterflies_in_place(&mut buf[c * b..(c + 1) * b], 0, sub_stages);
+        }
+        // Compute-only combine phase (stages log2 B .. log2 N).
+        self.plan
+            .butterflies_in_place(&mut buf, sub_stages, log2(n));
+        buf
+    }
+
+    /// Begin an incremental (streaming) blocked transform: blocks are fed
+    /// as they arrive from the network — the shape of Model II execution on
+    /// a real node, where the sub-FFT runs while later blocks are still in
+    /// flight.
+    pub fn begin(&self) -> BlockedState<'_> {
+        BlockedState {
+            bf: self,
+            buf: vec![Complex64::ZERO; self.plan.len()],
+            delivered: vec![false; self.k],
+        }
+    }
+
+    /// Multiplies per delivered block — Eq. (17).
+    pub fn multiplies_per_block(&self) -> u64 {
+        ops::multiplies_per_block(self.plan.len() as u64, self.k as u64)
+    }
+
+    /// Multiplies in the final combine phase — Eq. (18).
+    pub fn multiplies_final(&self) -> u64 {
+        ops::multiplies_final(self.plan.len() as u64, self.k as u64)
+    }
+}
+
+/// In-progress streaming blocked FFT (see [`BlockedFft::begin`]).
+#[derive(Debug)]
+pub struct BlockedState<'a> {
+    bf: &'a BlockedFft,
+    buf: Vec<Complex64>,
+    delivered: Vec<bool>,
+}
+
+impl BlockedState<'_> {
+    /// Feed block `c`'s samples (in the [`BlockedFft::block_source_indices`]
+    /// delivery order) and immediately run its sub-FFT stages.
+    pub fn deliver_block(&mut self, c: usize, samples: &[Complex64]) {
+        let b = self.bf.block_len();
+        assert_eq!(samples.len(), b, "block {c} must carry {b} samples");
+        assert!(!self.delivered[c], "block {c} delivered twice");
+        self.delivered[c] = true;
+        self.buf[c * b..(c + 1) * b].copy_from_slice(samples);
+        self.bf
+            .plan
+            .butterflies_in_place(&mut self.buf[c * b..(c + 1) * b], 0, log2(b));
+    }
+
+    /// Blocks still missing.
+    pub fn missing(&self) -> usize {
+        self.delivered.iter().filter(|&&d| !d).count()
+    }
+
+    /// Run the final combine stages and return the spectrum.
+    ///
+    /// # Panics
+    /// Panics if any block is missing — a node must not start the
+    /// compute-only phase before its delivery completes.
+    pub fn finish(mut self) -> Vec<Complex64> {
+        assert_eq!(self.missing(), 0, "finish() before all blocks arrived");
+        let n = self.bf.len();
+        self.bf
+            .plan
+            .butterflies_in_place(&mut self.buf, log2(self.bf.block_len()), log2(n));
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_error;
+    use crate::radix2::fft_in_place;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn blocked_equals_monolithic_for_all_k() {
+        let n = 1024;
+        let x = signal(n);
+        let mut mono = x.clone();
+        fft_in_place(&mut mono);
+        for k in [1usize, 2, 4, 8, 16, 32, 64] {
+            let y = BlockedFft::new(n, k).run(&x);
+            assert!(
+                max_error(&mono, &y) < 1e-9,
+                "k = {k}: err {}",
+                max_error(&mono, &y)
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_blocking_k_equals_n() {
+        // k = N: every "block" is one element; all work is combine stages.
+        let n = 64;
+        let x = signal(n);
+        let mut mono = x.clone();
+        fft_in_place(&mut mono);
+        let y = BlockedFft::new(n, n).run(&x);
+        assert!(max_error(&mono, &y) < 1e-10);
+    }
+
+    #[test]
+    fn block_indices_are_residue_classes() {
+        // Block c's sources all share i mod k (the decimation the text
+        // predicts), and together the blocks partition 0..N.
+        let bf = BlockedFft::new(256, 8);
+        let mut seen = vec![false; 256];
+        for c in 0..8 {
+            let idx = bf.block_source_indices(c);
+            assert_eq!(idx.len(), 32);
+            let residue = idx[0] % 8;
+            for &i in &idx {
+                assert_eq!(i % 8, residue, "block {c}");
+                assert!(!seen[i], "duplicate index {i}");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn block_non_locality_grows_with_k() {
+        // The span between consecutive delivered elements is the stride k —
+        // the "increasing non-locality" the paper exploits.
+        for k in [2usize, 8, 32] {
+            let bf = BlockedFft::new(256, k);
+            let idx = bf.block_source_indices(0);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                assert_eq!(w[1] - w[0], k, "stride must equal k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_match_eqs() {
+        let bf = BlockedFft::new(1024, 8);
+        assert_eq!(bf.multiplies_per_block(), 2 * 128 * 7);
+        assert_eq!(bf.multiplies_final(), 2 * 1024 * 3);
+        assert_eq!(bf.block_len(), 128);
+        assert_eq!(bf.blocks(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_k() {
+        BlockedFft::new(64, 3);
+    }
+
+    #[test]
+    fn streaming_equals_batch_even_out_of_order() {
+        let n = 256;
+        let x = signal(n);
+        let bf = BlockedFft::new(n, 8);
+        let batch = bf.run(&x);
+        // Deliver blocks in a scrambled order — the math doesn't care.
+        let mut st = bf.begin();
+        for &c in &[3usize, 0, 7, 1, 6, 2, 5, 4] {
+            let samples: Vec<Complex64> =
+                bf.block_source_indices(c).iter().map(|&i| x[i]).collect();
+            st.deliver_block(c, &samples);
+        }
+        let streamed = st.finish();
+        assert!(max_error(&batch, &streamed) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "before all blocks")]
+    fn finish_requires_all_blocks() {
+        let bf = BlockedFft::new(64, 4);
+        let st = bf.begin();
+        assert_eq!(st.missing(), 4);
+        let _ = st.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered twice")]
+    fn double_delivery_rejected() {
+        let bf = BlockedFft::new(64, 4);
+        let x = signal(64);
+        let samples: Vec<Complex64> =
+            bf.block_source_indices(0).iter().map(|&i| x[i]).collect();
+        let mut st = bf.begin();
+        st.deliver_block(0, &samples);
+        st.deliver_block(0, &samples);
+    }
+}

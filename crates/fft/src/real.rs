@@ -1,0 +1,113 @@
+//! Real-input FFTs via complex packing.
+//!
+//! The paper's motivating applications — "astronomy, medical imaging, and
+//! intelligence, surveillance, and reconnaissance (ISR)" — largely sense
+//! *real* signals. The classic trick computes a 2N-point real FFT with one
+//! N-point complex FFT: pack even samples into the real part and odd
+//! samples into the imaginary part, transform, then untangle with the
+//! symmetry `X_e[k] = (Z[k] + Z*[N−k])/2`, `X_o[k] = −i(Z[k] − Z*[N−k])/2`.
+
+use crate::complex::Complex64;
+use crate::radix2::fft_in_place;
+
+/// Forward FFT of a real signal of even length `2N`. Returns the full
+/// complex spectrum (length 2N, conjugate-symmetric).
+pub fn rfft(x: &[f64]) -> Vec<Complex64> {
+    let n2 = x.len();
+    assert!(n2 >= 2 && n2.is_multiple_of(2), "rfft needs even length ≥ 2");
+    let n = n2 / 2;
+    assert!(n.is_power_of_two(), "packed length must be a power of two");
+
+    // Pack: z[j] = x[2j] + i·x[2j+1].
+    let mut z: Vec<Complex64> = (0..n)
+        .map(|j| Complex64::new(x[2 * j], x[2 * j + 1]))
+        .collect();
+    fft_in_place(&mut z);
+
+    // Untangle and combine with the half-length twiddles.
+    let mut out = vec![Complex64::ZERO; n2];
+    for k in 0..n {
+        let zk = z[k];
+        let zc = z[(n - k) % n].conj();
+        let xe = (zk + zc).scale(0.5);
+        let xo = (zk - zc) * Complex64::new(0.0, -0.5);
+        let w = Complex64::cis(-std::f64::consts::PI * k as f64 / n as f64);
+        out[k] = xe + w * xo;
+    }
+    // Nyquist bin: X[N] = X_e[0] − X_o[0].
+    let z0 = z[0];
+    out[n] = Complex64::new(z0.re - z0.im, 0.0);
+    // Conjugate symmetry fills the upper half.
+    for k in n + 1..n2 {
+        out[k] = out[n2 - k].conj();
+    }
+    out
+}
+
+/// Magnitude spectrum of a real signal (first N+1 bins — the rest are
+/// redundant by symmetry).
+pub fn rfft_magnitudes(x: &[f64]) -> Vec<f64> {
+    let spec = rfft(x);
+    spec[..=x.len() / 2].iter().map(|c| c.abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_error;
+    use crate::dft::dft_reference;
+
+    fn as_complex(x: &[f64]) -> Vec<Complex64> {
+        x.iter().map(|&v| Complex64::new(v, 0.0)).collect()
+    }
+
+    #[test]
+    fn matches_complex_dft() {
+        for n2 in [4usize, 16, 64, 256] {
+            let x: Vec<f64> = (0..n2).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+            let fast = rfft(&x);
+            let slow = dft_reference(&as_complex(&x));
+            assert!(
+                max_error(&fast, &slow) < 1e-9,
+                "n = {n2}: {}",
+                max_error(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64).cos() * 0.5 + (i as f64 * 0.1).sin()).collect();
+        let s = rfft(&x);
+        for k in 1..32 {
+            let a = s[k];
+            let b = s[64 - k].conj();
+            assert!((a - b).abs() < 1e-10, "bin {k}");
+        }
+        // DC and Nyquist are purely real.
+        assert!(s[0].im.abs() < 1e-12);
+        assert!(s[32].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_real_tone() {
+        let n2 = 128;
+        let x: Vec<f64> = (0..n2)
+            .map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / n2 as f64).cos())
+            .collect();
+        let mags = rfft_magnitudes(&x);
+        // Energy concentrated in bin 5 at amplitude N/2 = 64.
+        assert!((mags[5] - 64.0).abs() < 1e-8);
+        for (k, &m) in mags.iter().enumerate() {
+            if k != 5 {
+                assert!(m < 1e-8, "leak at {k}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_rejected() {
+        rfft(&[1.0, 2.0, 3.0]);
+    }
+}

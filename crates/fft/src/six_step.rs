@@ -1,0 +1,194 @@
+//! Large 1-D FFTs as 2-D matrix FFTs — the paper's §II motivation.
+//!
+//! "While both 1D and 2D FFTs can be found in many applications, large 1D
+//! vector FFTs are typically implemented as 2D matrix FFTs to improve
+//! overall performance [Bailey]. Therefore, the optimization of the 2D FFT
+//! is generalizable to the 1D case."
+//!
+//! This is Bailey's four/six-step decomposition: for `N = n1·n2`, view the
+//! vector as an `n1 × n2` row-major matrix, then
+//!
+//! 1. n2 column FFTs of length n1 (realized as transpose → row FFTs),
+//! 2. pointwise twiddle multiplication by `W_N^{j2·k1}`,
+//! 3. n1 row FFTs of length n2,
+//! 4. a final transpose-order readout (`X[k1 + k2·n1] = out[k1][k2]`).
+//!
+//! Steps 1 and 4 are *matrix transposes* — exactly the non-local pattern the
+//! SCA accelerates, which is why optimizing the 2-D FFT covers the 1-D case.
+
+use crate::complex::Complex64;
+use crate::fft2d::Matrix;
+use crate::radix2::Radix2Plan;
+
+/// A plan for an `n1 × n2`-decomposed 1-D FFT of length `n1 * n2`.
+#[derive(Debug, Clone)]
+pub struct SixStepPlan {
+    n1: usize,
+    n2: usize,
+    col_plan: Radix2Plan,
+    row_plan: Radix2Plan,
+    /// Twiddles `W_N^{j2·k1}` as a flat `n1 × n2` table (k1-major).
+    twiddles: Vec<Complex64>,
+}
+
+impl SixStepPlan {
+    /// Plan for `n1 × n2` (both powers of two).
+    pub fn new(n1: usize, n2: usize) -> Self {
+        assert!(n1.is_power_of_two() && n2.is_power_of_two());
+        let n = n1 * n2;
+        let mut twiddles = Vec::with_capacity(n);
+        for k1 in 0..n1 {
+            for j2 in 0..n2 {
+                let theta = -2.0 * std::f64::consts::PI * (j2 * k1) as f64 / n as f64;
+                twiddles.push(Complex64::cis(theta));
+            }
+        }
+        SixStepPlan {
+            n1,
+            n2,
+            col_plan: Radix2Plan::new(n1),
+            row_plan: Radix2Plan::new(n2),
+            twiddles,
+        }
+    }
+
+    /// Square decomposition for a length-`n` vector (`n` an even power of
+    /// two gives n1 = n2 = √n; otherwise n1 = √(n/2)·... the nearest split).
+    pub fn square(n: usize) -> Self {
+        assert!(n.is_power_of_two());
+        let half_bits = n.trailing_zeros() / 2;
+        let n1 = 1usize << half_bits;
+        Self::new(n1, n / n1)
+    }
+
+    /// Total transform length.
+    pub fn len(&self) -> usize {
+        self.n1 * self.n2
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Matrix shape `(n1, n2)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// Apply the twiddle table in place to an `n1 × n2` row-major matrix
+    /// whose row index is `k1` (post-column-FFT order).
+    pub fn apply_twiddles(&self, m: &mut Matrix) {
+        assert_eq!((m.rows, m.cols), (self.n1, self.n2));
+        for (v, w) in m.data.iter_mut().zip(&self.twiddles) {
+            *v = *v * *w;
+        }
+    }
+
+    /// Run the full decomposed 1-D FFT.
+    pub fn forward(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let (n1, n2) = (self.n1, self.n2);
+        assert_eq!(x.len(), n1 * n2);
+        // View as n1 x n2 row-major: A[j1][j2] = x[j1*n2 + j2].
+        let a = Matrix {
+            rows: n1,
+            cols: n2,
+            data: x.to_vec(),
+        };
+        // Step 1: column FFTs via transpose -> row FFTs (the first corner
+        // turn).
+        let mut t = a.transposed(); // n2 x n1
+        for r in 0..n2 {
+            self.col_plan.forward(t.row_mut(r));
+        }
+        let mut inner = t.transposed(); // n1 x n2, rows indexed by k1
+        // Step 2: twiddles.
+        self.apply_twiddles(&mut inner);
+        // Step 3: row FFTs of length n2.
+        for r in 0..n1 {
+            self.row_plan.forward(inner.row_mut(r));
+        }
+        // Step 4: transpose-order readout (the second corner turn):
+        // X[k1 + k2*n1] = inner[k1][k2].
+        let mut out = vec![Complex64::ZERO; n1 * n2];
+        for k1 in 0..n1 {
+            for k2 in 0..n2 {
+                out[k1 + k2 * n1] = inner.at(k1, k2);
+            }
+        }
+        out
+    }
+
+    /// Real multiplies, counting both FFT passes plus the twiddle pass
+    /// (4 real multiplies per complex twiddle multiply), under the paper's
+    /// costing.
+    pub fn multiplies(&self) -> u64 {
+        let col = self.n2 as u64 * crate::ops::multiplies(self.n1 as u64);
+        let row = self.n1 as u64 * crate::ops::multiplies(self.n2 as u64);
+        let twiddle = 4 * (self.n1 * self.n2) as u64;
+        col + row + twiddle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_error;
+    use crate::dft::dft_reference;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.29).sin(), (i as f64 * 0.53).cos() * 0.7))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for (n1, n2) in [(4usize, 4usize), (8, 8), (8, 16), (16, 8), (2, 32)] {
+            let x = signal(n1 * n2);
+            let fast = SixStepPlan::new(n1, n2).forward(&x);
+            let slow = dft_reference(&x);
+            assert!(
+                max_error(&fast, &slow) < 1e-7,
+                "{n1}x{n2}: {}",
+                max_error(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_monolithic_radix2() {
+        let n = 1024;
+        let x = signal(n);
+        let mut mono = x.clone();
+        crate::radix2::fft_in_place(&mut mono);
+        let six = SixStepPlan::square(n).forward(&x);
+        assert!(max_error(&six, &mono) < 1e-8);
+    }
+
+    #[test]
+    fn square_split_shapes() {
+        assert_eq!(SixStepPlan::square(1024).shape(), (32, 32));
+        assert_eq!(SixStepPlan::square(2048).shape(), (32, 64));
+        assert_eq!(SixStepPlan::square(4).shape(), (2, 2));
+    }
+
+    #[test]
+    fn multiply_count_exceeds_monolithic_by_twiddles_only() {
+        // n1·n2·(log n1 + log n2) butterflies = monolithic count; the
+        // decomposition's only extra multiplies are the twiddle pass.
+        let p = SixStepPlan::new(32, 32);
+        let mono = crate::ops::multiplies(1024);
+        assert_eq!(p.multiplies(), mono + 4 * 1024);
+    }
+
+    #[test]
+    fn impulse_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 64];
+        x[0] = Complex64::ONE;
+        let y = SixStepPlan::new(8, 8).forward(&x);
+        for v in y {
+            assert!((v - Complex64::ONE).abs() < 1e-10);
+        }
+    }
+}

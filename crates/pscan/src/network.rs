@@ -1,0 +1,177 @@
+//! The [`Pscan`] facade: configure once, then run SCA / SCA⁻¹ transactions.
+//!
+//! ```
+//! use pscan::compiler::GatherSpec;
+//! use pscan::network::{Pscan, PscanConfig};
+//!
+//! // Four processors interleave one word each into a coalesced burst.
+//! let pscan = Pscan::new(PscanConfig { nodes: 4, ..Default::default() });
+//! let spec = GatherSpec { slot_source: vec![0, 1, 2, 3] };
+//! let data: Vec<Vec<u64>> = (0..4).map(|n| vec![n * 10]).collect();
+//! let out = pscan.gather(&spec, &data).unwrap();
+//! assert_eq!(out.utilization, 1.0); // gap-free, full line rate
+//! let burst: Vec<u64> = out.received.iter().map(|w| w.unwrap()).collect();
+//! assert_eq!(burst, vec![0, 10, 20, 30]);
+//! ```
+
+use photonics::energy::{EnergyBreakdown, PhotonicEnergyModel};
+use photonics::waveguide::ChipLayout;
+use photonics::wdm::WavelengthPlan;
+use serde::{Deserialize, Serialize};
+use sim_core::time::Duration;
+
+use crate::bus::{BusError, BusSim, GatherOutcome, ScatterOutcome};
+use crate::compiler::{CpCompiler, GatherSpec, ScatterSpec};
+
+/// Configuration of a PSCAN instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PscanConfig {
+    /// Number of processor taps.
+    pub nodes: usize,
+    /// Die edge in millimetres (paper: 20 mm).
+    pub die_mm: f64,
+    /// WDM plan (paper: 32 λ × 10 Gb/s).
+    pub plan: WavelengthPlan,
+}
+
+impl Default for PscanConfig {
+    fn default() -> Self {
+        PscanConfig {
+            nodes: 256,
+            die_mm: 20.0,
+            plan: WavelengthPlan::paper_320g(),
+        }
+    }
+}
+
+impl PscanConfig {
+    /// The paper's Table III configuration: 1024 processors.
+    pub fn paper_1024() -> Self {
+        PscanConfig {
+            nodes: 1024,
+            ..Default::default()
+        }
+    }
+}
+
+/// A configured PSCAN: compiler + bus simulator + energy model.
+#[derive(Debug, Clone)]
+pub struct Pscan {
+    cfg: PscanConfig,
+    bus: BusSim,
+    energy: PhotonicEnergyModel,
+}
+
+impl Pscan {
+    /// Build a PSCAN over a square serpentine layout.
+    pub fn new(cfg: PscanConfig) -> Self {
+        let layout = ChipLayout::square(cfg.die_mm, cfg.nodes);
+        let bus = BusSim::new(layout, cfg.plan.clone());
+        let energy = PhotonicEnergyModel {
+            plan: cfg.plan.clone(),
+            ..Default::default()
+        };
+        Pscan { cfg, bus, energy }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PscanConfig {
+        &self.cfg
+    }
+
+    /// The underlying bus simulator.
+    pub fn bus(&self) -> &BusSim {
+        &self.bus
+    }
+
+    /// One bus-slot period.
+    pub fn slot(&self) -> Duration {
+        self.cfg.plan.slot()
+    }
+
+    /// Compile and execute a gather in one call.
+    pub fn gather(
+        &self,
+        spec: &GatherSpec,
+        data: &[Vec<u64>],
+    ) -> Result<GatherOutcome, BusError> {
+        let cps = CpCompiler.compile_gather(spec, self.cfg.nodes);
+        self.bus.gather(&cps, data)
+    }
+
+    /// Compile and execute a scatter in one call.
+    pub fn scatter(
+        &self,
+        spec: &ScatterSpec,
+        burst: &[u64],
+    ) -> Result<ScatterOutcome, BusError> {
+        let cps = CpCompiler.compile_scatter(spec, self.cfg.nodes);
+        self.bus.scatter(&cps, burst)
+    }
+
+    /// Number of bus cycles to move `bits` at full utilization — the PSCAN
+    /// side of Table III's arithmetic.
+    pub fn cycles_for_bits(&self, bits: u64) -> u64 {
+        self.cfg.plan.slots_for_bits(bits)
+    }
+
+    /// Energy breakdown per bit for SCA traffic on this configuration.
+    pub fn energy_per_bit(&self) -> EnergyBreakdown {
+        self.energy.sca_energy(self.bus.layout())
+    }
+
+    /// Total energy in joules for a transaction carrying `bits`.
+    pub fn transaction_energy_j(&self, bits: u64) -> f64 {
+        self.energy_per_bit().total_pj_per_bit() * 1e-12 * bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_gather_through_facade() {
+        let p = Pscan::new(PscanConfig {
+            nodes: 8,
+            ..Default::default()
+        });
+        let spec = GatherSpec::interleaved(8, 4, 2);
+        let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 8]).collect();
+        let out = p.gather(&spec, &data).unwrap();
+        assert_eq!(out.utilization, 1.0);
+        assert_eq!(out.received.len(), 64);
+        // Order: 4 slots from each node, twice around.
+        assert_eq!(out.received[0], Some(0));
+        assert_eq!(out.received[4], Some(1));
+        assert_eq!(out.received[32], Some(0));
+    }
+
+    #[test]
+    fn end_to_end_scatter_through_facade() {
+        let p = Pscan::new(PscanConfig {
+            nodes: 4,
+            ..Default::default()
+        });
+        let spec = ScatterSpec::blocked(4, 4);
+        let burst: Vec<u64> = (0..16).collect();
+        let out = p.scatter(&spec, &burst).unwrap();
+        assert_eq!(out.delivered[2], vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn cycles_for_bits_matches_plan() {
+        let p = Pscan::new(PscanConfig::default());
+        // 2048-bit row + 64-bit header over a 32-bit bus word = 66 slots.
+        assert_eq!(p.cycles_for_bits(2048 + 64), 66);
+    }
+
+    #[test]
+    fn energy_is_positive_and_finite() {
+        let p = Pscan::new(PscanConfig::paper_1024());
+        let e = p.energy_per_bit().total_pj_per_bit();
+        assert!(e.is_finite() && e > 0.0);
+        let j = p.transaction_energy_j(1 << 20);
+        assert!(j > 0.0);
+    }
+}

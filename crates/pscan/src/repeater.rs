@@ -1,0 +1,260 @@
+//! Repeater-linked PSCAN segments — paper §III-B.
+//!
+//! "Individual PSCAN segments can be linked via repeaters to form larger
+//! networks." A repeater is an O-E-O stage: it detects the fully coalesced
+//! stream arriving at the end of one segment and re-drives it, at full
+//! power, into the head of the next, where that segment's local nodes
+//! splice their own slots into the still-dark wavefronts.
+//!
+//! The model chains [`BusSim`] segments: the upstream partial stream enters
+//! segment `s+1` as a head-end transmitter owning exactly the slots already
+//! filled; ownership disjointness therefore remains global across the whole
+//! chain, and the final terminus sees one coalesced burst spanning every
+//! segment's contributors.
+
+use photonics::waveguide::ChipLayout;
+use photonics::wdm::WavelengthPlan;
+use sim_core::time::Duration;
+
+use crate::bus::{BusError, BusSim};
+use crate::compiler::GatherSpec;
+use crate::cp::{CommProgram, CpAction, CpEntry};
+use crate::NodeId;
+
+/// A chain of PSCAN segments joined by O-E-O repeaters.
+#[derive(Debug, Clone)]
+pub struct RepeatedPscan {
+    segments: Vec<BusSim>,
+    nodes_per_segment: usize,
+    /// O-E-O retiming latency per repeater.
+    pub repeater_latency: Duration,
+}
+
+/// Outcome of a chained gather.
+#[derive(Debug, Clone)]
+pub struct ChainOutcome {
+    /// The final coalesced stream (slot-indexed).
+    pub received: Vec<Option<u64>>,
+    /// Utilization of the final burst.
+    pub utilization: f64,
+    /// Total latency: per-segment spans plus repeater retimes.
+    pub latency: Duration,
+    /// Repeaters traversed.
+    pub repeaters: usize,
+}
+
+impl RepeatedPscan {
+    /// A chain of `segments` segments, each a square serpentine of
+    /// `nodes_per_segment` taps on its own `die_mm` die.
+    pub fn new(segments: usize, nodes_per_segment: usize, die_mm: f64) -> Self {
+        assert!(segments >= 1 && nodes_per_segment >= 1);
+        // Each segment needs one extra head tap for the repeater's
+        // re-drive (segment 0's head tap goes unused).
+        let seg = (0..segments)
+            .map(|_| {
+                BusSim::new(
+                    ChipLayout::square(die_mm, nodes_per_segment + 1),
+                    WavelengthPlan::paper_320g(),
+                )
+            })
+            .collect();
+        RepeatedPscan {
+            segments: seg,
+            nodes_per_segment,
+            repeater_latency: Duration::from_ns(2),
+        }
+    }
+
+    /// Total taps across the chain.
+    pub fn nodes(&self) -> usize {
+        self.segments.len() * self.nodes_per_segment
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Map a global node id to `(segment, local tap)` — local tap 0 is the
+    /// repeater/head position, so locals start at 1.
+    pub fn locate(&self, node: NodeId) -> (usize, usize) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node / self.nodes_per_segment, node % self.nodes_per_segment + 1)
+    }
+
+    /// Execute a gather across the whole chain.
+    pub fn gather(
+        &self,
+        spec: &GatherSpec,
+        data: &[Vec<u64>],
+    ) -> Result<ChainOutcome, BusError> {
+        assert_eq!(data.len(), self.nodes(), "one data vector per global node");
+        let total_slots = spec.total_slots() as usize;
+
+        // Current partial stream entering the segment (None = dark slot).
+        let mut stream: Vec<Option<u64>> = vec![None; total_slots];
+        let mut latency = Duration::ZERO;
+
+        for (s, bus) in self.segments.iter().enumerate() {
+            // Local programs: tap 0 re-drives the upstream-owned slots;
+            // taps 1.. drive their own shares.
+            let locals = self.nodes_per_segment + 1;
+            let mut programs = vec![CommProgram::empty(); locals];
+            let mut seg_data: Vec<Vec<u64>> = vec![Vec::new(); locals];
+
+            // Repeater program: contiguous runs over filled slots.
+            let mut entries = Vec::new();
+            let mut k = 0usize;
+            while k < total_slots {
+                if stream[k].is_some() {
+                    let start = k;
+                    while k < total_slots && stream[k].is_some() {
+                        seg_data[0].push(stream[k].expect("filled"));
+                        k += 1;
+                    }
+                    entries.push(CpEntry {
+                        start: start as u64,
+                        len: (k - start) as u64,
+                        action: CpAction::Drive,
+                    });
+                } else {
+                    k += 1;
+                }
+            }
+            programs[0] = CommProgram::new(entries).expect("runs are disjoint");
+
+            // Build local CPs from the spec restricted to this segment.
+            let local_map: Vec<Option<usize>> = spec
+                .slot_source
+                .iter()
+                .map(|&src| {
+                    let (seg, local) = self.locate(src);
+                    (seg == s).then_some(local)
+                })
+                .collect();
+            for (slot, maybe_local) in local_map.iter().enumerate() {
+                if let Some(local) = maybe_local {
+                    let global = spec.slot_source[slot];
+                    let word_idx = seg_data[*local].len();
+                    // Consume the source node's words in slot order.
+                    seg_data[*local].push(data[global][word_idx]);
+                }
+            }
+            // Compile local drive CPs by scanning runs per local tap.
+            #[allow(clippy::needless_range_loop)] // `local` indexes both local_map and programs
+            for local in 1..locals {
+                let mut entries = Vec::new();
+                let mut k = 0usize;
+                while k < total_slots {
+                    if local_map[k] == Some(local) {
+                        let start = k;
+                        while k < total_slots && local_map[k] == Some(local) {
+                            k += 1;
+                        }
+                        entries.push(CpEntry {
+                            start: start as u64,
+                            len: (k - start) as u64,
+                            action: CpAction::Drive,
+                        });
+                    } else {
+                        k += 1;
+                    }
+                }
+                programs[local] = CommProgram::new(entries).expect("runs disjoint");
+            }
+
+            let out = bus.gather(&programs, &seg_data)?;
+            latency += out.last_arrival.saturating_since(out.first_arrival);
+            latency += bus.layout().end_to_end();
+            if s + 1 < self.segments.len() {
+                latency += self.repeater_latency;
+            }
+            // Merge: this segment's output becomes the next input.
+            for (k, w) in out.received.iter().enumerate() {
+                if w.is_some() {
+                    stream[k] = *w;
+                }
+            }
+        }
+
+        let filled = stream.iter().flatten().count();
+        let utilization = if total_slots == 0 {
+            0.0
+        } else {
+            filled as f64 / total_slots as f64
+        };
+        Ok(ChainOutcome {
+            received: stream,
+            utilization,
+            latency,
+            repeaters: self.segments.len() - 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_segment_gather_coalesces_globally() {
+        // 2 segments x 4 nodes; interleave all 8 nodes slot-by-slot.
+        let chain = RepeatedPscan::new(2, 4, 20.0);
+        assert_eq!(chain.nodes(), 8);
+        let spec = GatherSpec::interleaved(8, 1, 4); // 32 slots
+        let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64 * 100; 4]).collect();
+        let out = chain.gather(&spec, &data).unwrap();
+        assert_eq!(out.utilization, 1.0);
+        assert_eq!(out.repeaters, 1);
+        for (slot, w) in out.received.iter().enumerate() {
+            assert_eq!(w.unwrap(), (slot % 8) as u64 * 100, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn single_segment_has_no_repeaters() {
+        let chain = RepeatedPscan::new(1, 4, 20.0);
+        let spec = GatherSpec::blocked(4, 2);
+        let data: Vec<Vec<u64>> = (0..4).map(|n| vec![n as u64; 2]).collect();
+        let out = chain.gather(&spec, &data).unwrap();
+        assert_eq!(out.repeaters, 0);
+        assert_eq!(out.utilization, 1.0);
+    }
+
+    #[test]
+    fn latency_grows_with_segment_count() {
+        let spec = GatherSpec::blocked(8, 2);
+        let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 2]).collect();
+        let one = RepeatedPscan::new(1, 8, 20.0).gather(&spec, &data).unwrap();
+        let four = RepeatedPscan::new(4, 2, 20.0).gather(&spec, &data).unwrap();
+        assert!(four.latency > one.latency);
+        assert_eq!(one.received, four.received);
+    }
+
+    #[test]
+    fn locate_maps_globals_to_segments() {
+        let chain = RepeatedPscan::new(3, 4, 20.0);
+        assert_eq!(chain.locate(0), (0, 1));
+        assert_eq!(chain.locate(3), (0, 4));
+        assert_eq!(chain.locate(4), (1, 1));
+        assert_eq!(chain.locate(11), (2, 4));
+    }
+
+    #[test]
+    fn audit_passes_on_chain_programs() {
+        // The per-segment programs (repeater + locals) must be disjoint —
+        // exercised implicitly by gather succeeding with utilization 1.0 on
+        // an adversarial fine interleave.
+        let chain = RepeatedPscan::new(2, 2, 20.0);
+        let spec = GatherSpec {
+            slot_source: vec![3, 0, 2, 1, 3, 0, 1, 2],
+        };
+        let mut data = vec![Vec::new(); 4];
+        for (slot, &n) in spec.slot_source.iter().enumerate() {
+            data[n].push(slot as u64);
+        }
+        let out = chain.gather(&spec, &data).unwrap();
+        let words: Vec<u64> = out.received.iter().map(|w| w.unwrap()).collect();
+        assert_eq!(words, (0..8).collect::<Vec<u64>>());
+    }
+}

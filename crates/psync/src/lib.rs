@@ -1,0 +1,49 @@
+//! # psync
+//!
+//! The paper's primary contribution: the **P-sync architecture** (§IV),
+//! built on the PSCAN. P-sync fuses computation with communication: every
+//! processor runs a Computation Program against its local data memory and a
+//! Communication Program against the shared waveguide, in tight synchrony
+//! with the photonic clock; a head node drives DRAM so that data streams
+//! onto the SCA⁻¹ waveguide "just-in-time".
+//!
+//! * [`sample`] — FFT samples on the wire: the 64-bit `S_s` format
+//!   (32-bit real + 32-bit imaginary halves).
+//! * [`node`] — the Fig. 7 processing element: Data Memory, Execution Unit
+//!   (timed at the paper's 2 ns/multiply), Computation & Communication
+//!   Instruction Memories, and the Waveguide Interface with its dual-clock
+//!   FIFOs.
+//! * [`head`] — the Head Node: "a processor that understands the memory
+//!   layout and performs requests to the memory such that data is streamed
+//!   out on the SCA⁻¹ waveguide", backed by the [`memory`] DRAM model.
+//! * [`chain`] — CP chains: communication programs and code delivered over
+//!   the SCA⁻¹ interleaved with data (§IV).
+//! * [`isa`] — the Computation Program ISA: butterfly-level instructions
+//!   compiled into the Computation Instruction Memory and interpreted by
+//!   the Execution Unit, with multiply counts measured by execution.
+//! * [`model2`] — Model II (blocked, overlapped) delivery, the paper's
+//!   noted improvement over the Model I runs of §VI.
+//! * [`machine`] — the whole machine: PSCAN + nodes + head node + DRAM;
+//!   runs SCA/SCA⁻¹ phases and accounts bus cycles and wall-clock time.
+//! * [`fft_app`] — the end-to-end distributed 2-D FFT of §V-B: deliver →
+//!   row FFTs → SCA transpose → redeliver → column FFTs → writeback, with
+//!   *real data* moving through the simulated photonic bus and numerics
+//!   verified against the monolithic FFT.
+
+pub mod chain;
+pub mod codegen;
+pub mod fft1d_app;
+pub mod fft_app;
+pub mod head;
+pub mod isa;
+pub mod machine;
+pub mod model2;
+pub mod node;
+pub mod sample;
+
+pub use fft1d_app::{run_fft1d, Fft1dRun};
+pub use fft_app::{run_fft2d, Fft2dRun};
+pub use machine::{Machine, MachineConfig, PhaseTiming};
+pub use model2::{run_model2_rows, Model2Run};
+pub use node::Node;
+pub use sample::{decode_sample, encode_sample};

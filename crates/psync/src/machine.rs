@@ -1,0 +1,271 @@
+//! The assembled P-sync machine — paper Fig. 6.
+//!
+//! Processors share the PSCAN waveguide; the head node owns DRAM at the
+//! waveguide end; the photonic clock generator defines the slot timebase.
+//! The machine executes *phases*: SCA⁻¹ deliveries from memory, local
+//! compute, and SCA writebacks to memory — with real data flowing through
+//! the simulated bus and real cycles accounted on both the bus and DRAM.
+//!
+//! Bandwidth convention: the machine uses a WDM plan whose bus word is
+//! 64 bits per slot (one `S_s = 64`-bit sample per bus cycle), matching the
+//! Table III arithmetic (`S_b = 64`), with the aggregate fixed at the
+//! paper's 320 Gb/s. DRAM's 64-bit bus runs at the same rate, so bus slots
+//! and DRAM beats are the same currency.
+
+use memory::DramConfig;
+use photonics::wdm::WavelengthPlan;
+use pscan::compiler::{GatherSpec, ScatterSpec};
+use pscan::network::{Pscan, PscanConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::head::HeadNode;
+use crate::node::{ExecParams, Node};
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Processor count (taps on the bus).
+    pub procs: usize,
+    /// Die edge in mm.
+    pub die_mm: f64,
+    /// WDM plan; default 64 λ × 5 Gb/s → a 64-bit bus word per slot at
+    /// 320 Gb/s aggregate.
+    pub plan: WavelengthPlan,
+    /// DRAM configuration.
+    pub dram: DramConfig,
+    /// DRAM capacity in 64-bit words.
+    pub dram_words: usize,
+    /// Execution-unit timing.
+    pub exec: ExecParams,
+}
+
+impl MachineConfig {
+    /// Default machine for `procs` processors and `dram_words` of storage.
+    pub fn new(procs: usize, dram_words: usize) -> Self {
+        MachineConfig {
+            procs,
+            die_mm: 20.0,
+            plan: WavelengthPlan::new(64, 5.0),
+            dram: DramConfig::ideal_paper(),
+            dram_words,
+            exec: ExecParams::default(),
+        }
+    }
+}
+
+/// Timing record of one executed phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase label.
+    pub name: String,
+    /// Bus slots occupied (including transaction header slots).
+    pub bus_slots: u64,
+    /// DRAM cycles consumed.
+    pub dram_cycles: u64,
+    /// Compute nanoseconds (compute phases only).
+    pub compute_ns: f64,
+    /// Wall-clock seconds: bus and DRAM pipeline against each other, so the
+    /// slower of the two (plus compute, which does not overlap within a
+    /// phase under Model I) sets the pace.
+    pub seconds: f64,
+}
+
+/// The machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    pscan: Pscan,
+    /// The head node (public for result inspection).
+    pub head: HeadNode,
+    /// The processing elements.
+    pub nodes: Vec<Node>,
+    /// Executed phase log.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl Machine {
+    /// Assemble a machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let pscan = Pscan::new(PscanConfig {
+            nodes: cfg.procs,
+            die_mm: cfg.die_mm,
+            plan: cfg.plan.clone(),
+        });
+        let head = HeadNode::new(cfg.dram, cfg.dram_words);
+        let nodes = (0..cfg.procs).map(|i| Node::new(i, cfg.exec)).collect();
+        Machine {
+            cfg,
+            pscan,
+            head,
+            nodes,
+            phases: Vec::new(),
+        }
+    }
+
+    /// The configured slot period in seconds.
+    pub fn slot_secs(&self) -> f64 {
+        self.cfg.plan.slot().as_secs_f64()
+    }
+
+    /// Header slots charged for moving `payload_slots` 64-bit words in
+    /// DRAM-row transactions: one `S_h` header per `S_r` of payload
+    /// (Table III's 33-cycles-per-32-beat-row).
+    pub fn header_slots(&self, payload_slots: u64) -> u64 {
+        let row_words = self.cfg.dram.row_bits / 64;
+        payload_slots.div_ceil(row_words)
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// SCA⁻¹: stream DRAM words at `addrs` (slot order) onto the bus and
+    /// deliver per `spec`; each node's captured words are returned.
+    /// Records a phase.
+    pub fn scatter_from_memory(
+        &mut self,
+        name: &str,
+        addrs: &[u64],
+        spec: &ScatterSpec,
+    ) -> Vec<Vec<u64>> {
+        assert_eq!(addrs.len() as u64, spec.total_slots());
+        let (burst, dram_cycles) = self.head.stream_out(addrs.iter().copied());
+        let out = self.pscan.scatter(spec, &burst).expect("scatter failed");
+        let payload = spec.total_slots();
+        let headers = self.header_slots(payload);
+        let bus_slots = payload + headers;
+        self.log_phase(name, bus_slots, dram_cycles, 0.0);
+        out.delivered
+    }
+
+    /// SCA: gather per-node words (in each node's CP slot order) into a
+    /// monolithic burst and write it to DRAM at `addrs[k]` for slot `k`.
+    /// Records a phase and returns the coalesced words.
+    pub fn gather_to_memory(
+        &mut self,
+        name: &str,
+        spec: &GatherSpec,
+        node_words: &[Vec<u64>],
+        addrs: &[u64],
+    ) -> Vec<u64> {
+        assert_eq!(addrs.len() as u64, spec.total_slots());
+        let out = self.pscan.gather(spec, node_words).expect("gather failed");
+        assert_eq!(
+            out.utilization, 1.0,
+            "SCA writeback must be gap-free (got {})",
+            out.utilization
+        );
+        let words: Vec<u64> = out.received.iter().map(|w| w.expect("gap")).collect();
+        let dram_cycles = self
+            .head
+            .stream_in(addrs.iter().copied().zip(words.iter().copied()));
+        let payload = spec.total_slots();
+        let headers = self.header_slots(payload);
+        self.log_phase(name, payload + headers, dram_cycles, 0.0);
+        words
+    }
+
+    /// Run a compute step on every node: `f(node) -> ns`. The phase time is
+    /// the max across nodes (they run in parallel).
+    pub fn compute_phase(&mut self, name: &str, mut f: impl FnMut(&mut Node) -> f64) {
+        let mut max_ns: f64 = 0.0;
+        for n in &mut self.nodes {
+            max_ns = max_ns.max(f(n));
+        }
+        self.log_phase(name, 0, 0, max_ns);
+    }
+
+    fn log_phase(&mut self, name: &str, bus_slots: u64, dram_cycles: u64, compute_ns: f64) {
+        let slot = self.slot_secs();
+        let comm = (bus_slots.max(dram_cycles)) as f64 * slot;
+        self.phases.push(PhaseTiming {
+            name: name.to_string(),
+            bus_slots,
+            dram_cycles,
+            compute_ns,
+            seconds: comm + compute_ns * 1e-9,
+        });
+    }
+
+    /// Total wall-clock seconds across all executed phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Find a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseTiming> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_then_gather_roundtrip() {
+        let mut m = Machine::new(MachineConfig::new(4, 256));
+        m.head.fill(0, &(0..64u64).map(|i| i * 3).collect::<Vec<_>>());
+        // Deliver words 0..64 blocked: node i gets 16.
+        let spec = ScatterSpec::blocked(4, 16);
+        let addrs: Vec<u64> = (0..64).collect();
+        let delivered = m.scatter_from_memory("deliver", &addrs, &spec);
+        assert_eq!(delivered[1][0], 48); // word 16 -> 16*3
+        // Gather them back, interleaved, to 64..128.
+        let gspec = GatherSpec::interleaved(4, 4, 4);
+        let back_addrs: Vec<u64> = (64..128).collect();
+        let words = m.gather_to_memory("writeback", &gspec, &delivered, &back_addrs);
+        assert_eq!(words.len(), 64);
+        // Slot 0..4 come from node 0's first 4 words.
+        assert_eq!(words[0], 0);
+        assert_eq!(words[4], 48);
+        assert_eq!(m.head.read_region(64, 1), &[0]);
+        assert_eq!(m.phases.len(), 2);
+    }
+
+    #[test]
+    fn header_accounting_matches_table3() {
+        // 2^20 payload slots with 2048-bit rows -> 32768 headers ->
+        // 1,081,344 total bus slots.
+        let m = Machine::new(MachineConfig::new(4, 16));
+        let payload = 1u64 << 20;
+        assert_eq!(m.header_slots(payload), 32_768);
+        assert_eq!(payload + m.header_slots(payload), 1_081_344);
+    }
+
+    #[test]
+    fn phase_seconds_take_the_slower_pipe() {
+        let mut m = Machine::new(MachineConfig::new(2, 128));
+        m.head.fill(0, &[1; 64]);
+        let spec = ScatterSpec::blocked(2, 32);
+        let addrs: Vec<u64> = (0..64).collect();
+        m.scatter_from_memory("d", &addrs, &spec);
+        let p = &m.phases[0];
+        // Ideal DRAM streams 64 words in 64 cycles; bus moves 64 + headers.
+        assert_eq!(p.dram_cycles, 64);
+        assert_eq!(p.bus_slots, 64 + m.header_slots(64));
+        assert!((p.seconds - p.bus_slots as f64 * m.slot_secs()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compute_phase_takes_parallel_max() {
+        let mut m = Machine::new(MachineConfig::new(3, 16));
+        let mut i = 0.0;
+        m.compute_phase("c", |_| {
+            i += 100.0;
+            i
+        });
+        let p = m.phase("c").unwrap();
+        assert!((p.compute_ns - 300.0).abs() < 1e-12);
+        assert!((p.seconds - 300e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn slot_rate_is_320_gbps_with_64_bit_words() {
+        let m = Machine::new(MachineConfig::new(2, 16));
+        assert_eq!(m.config().plan.bits_per_slot(), 64);
+        assert!((m.config().plan.aggregate_gbps() - 320.0).abs() < 1e-9);
+        assert!((m.slot_secs() - 200e-12).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,192 @@
+//! Cycle-driven simulation engine.
+//!
+//! The wormhole mesh baseline of the paper (§V-C-2) is a synchronous design:
+//! every router advances one pipeline step per network clock. A cycle-driven
+//! engine is both simpler and faster than a discrete-event queue for such
+//! models. [`CycleEngine`] owns the cycle counter and a watchdog so that a
+//! deadlocked model terminates with a diagnostic instead of spinning forever.
+
+use crate::time::{Duration, Time};
+
+/// Outcome of stepping a cycle-driven model one clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// Work remains; keep clocking.
+    Active,
+    /// The model reached its terminal condition this cycle.
+    Done,
+    /// The model did nothing this cycle (used for watchdog accounting).
+    Idle,
+}
+
+/// A synchronous (clocked) simulation model.
+pub trait CycleModel {
+    /// Advance the model by one clock cycle.
+    fn step(&mut self, cycle: u64) -> StepStatus;
+}
+
+/// Drives a [`CycleModel`] to completion and converts cycles to simulated time.
+#[derive(Debug, Clone)]
+pub struct CycleEngine {
+    /// Simulated length of one clock cycle.
+    pub period: Duration,
+    /// Abort after this many consecutive idle cycles (deadlock watchdog).
+    pub idle_limit: u64,
+    /// Hard upper bound on total cycles (runaway watchdog).
+    pub max_cycles: u64,
+}
+
+impl Default for CycleEngine {
+    fn default() -> Self {
+        CycleEngine {
+            // 2.5 GHz network clock, the paper's mesh router clock (§III-C).
+            period: Duration::from_ps(400),
+            idle_limit: 100_000,
+            max_cycles: u64::MAX / 2,
+        }
+    }
+}
+
+/// Result of running a model to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total cycles elapsed, including the final one.
+    pub cycles: u64,
+    /// `cycles * period`.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Completion timestamp assuming the run started at t = 0.
+    pub fn end_time(&self) -> Time {
+        Time::ZERO + self.elapsed
+    }
+}
+
+/// Error from a run that failed to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The model reported `Idle` for `idle_limit` consecutive cycles.
+    Deadlock { at_cycle: u64 },
+    /// The model exceeded `max_cycles`.
+    CycleLimit { limit: u64 },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { at_cycle } => {
+                write!(f, "model deadlocked (idle watchdog) at cycle {at_cycle}")
+            }
+            RunError::CycleLimit { limit } => {
+                write!(f, "model exceeded the {limit}-cycle watchdog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl CycleEngine {
+    /// Engine with the given clock frequency in GHz and default watchdogs.
+    pub fn at_ghz(ghz: f64) -> Self {
+        CycleEngine {
+            period: Duration::from_freq_ghz(ghz),
+            ..Default::default()
+        }
+    }
+
+    /// Clock `model` until it reports [`StepStatus::Done`].
+    pub fn run<M: CycleModel>(&self, model: &mut M) -> Result<RunResult, RunError> {
+        let mut idle_streak = 0u64;
+        let mut cycle = 0u64;
+        loop {
+            if cycle >= self.max_cycles {
+                return Err(RunError::CycleLimit {
+                    limit: self.max_cycles,
+                });
+            }
+            match model.step(cycle) {
+                StepStatus::Done => {
+                    let cycles = cycle + 1;
+                    return Ok(RunResult {
+                        cycles,
+                        elapsed: self.period * cycles,
+                    });
+                }
+                StepStatus::Active => idle_streak = 0,
+                StepStatus::Idle => {
+                    idle_streak += 1;
+                    if idle_streak >= self.idle_limit {
+                        return Err(RunError::Deadlock { at_cycle: cycle });
+                    }
+                }
+            }
+            cycle += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountDown(u64);
+    impl CycleModel for CountDown {
+        fn step(&mut self, _c: u64) -> StepStatus {
+            if self.0 == 0 {
+                StepStatus::Done
+            } else {
+                self.0 -= 1;
+                StepStatus::Active
+            }
+        }
+    }
+
+    struct Stuck;
+    impl CycleModel for Stuck {
+        fn step(&mut self, _c: u64) -> StepStatus {
+            StepStatus::Idle
+        }
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts_cycles() {
+        let eng = CycleEngine::at_ghz(2.5);
+        let res = eng.run(&mut CountDown(9)).unwrap();
+        assert_eq!(res.cycles, 10);
+        assert_eq!(res.elapsed, Duration::from_ps(4_000));
+    }
+
+    #[test]
+    fn deadlock_watchdog_fires() {
+        let eng = CycleEngine {
+            idle_limit: 50,
+            ..CycleEngine::default()
+        };
+        let err = eng.run(&mut Stuck).unwrap_err();
+        assert!(matches!(err, RunError::Deadlock { at_cycle: 49 }));
+    }
+
+    #[test]
+    fn cycle_limit_watchdog_fires() {
+        struct Forever;
+        impl CycleModel for Forever {
+            fn step(&mut self, _c: u64) -> StepStatus {
+                StepStatus::Active
+            }
+        }
+        let eng = CycleEngine {
+            max_cycles: 10,
+            ..CycleEngine::default()
+        };
+        let err = eng.run(&mut Forever).unwrap_err();
+        assert_eq!(err, RunError::CycleLimit { limit: 10 });
+    }
+
+    #[test]
+    fn period_matches_frequency() {
+        assert_eq!(CycleEngine::at_ghz(10.0).period.as_ps(), 100);
+        assert_eq!(CycleEngine::default().period.as_ps(), 400);
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic discrete-event scheduler.
+//!
+//! The queue is a binary heap keyed on `(time, sequence)`: events scheduled
+//! at the same simulated time pop in the order they were pushed, so model
+//! behaviour never depends on heap tie-breaking internals. This determinism
+//! matters for the PSCAN simulator, where many modulator events legitimately
+//! share a timestamp (the whole point of the SCA is exact temporal alignment).
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event of payload type `E` scheduled at an absolute simulated time.
+#[derive(Debug, Clone)]
+pub struct EventScheduled<E> {
+    /// When the event fires.
+    pub at: Time,
+    /// Monotone insertion index, used as a deterministic tie-breaker.
+    pub seq: u64,
+    /// The model-defined payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for EventScheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for EventScheduled<E> {}
+
+impl<E> Ord for EventScheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for EventScheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-ordered event queue with stable same-time ordering.
+///
+/// ```
+/// use sim_core::{EventQueue, Time};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(Time::from_ns(2), "late");
+/// q.schedule(Time::from_ns(1), "first");
+/// q.schedule(Time::from_ns(1), "second");
+/// assert_eq!(q.pop().unwrap().payload, "first");
+/// assert_eq!(q.pop().unwrap().payload, "second");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventScheduled<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current simulated time — scheduling
+    /// into the past is always a model bug.
+    pub fn schedule(&mut self, at: Time, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({:?} < {:?})",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventScheduled { at, seq, payload });
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the earliest event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<EventScheduled<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// Drain events while `pred` holds on the popped event, applying `f`.
+    /// Returns the number of events processed.
+    pub fn run_while<F, P>(&mut self, mut pred: P, mut f: F) -> u64
+    where
+        F: FnMut(Time, E),
+        P: FnMut(&EventScheduled<E>) -> bool,
+    {
+        let mut n = 0;
+        while let Some(ev) = self.heap.peek() {
+            if !pred(ev) {
+                break;
+            }
+            let ev = self.pop().expect("peeked event vanished");
+            f(ev.at, ev.payload);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(30), 3);
+        q.schedule(Time::from_ps(10), 1);
+        q.schedule(Time::from_ps(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_ps(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ps(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(10), ());
+        q.pop();
+        q.schedule(Time::from_ps(5), ());
+    }
+
+    #[test]
+    fn run_while_respects_predicate() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(Time::from_ps(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        let n = q.run_while(|e| e.at < Time::from_ps(50), |_, p| seen.push(p));
+        assert_eq!(n, 5);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(10), "a");
+        q.schedule(Time::from_ps(30), "c");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        // Schedule between now (10) and the pending 30.
+        q.schedule(Time::from_ps(20), "b");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+    }
+}

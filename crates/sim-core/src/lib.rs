@@ -1,0 +1,35 @@
+//! # sim-core
+//!
+//! Simulation substrate shared by the photonic (PSCAN) and electronic (mesh)
+//! network simulators of the P-sync reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`time`] — a picosecond-resolution simulated-time type ([`time::Time`])
+//!   with exact integer arithmetic, so photonic flight times (fractions of a
+//!   nanosecond) and electronic cycle times compose without rounding drift.
+//! * [`event`] — a deterministic discrete-event scheduler ([`event::EventQueue`])
+//!   with stable FIFO ordering among same-timestamp events.
+//! * [`engine`] — a cycle-driven engine ([`engine::CycleEngine`]) for
+//!   synchronous models such as the wormhole mesh.
+//! * [`stats`] — counters, histograms and time-weighted averages used to
+//!   report utilization, latency and energy.
+//! * [`rng`] — seeded, reproducible random-number helpers.
+//!
+//! All simulators in this workspace are **deterministic**: identical inputs
+//! (including RNG seeds) produce identical event orders and results. This is
+//! enforced by the stable tie-breaking in [`event::EventQueue`] and by using
+//! only explicitly-seeded RNGs.
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod vcd;
+
+pub use engine::CycleEngine;
+pub use event::{EventQueue, EventScheduled};
+pub use stats::{Counter, Histogram, TimeWeighted};
+pub use time::{Duration, Time};
+pub use vcd::VcdWriter;

@@ -1,0 +1,134 @@
+//! A minimal Value Change Dump (IEEE 1364) writer.
+//!
+//! Simulators in this workspace can export signal activity for inspection
+//! in standard waveform viewers (GTKWave etc.). Only what we need: scalar
+//! and small-vector wires, picosecond timescale, monotone timestamps.
+
+use std::fmt::Write as _;
+
+use crate::time::Time;
+
+/// A signal handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+/// An in-memory VCD document builder.
+#[derive(Debug, Default)]
+pub struct VcdWriter {
+    signals: Vec<(String, u32)>, // (name, width)
+    changes: Vec<(u64, usize, String)>,
+    last_time: u64,
+}
+
+impl VcdWriter {
+    /// New empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a wire of `width` bits; call before recording changes.
+    pub fn add_signal(&mut self, name: &str, width: u32) -> SignalId {
+        assert!(width >= 1, "zero-width signal");
+        self.signals.push((name.to_string(), width));
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Record that `sig` takes `value` at time `at` (timestamps must be
+    /// non-decreasing).
+    pub fn change(&mut self, at: Time, sig: SignalId, value: u64) {
+        let t = at.as_ps();
+        assert!(t >= self.last_time, "VCD timestamps must be monotone");
+        self.last_time = t;
+        let width = self.signals[sig.0].1;
+        let bits: String = (0..width)
+            .rev()
+            .map(|b| if (value >> b) & 1 == 1 { '1' } else { '0' })
+            .collect();
+        self.changes.push((t, sig.0, bits));
+    }
+
+    /// Render the complete VCD text.
+    pub fn render(&self, module: &str) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ps $end\n");
+        let _ = writeln!(out, "$scope module {module} $end");
+        for (i, (name, width)) in self.signals.iter().enumerate() {
+            let id = ident(i);
+            if *width == 1 {
+                let _ = writeln!(out, "$var wire 1 {id} {name} $end");
+            } else {
+                let _ = writeln!(out, "$var wire {width} {id} {name} $end");
+            }
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last_t = None;
+        for (t, sig, bits) in &self.changes {
+            if last_t != Some(*t) {
+                let _ = writeln!(out, "#{t}");
+                last_t = Some(*t);
+            }
+            let id = ident(*sig);
+            if bits.len() == 1 {
+                let _ = writeln!(out, "{bits}{id}");
+            } else {
+                let _ = writeln!(out, "b{bits} {id}");
+            }
+        }
+        out
+    }
+}
+
+/// Short printable identifier for signal `i` (VCD id chars are '!'..'~').
+fn ident(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_changes() {
+        let mut v = VcdWriter::new();
+        let clk = v.add_signal("clk", 1);
+        let bus = v.add_signal("data", 4);
+        v.change(Time::from_ps(0), clk, 0);
+        v.change(Time::from_ps(100), clk, 1);
+        v.change(Time::from_ps(100), bus, 0xA);
+        let text = v.render("pscan");
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("$var wire 4 \" data $end"));
+        assert!(text.contains("#100"));
+        assert!(text.contains("b1010 \""));
+        // Time 100 appears once even with two changes.
+        assert_eq!(text.matches("#100").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_time_travel() {
+        let mut v = VcdWriter::new();
+        let s = v.add_signal("s", 1);
+        v.change(Time::from_ps(10), s, 1);
+        v.change(Time::from_ps(5), s, 0);
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+    }
+}

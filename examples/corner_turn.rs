@@ -1,0 +1,61 @@
+//! Corner turn: the ISR / SAR imaging motif from the paper's introduction —
+//! a matrix held row-wise across processors must land column-wise in DRAM.
+//!
+//! Runs the same 64-processor corner turn two ways and compares cycles:
+//! 1. SCA on the PSCAN (in-flight reorganization, Table III arithmetic), and
+//! 2. element packets through a wormhole mesh with reorder staging.
+//!
+//! ```text
+//! cargo run --release --example corner_turn
+//! ```
+
+use analytic::table3::Table3Params;
+use emesh::mesh::MeshConfig;
+use emesh::workloads::load_transpose;
+use pscan::compiler::GatherSpec;
+use pscan::network::{Pscan, PscanConfig};
+
+const PROCS: usize = 64;
+const ROW_LEN: usize = 64;
+
+fn main() {
+    println!("corner turn: {PROCS} processors x {ROW_LEN}-sample rows\n");
+
+    // --- PSCAN: one SCA, data reorganized in flight -----------------------
+    // Transposed stream: slot k = c*P + r comes from processor r.
+    let slot_source: Vec<usize> = (0..PROCS * ROW_LEN).map(|k| k % PROCS).collect();
+    let spec = GatherSpec { slot_source };
+    let pscan = Pscan::new(PscanConfig {
+        nodes: PROCS,
+        ..Default::default()
+    });
+    let data: Vec<Vec<u64>> = (0..PROCS)
+        .map(|p| (0..ROW_LEN as u64).map(|c| (p as u64) << 32 | c).collect())
+        .collect();
+    let out = pscan.gather(&spec, &data).expect("clean SCA");
+    assert_eq!(out.utilization, 1.0);
+
+    let t3 = Table3Params {
+        n: ROW_LEN as u64,
+        p: PROCS as u64,
+        ..Default::default()
+    };
+    let pscan_cycles = t3.pscan_cycles();
+    println!("PSCAN : {} bus cycles ({} row transactions x {} cycles, 100% bus utilization)",
+        pscan_cycles, t3.transactions(), t3.cycles_per_transaction());
+
+    // --- Mesh: 2-flit element packets + t_p reorder staging ---------------
+    for t_p in [1u64, 4] {
+        let mut mesh = load_transpose(MeshConfig::table3(PROCS, t_p), PROCS, ROW_LEN);
+        let res = mesh.run().expect("no deadlock");
+        let mult = res.cycles as f64 / pscan_cycles as f64;
+        println!(
+            "mesh  : {} cycles at t_p = {t_p}  ({mult:.2}x PSCAN; DRAM row hit rate {:.0}%)",
+            res.cycles,
+            mesh.memif(0).dram_stats().hit_rate() * 100.0
+        );
+    }
+
+    println!("\nThe SCA wins because elements coalesce on the waveguide itself —");
+    println!("no headers per element, no hotspot ejection port, no staging buffers.");
+}

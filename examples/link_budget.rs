@@ -1,0 +1,67 @@
+//! Photonic design explorer: how many taps can one PSCAN span?
+//!
+//! Sweeps waveguide loss and node count on the paper's 2 cm die, printing
+//! the Eq. (1)-(3) link budget, the energy-optimal repeater count, the
+//! resulting energy per bit, and the WDM plan feasibility check.
+//!
+//! ```text
+//! cargo run --release --example link_budget
+//! ```
+
+use photonics::budget::LinkBudget;
+use photonics::devices::{Laser, Modulator, Photodiode};
+use photonics::energy::PhotonicEnergyModel;
+use photonics::spectrum::{check_plan, crosstalk_power_penalty, RingSpectrum};
+use photonics::waveguide::{ChipLayout, Waveguide};
+use photonics::wdm::WavelengthPlan;
+
+fn main() {
+    println!("PSCAN link budget explorer (2 cm x 2 cm die, 10 dBm/lambda launch)\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>11} {:>12}",
+        "nodes", "bus (cm)", "loss dB/cm", "reach", "repeaters", "pJ/bit"
+    );
+    for &nodes in &[16usize, 64, 256, 1024] {
+        let layout = ChipLayout::square(20.0, nodes);
+        for &loss in &[0.3f64, 1.0] {
+            let budget = LinkBudget::new(
+                Laser::default().output,
+                &Modulator::default(),
+                &Photodiode::default(),
+                &Waveguide::new(layout.bus_length_mm()).with_loss(loss),
+                layout.pitch_mm(),
+            );
+            let model = PhotonicEnergyModel {
+                waveguide_loss_db_per_cm: loss,
+                ..Default::default()
+            };
+            let (_, reps) = model.required_laser(&layout);
+            println!(
+                "{:>6} {:>12.1} {:>12.1} {:>10} {:>11} {:>12.3}",
+                nodes,
+                layout.bus_length_mm() / 10.0,
+                loss,
+                budget.max_segments(),
+                reps,
+                model.sca_energy(&layout).total_pj_per_bit(),
+            );
+        }
+    }
+
+    println!("\nWDM plan check (32 lambda x 10 Gb/s on a Q = 20k ring bank):");
+    let ring = RingSpectrum::default();
+    let plan = WavelengthPlan::paper_320g();
+    for spacing in [25.0f64, 50.0, 62.5] {
+        let check = check_plan(&ring, plan.data_lambdas, spacing);
+        let penalty = if check.aggregate_crosstalk < 1.0 {
+            format!("{:.2} dB", crosstalk_power_penalty(&check).db())
+        } else {
+            "n/a".to_string()
+        };
+        println!(
+            "  {spacing:>5.1} GHz spacing: FSR occupancy {:>5.2}, adjacent suppression {:>5.1} dB, \
+             xtalk penalty {penalty}, feasible: {}",
+            check.fsr_occupancy, check.adjacent_suppression_db, check.feasible
+        );
+    }
+}

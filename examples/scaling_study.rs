@@ -1,0 +1,49 @@
+//! Scaling study: the §VI LLMORE-style sweep — how 2-D FFT throughput and
+//! the data-reorganization share evolve from 4 to 4096 cores on the
+//! electronic mesh vs P-sync (Figs. 13 and 14 in miniature).
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use llmore::sweep::{paper_core_counts, sweep_cores};
+use llmore::SystemParams;
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(n.min(width)), " ".repeat(width - n.min(width)))
+}
+
+fn main() {
+    let params = SystemParams::default();
+    let pts = sweep_cores(&params, &paper_core_counts());
+
+    println!("2-D FFT (1024x1024), 4 shared memory controllers, equalized links\n");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>10} | {:>9} | reorg share (mesh vs P-sync)",
+        "cores", "ideal", "P-sync", "mesh", "gap"
+    );
+    let max_g = pts.iter().map(|p| p.ideal_gflops).fold(0.0, f64::max);
+    for p in &pts {
+        println!(
+            "{:>6} | {:>10.2} {:>10.2} {:>10.2} | {:>8.2}x | mesh [{}] {:>4.0}%  psync [{}] {:>4.0}%",
+            p.cores,
+            p.ideal_gflops,
+            p.psync_gflops,
+            p.mesh_gflops,
+            p.psync_gflops / p.mesh_gflops,
+            bar(p.mesh_reorg_frac, 16),
+            p.mesh_reorg_frac * 100.0,
+            bar(p.psync_reorg_frac, 16),
+            p.psync_reorg_frac * 100.0,
+        );
+    }
+    let peak = pts
+        .iter()
+        .max_by(|a, b| a.mesh_gflops.partial_cmp(&b.mesh_gflops).unwrap())
+        .unwrap();
+    println!(
+        "\n(GFLOPS = paper multiply-costing; ideal peak {:.1} GFLOPS; mesh peaks at {} cores and declines)",
+        max_g, peak.cores
+    );
+}

@@ -1,0 +1,47 @@
+//! # psync-suite
+//!
+//! Workspace facade for the P-sync reproduction (Whelihan et al., IPDPS
+//! Workshops 2013). Re-exports every subsystem crate under one roof so the
+//! examples and integration tests read naturally; see the individual crates
+//! for the real APIs:
+//!
+//! * [`sim_core`] — simulation kernel
+//! * [`photonics`] — photonic physical layer
+//! * [`memory`] — DRAM substrate
+//! * [`pscan`] — the Photonic Synchronous Coalesced Access Network
+//! * [`emesh`] — the electronic wormhole-mesh baseline
+//! * [`fft`] — the FFT workload
+//! * [`analytic`] — §V closed-form performance models
+//! * [`llmore`] — application-level mapping/simulation runtime
+//! * [`psync`] — the P-sync architecture itself
+
+pub use analytic;
+pub use emesh;
+pub use fft;
+pub use llmore;
+pub use memory;
+pub use photonics;
+pub use pscan;
+pub use psync;
+pub use sim_core;
+
+/// Workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        // Touch one symbol from each crate so a broken re-export fails here.
+        let _ = sim_core::Time::ZERO;
+        let _ = photonics::WavelengthPlan::paper_320g();
+        let _ = memory::DramConfig::default();
+        let _ = pscan::cp::CommProgram::empty();
+        let _ = emesh::Topology::square(4, emesh::MemifPlacement::SingleCorner);
+        let _ = fft::Complex64::ZERO;
+        let _ = analytic::table3_pscan_cycles();
+        let _ = llmore::SystemParams::default();
+        let _ = psync::MachineConfig::new(2, 16);
+        assert!(!super::VERSION.is_empty());
+    }
+}

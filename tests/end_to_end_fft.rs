@@ -1,0 +1,91 @@
+//! Cross-crate integration: the full distributed 2-D FFT on the P-sync
+//! machine, checked against the monolithic FFT and against the §V-C
+//! transpose arithmetic.
+
+use analytic::table3::Table3Params;
+use fft::complex::max_error;
+use fft::fft2d::{Fft2d, Matrix};
+use fft::Complex64;
+use psync::run_fft2d;
+
+fn input(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| {
+        Complex64::new(
+            ((r * 7 + c * 3) as f64 * 0.11).sin(),
+            ((r + 2 * c) as f64 * 0.23).cos() * 0.6,
+        )
+    })
+}
+
+#[test]
+fn distributed_fft_matches_monolithic() {
+    let n = 64;
+    let run = run_fft2d(16, &input(n));
+    let reference = Fft2d::new(n, n).forward(&input(n));
+    let err = max_error(&run.output.data, &reference.data);
+    assert!(err < 1e-3 * n as f64, "err = {err}");
+}
+
+#[test]
+fn transpose_slots_equal_analytic_pscan_cycles() {
+    // The machine's SCA transpose writeback must cost exactly what
+    // Eq. (23)/(24) predict for its configuration.
+    let n = 64usize;
+    let procs = 16usize;
+    let run = run_fft2d(procs, &input(n));
+    let t3 = Table3Params {
+        n: n as u64,
+        p: n as u64, // n*n samples total = n rows of n... expressed as N*P
+        ..Default::default()
+    };
+    assert_eq!(run.transpose_bus_slots, t3.pscan_cycles());
+}
+
+#[test]
+fn compute_fraction_rises_with_fewer_processors() {
+    // Fewer processors -> more compute per node -> compute dominates.
+    let n = 64;
+    let few = run_fft2d(4, &input(n));
+    let many = run_fft2d(32, &input(n));
+    assert!(few.compute_fraction > many.compute_fraction);
+}
+
+#[test]
+fn bus_work_is_processor_count_invariant() {
+    let n = 32;
+    let a = run_fft2d(4, &input(n));
+    let b = run_fft2d(16, &input(n));
+    let slots = |r: &psync::Fft2dRun| -> u64 { r.phases.iter().map(|p| p.bus_slots).sum() };
+    assert_eq!(slots(&a), slots(&b));
+}
+
+/// The paper-scale run: 1024×1024 samples on 1024 processors, transported
+/// through the event-level photonic bus. Slow in debug builds — run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "paper-scale (2^20-sample) machine simulation; run with --release -- --ignored"]
+fn paper_scale_transpose_is_exactly_table3() {
+    let n = 1024;
+    let run = run_fft2d(1024, &input(n));
+    assert_eq!(run.transpose_bus_slots, 1_081_344, "Table III exact");
+    let reference = Fft2d::new(n, n).forward(&input(n));
+    let err = max_error(&run.output.data, &reference.data);
+    assert!(err < 1e-2 * n as f64, "err = {err}");
+}
+
+#[test]
+fn phases_in_model_i_order() {
+    let run = run_fft2d(8, &input(32));
+    let names: Vec<&str> = run.phases.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["deliver", "row_fft", "transpose", "redeliver", "col_fft", "writeback"]
+    );
+    // Communication phases move the whole matrix each.
+    let area = 32 * 32;
+    for p in &run.phases {
+        if p.name != "row_fft" && p.name != "col_fft" {
+            assert!(p.bus_slots >= area as u64);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests over the extension modules: the redistribution compiler,
+//! TDM arbitration, repeater chains, six-step FFT and Model II numerics.
+
+use fft::complex::max_error;
+use fft::{fft_in_place, Complex64, SixStepPlan};
+use proptest::prelude::*;
+use pscan::arbitration::{Message, TdmPlanner};
+use pscan::bus::BusSim;
+use pscan::compiler::GatherSpec;
+use pscan::redistribute::{arrange_data, compile, Layout, Perm};
+use pscan::repeater::RepeatedPscan;
+use photonics::waveguide::ChipLayout;
+use photonics::wdm::WavelengthPlan;
+
+fn perm_strategy(n: u64) -> impl Strategy<Value = Perm> {
+    prop_oneof![
+        Just(Perm::Identity),
+        Just(Perm::BitReversal),
+        Just(Perm::Transpose { rows: 8, cols: n / 8 }),
+        // Odd strides are coprime with power-of-two n.
+        (0u64..n / 2).prop_map(move |s| Perm::Stride { stride: 2 * s + 1 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn redistribution_compiler_is_exact_for_any_layout_and_perm(
+        block in 1u64..16,
+        procs in 1usize..8,
+        perm in perm_strategy(64),
+    ) {
+        let n = 64u64;
+        let layout = Layout { n, procs, block };
+        let red = compile(&layout, &perm);
+        let local: Vec<Vec<u64>> = (0..procs).map(|p| layout.elements_of(p)).collect();
+        let data = arrange_data(&red, &local);
+        let pscan = pscan::network::Pscan::new(pscan::network::PscanConfig {
+            nodes: procs,
+            ..Default::default()
+        });
+        let out = pscan.gather(&red.spec, &data).unwrap();
+        prop_assert_eq!(out.utilization, 1.0);
+        for (k, w) in out.received.iter().enumerate() {
+            prop_assert_eq!(w.unwrap(), perm.source_element(k as u64, n));
+        }
+    }
+
+    #[test]
+    fn tdm_planner_always_yields_collision_free_frames(
+        msg_sizes in prop::collection::vec(1u64..12, 1..5),
+        reserve_len in 1u64..24,
+    ) {
+        let nodes = 8;
+        let frame = 256u64;
+        let mut planner = TdmPlanner::new(nodes, frame);
+        planner.reserve(3, 0, reserve_len);
+        let messages: Vec<Message> = msg_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Message { src: i % 3, dst: 4 + i % 4, words: w })
+            .collect();
+        let plan = planner.plan(&messages).unwrap();
+        prop_assert!(pscan::compiler::CpCompiler::audit_disjoint(&plan.programs).is_ok());
+
+        // Execute and verify payload delivery.
+        let bus = BusSim::new(ChipLayout::square(20.0, nodes), WavelengthPlan::paper_320g());
+        let mut data = vec![Vec::new(); nodes];
+        data[3] = vec![0x33; reserve_len as usize];
+        for (i, m) in messages.iter().enumerate() {
+            data[m.src].extend(std::iter::repeat_n(i as u64 + 100, m.words as usize));
+        }
+        let out = bus.transact(&plan.programs, &data).unwrap();
+        let mut expect = vec![0u64; nodes];
+        for m in &messages {
+            expect[m.dst] += m.words;
+        }
+        #[allow(clippy::needless_range_loop)] // n is the node id under test
+        for n in 0..nodes {
+            prop_assert_eq!(out.delivered[n].len() as u64, expect[n], "node {}", n);
+        }
+    }
+
+    #[test]
+    fn repeated_chain_equals_single_bus_for_any_interleave(
+        map in prop::collection::vec(0usize..8, 32),
+    ) {
+        let spec = GatherSpec { slot_source: map };
+        let mut data = vec![Vec::new(); 8];
+        for (slot, &n) in spec.slot_source.iter().enumerate() {
+            data[n].push(slot as u64);
+        }
+        let single = {
+            let bus = BusSim::new(ChipLayout::square(20.0, 8), WavelengthPlan::paper_320g());
+            let cps = pscan::compiler::CpCompiler.compile_gather(&spec, 8);
+            bus.gather(&cps, &data).unwrap().received
+        };
+        let chained = RepeatedPscan::new(2, 4, 20.0).gather(&spec, &data).unwrap().received;
+        prop_assert_eq!(single, chained);
+    }
+
+    #[test]
+    fn six_step_equals_monolithic_on_random_signals(
+        res in prop::collection::vec(-50.0f64..50.0, 256),
+    ) {
+        let x: Vec<Complex64> = res.iter().map(|&r| Complex64::new(r, r * 0.3 - 1.0)).collect();
+        let six = SixStepPlan::square(256).forward(&x);
+        let mut mono = x.clone();
+        fft_in_place(&mut mono);
+        prop_assert!(max_error(&six, &mono) < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sub_half_slot_drift_never_corrupts(
+        drifts in prop::collection::vec(-49i64..=49, 8),
+    ) {
+        // §III-A margin property: with every node's calibration error inside
+        // ±half a 100 ps slot, any interleaved gather stays perfect.
+        let mut bus = BusSim::new(ChipLayout::square(20.0, 8), WavelengthPlan::paper_320g());
+        for (n, &d) in drifts.iter().enumerate() {
+            bus.set_timing_error(n, d);
+        }
+        let spec = GatherSpec::interleaved(8, 2, 4);
+        let cps = pscan::compiler::CpCompiler.compile_gather(&spec, 8);
+        let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 8]).collect();
+        let out = bus.gather(&cps, &data).unwrap();
+        prop_assert_eq!(out.utilization, 1.0);
+    }
+
+    #[test]
+    fn past_half_slot_drift_always_corrupts(
+        victim in 0usize..8,
+        extra in 51i64..400,
+        sign in prop::bool::ANY,
+    ) {
+        // And past the window, a fine (1-slot-per-node) interleave always
+        // breaks: either a collision or a gap.
+        let mut bus = BusSim::new(ChipLayout::square(20.0, 8), WavelengthPlan::paper_320g());
+        bus.set_timing_error(victim, if sign { extra } else { -extra });
+        let spec = GatherSpec::interleaved(8, 1, 4);
+        let cps = pscan::compiler::CpCompiler.compile_gather(&spec, 8);
+        let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 4]).collect();
+        match bus.gather(&cps, &data) {
+            Err(pscan::bus::BusError::Collision { .. }) => {}
+            Ok(out) => prop_assert!(out.utilization < 1.0, "drift must corrupt"),
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn model2_machine_numerics_for_random_k(
+        k_pow in 0u32..=5,
+        seed in 0u64..1000,
+    ) {
+        use psync::model2::run_model2_rows;
+        let n = 128usize;
+        let procs = 4usize;
+        let rows: Vec<Vec<Complex64>> = (0..procs)
+            .map(|p| {
+                (0..n)
+                    .map(|i| {
+                        let v = ((p as u64 * 131 + i as u64 * 7 + seed) % 97) as f64 / 97.0;
+                        Complex64::new(v - 0.5, (v * 2.0).sin())
+                    })
+                    .collect()
+            })
+            .collect();
+        let run = run_model2_rows(procs, n, 1 << k_pow, &rows);
+        for (p, row) in rows.iter().enumerate() {
+            let mut reference = row.clone();
+            fft_in_place(&mut reference);
+            prop_assert!(
+                max_error(&run.spectra[p], &reference) < 1e-3,
+                "proc {}", p
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration: the §IV machinery around the SCA — TDM channel sharing,
+//! CP chains, repeater-linked segments, and map optimization — composed
+//! across crates.
+
+use pscan::arbitration::{Message, TdmPlanner};
+use pscan::bus::BusSim;
+use pscan::compiler::GatherSpec;
+use pscan::repeater::RepeatedPscan;
+use photonics::waveguide::ChipLayout;
+use photonics::wdm::WavelengthPlan;
+
+#[test]
+fn sca_share_and_messages_coexist_collision_free() {
+    let nodes = 16;
+    let bus = BusSim::new(ChipLayout::square(20.0, nodes), WavelengthPlan::paper_320g());
+    let mut planner = TdmPlanner::new(nodes, 256);
+    // SCA shares: an interleaved writeback for the first 8 nodes.
+    for n in 0..8 {
+        planner.reserve(n, (n as u64) * 16, 16);
+    }
+    // Messages among the rest.
+    let msgs = [
+        Message { src: 8, dst: 15, words: 40 },
+        Message { src: 9, dst: 12, words: 30 },
+        Message { src: 10, dst: 11, words: 20 },
+    ];
+    let plan = planner.plan(&msgs).unwrap();
+    let mut data = vec![Vec::new(); nodes];
+    #[allow(clippy::needless_range_loop)] // n is the node id under test
+    for n in 0..8usize {
+        data[n] = vec![n as u64; 16];
+    }
+    data[8] = vec![0x8888; 40];
+    data[9] = vec![0x9999; 30];
+    data[10] = vec![0xAAAA; 20];
+    let out = bus.transact(&plan.programs, &data).unwrap();
+    assert_eq!(out.delivered[15], vec![0x8888; 40]);
+    assert_eq!(out.delivered[12], vec![0x9999; 30]);
+    assert_eq!(out.delivered[11], vec![0xAAAA; 20]);
+    // SCA shares arrive whole at the terminus.
+    for n in 0..8usize {
+        for s in 0..16usize {
+            assert_eq!(out.gather.received[n * 16 + s], Some(n as u64));
+        }
+    }
+}
+
+#[test]
+fn chained_segments_match_single_bus_payload() {
+    // The same interleave through a single 8-node bus and a 2x4 repeated
+    // chain must produce identical streams (latency differs).
+    let spec = GatherSpec::interleaved(8, 2, 8);
+    let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64 * 7; 16]).collect();
+
+    let single = {
+        let bus = BusSim::new(ChipLayout::square(20.0, 8), WavelengthPlan::paper_320g());
+        let cps = pscan::compiler::CpCompiler.compile_gather(&spec, 8);
+        bus.gather(&cps, &data).unwrap()
+    };
+    let chained = RepeatedPscan::new(2, 4, 20.0).gather(&spec, &data).unwrap();
+    let single_words: Vec<Option<u64>> = single.received;
+    assert_eq!(single_words, chained.received);
+    assert_eq!(chained.utilization, 1.0);
+}
+
+#[test]
+fn optimizer_matches_table_predictions_end_to_end() {
+    use llmore::{optimize_map, ArchKind, SystemParams};
+    let params = SystemParams::default();
+    let mesh = optimize_map(ArchKind::ElectronicMesh, &params, 256, 64);
+    let psync = optimize_map(ArchKind::Psync, &params, 256, 64);
+    // Mesh knee from the analytic crate agrees with the map optimizer.
+    let knee = analytic::crossover::mesh_knee(&analytic::model::FftParams::default(), 64);
+    assert_eq!(mesh.map.k, knee);
+    assert!(psync.efficiency > mesh.efficiency);
+}
+
+#[test]
+fn fifo_sizing_matches_cp_schedules() {
+    // A node whose core delivers a burst of 8 words at once but whose CP
+    // drains them in two 4-slot runs needs a FIFO ≥ ... compute it and
+    // validate by replaying through the FIFO model.
+    use pscan::fifo::{required_depth, DualClockFifo};
+    use sim_core::Time;
+
+    let pushes: Vec<Time> = (0..8).map(|_| Time::from_ps(0)).collect();
+    let pops: Vec<Time> = (0..4)
+        .map(|i| Time::from_ps(1_000 + i * 100))
+        .chain((0..4).map(|i| Time::from_ps(5_000 + i * 100)))
+        .collect();
+    let depth = required_depth(&pushes, &pops);
+    assert_eq!(depth, 8);
+
+    let mut fifo = DualClockFifo::new(depth);
+    let mut events: Vec<(Time, bool)> = pushes
+        .iter()
+        .map(|&t| (t, true))
+        .chain(pops.iter().map(|&t| (t, false)))
+        .collect();
+    events.sort_by_key(|&(t, is_push)| (t, !is_push));
+    for (t, is_push) in events {
+        if is_push {
+            fifo.push(t, 1).expect("sized exactly, no overflow");
+        } else {
+            fifo.pop(t).expect("no underflow");
+        }
+    }
+    assert_eq!(fifo.high_water(), depth);
+}
+
+#[test]
+fn codegen_cps_match_the_machine_runners_specs() {
+    // The compiled application bundle must schedule exactly the slots the
+    // fft_app runner uses: per-node listen counts equal each node's data
+    // share, drive CPs tile the transposed stream disjointly, and the
+    // delivered ISA code computes the same row FFT the runner computes.
+    use psync::codegen::compile_fft2d_app;
+    let (procs, n) = (8usize, 64usize);
+    let app = compile_fft2d_app(procs, n);
+    let share = (n * n / procs) as u64;
+    for (p, b) in app.nodes.iter().enumerate() {
+        assert_eq!(b.cp_deliver.slots_listened(), share, "node {p} delivery");
+        assert_eq!(b.cp_transpose.slots_driven(), share, "node {p} transpose");
+        assert_eq!(b.cp_redeliver.slots_listened(), share);
+        assert_eq!(b.cp_writeback.slots_driven(), share);
+    }
+    let drives: Vec<_> = app.nodes.iter().map(|b| b.cp_transpose.clone()).collect();
+    assert!(pscan::compiler::CpCompiler::audit_disjoint(&drives).is_ok());
+
+    // ISA path == library path on a row.
+    use fft::complex::max_error;
+    let row: Vec<fft::Complex64> = (0..n)
+        .map(|i| fft::Complex64::new((i as f64 * 0.3).sin(), 0.1 * i as f64))
+        .collect();
+    let mut via_isa = row.clone();
+    app.nodes[0].comp_fft.execute(&mut via_isa);
+    let mut via_lib = row;
+    fft::fft_in_place(&mut via_lib);
+    assert!(max_error(&via_isa, &via_lib) < 1e-12);
+}
+
+#[test]
+fn six_step_corner_turns_cost_what_table3_says() {
+    // Each corner turn of a 2^16-point six-step FFT moves n1*n2 samples;
+    // the SCA prices it at exactly (payload + headers) cycles.
+    use analytic::table3::Table3Params;
+    let plan = fft::SixStepPlan::square(1 << 16);
+    let (n1, n2) = plan.shape();
+    let t3 = Table3Params {
+        n: n2 as u64,
+        p: n1 as u64,
+        ..Default::default()
+    };
+    let payload = (n1 * n2) as u64;
+    assert_eq!(t3.pscan_cycles(), payload + payload / 32);
+}
