@@ -53,11 +53,7 @@ pub fn fig11_curves_with(params: &FftParams, ks: &[u64], flight_ns: f64) -> Vec<
 
 /// The paper's curves: k ∈ {1..64}, 2 cm die serpentine flight ≈ 9.2 ns.
 pub fn fig11_curves() -> Vec<Fig11Point> {
-    fig11_curves_with(
-        &FftParams::default(),
-        &[1, 2, 4, 8, 16, 32, 64],
-        9.2,
-    )
+    fig11_curves_with(&FftParams::default(), &[1, 2, 4, 8, 16, 32, 64], 9.2)
 }
 
 #[cfg(test)]

@@ -35,4 +35,6 @@ pub use fig11::{fig11_curves, Fig11Point};
 pub use model::{FftParams, ModelIi};
 pub use table1::{table1, Table1Row};
 pub use table2::{table2, Table2Row};
-pub use table3::{table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4};
+pub use table3::{
+    table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
+};

@@ -143,14 +143,24 @@ mod tests {
     #[test]
     fn model_i_is_k1() {
         // Model I: η = t_c / (P·t_d + t_c) (Eq. 7).
-        let m = ModelIi { p: 4, t_dk: 10.0, t_ck: 100.0, k: 1 };
+        let m = ModelIi {
+            p: 4,
+            t_dk: 10.0,
+            t_ck: 100.0,
+            k: 1,
+        };
         close(m.efficiency(), 100.0 / 140.0, 1e-12);
     }
 
     #[test]
     fn case1_compute_bound_efficiency() {
         // Eq. 15: η = t_c / (P·t_dk + t_c) when P·t_dk <= t_ck.
-        let m = ModelIi { p: 4, t_dk: 5.0, t_ck: 100.0, k: 8 };
+        let m = ModelIi {
+            p: 4,
+            t_dk: 5.0,
+            t_ck: 100.0,
+            k: 8,
+        };
         assert!(m.is_compute_bound());
         close(m.efficiency(), 800.0 / (20.0 + 800.0), 1e-12);
     }
@@ -158,17 +168,36 @@ mod tests {
     #[test]
     fn case2_comm_bound_efficiency() {
         // Eq. 16: η = t_c / (P·k·t_dk + t_ck) when P·t_dk > t_ck.
-        let m = ModelIi { p: 4, t_dk: 50.0, t_ck: 100.0, k: 8 };
+        let m = ModelIi {
+            p: 4,
+            t_dk: 50.0,
+            t_ck: 100.0,
+            k: 8,
+        };
         assert!(!m.is_compute_bound());
         close(m.efficiency(), 800.0 / (4.0 * 8.0 * 50.0 + 100.0), 1e-12);
     }
 
     #[test]
     fn balance_point_is_the_bandwidth_knee() {
-        let base = ModelIi { p: 16, t_dk: 0.0, t_ck: 64.0, k: 8 };
-        let balanced = ModelIi { t_dk: base.balanced_t_dk(), ..base };
-        let under = ModelIi { t_dk: balanced.t_dk * 0.5, ..base };
-        let over = ModelIi { t_dk: balanced.t_dk * 2.0, ..base };
+        let base = ModelIi {
+            p: 16,
+            t_dk: 0.0,
+            t_ck: 64.0,
+            k: 8,
+        };
+        let balanced = ModelIi {
+            t_dk: base.balanced_t_dk(),
+            ..base
+        };
+        let under = ModelIi {
+            t_dk: balanced.t_dk * 0.5,
+            ..base
+        };
+        let over = ModelIi {
+            t_dk: balanced.t_dk * 2.0,
+            ..base
+        };
         // Faster delivery always helps a little (start-up shrinks), but
         // slower-than-balanced delivery stalls compute outright: the drop
         // from balanced→over is far larger than the gain balanced→under.

@@ -101,9 +101,15 @@ mod tests {
     fn wider_rows_amortize_headers() {
         // Doubling S_r halves the transaction count and shrinks total time
         // (header amortization) — the §7 ablation's expectation.
-        let narrow = Table3Params { s_r: 1024, ..Default::default() };
+        let narrow = Table3Params {
+            s_r: 1024,
+            ..Default::default()
+        };
         let base = Table3Params::default();
-        let wide = Table3Params { s_r: 4096, ..Default::default() };
+        let wide = Table3Params {
+            s_r: 4096,
+            ..Default::default()
+        };
         assert!(narrow.pscan_cycles() > base.pscan_cycles());
         assert!(wide.pscan_cycles() < base.pscan_cycles());
     }
@@ -115,6 +121,9 @@ mod tests {
         let p = Table3Params::default();
         let payload = p.total_samples() * p.s_s / p.s_b;
         assert_eq!(payload, 1 << 20);
-        assert_eq!(p.pscan_cycles() - payload, p.transactions() * (p.s_h / p.s_b));
+        assert_eq!(
+            p.pscan_cycles() - payload,
+            p.transactions() * (p.s_h / p.s_b)
+        );
     }
 }

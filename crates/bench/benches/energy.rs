@@ -41,5 +41,9 @@ fn bench_mesh_gather_energy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_photonic_energy_model, bench_mesh_gather_energy);
+criterion_group!(
+    benches,
+    bench_photonic_energy_model,
+    bench_mesh_gather_energy
+);
 criterion_main!(benches);

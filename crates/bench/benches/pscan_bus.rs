@@ -22,7 +22,10 @@ fn bench_sca_gather(c: &mut Criterion) {
     let mut g = c.benchmark_group("sca_gather");
     g.sample_size(10);
     for (nodes, slots_per) in [(64usize, 256usize), (256, 64)] {
-        let p = Pscan::new(PscanConfig { nodes, ..Default::default() });
+        let p = Pscan::new(PscanConfig {
+            nodes,
+            ..Default::default()
+        });
         let spec = GatherSpec::interleaved(nodes, 1, slots_per);
         let data: Vec<Vec<u64>> = (0..nodes).map(|n| vec![n as u64; slots_per]).collect();
         g.bench_with_input(
@@ -38,7 +41,10 @@ fn bench_sca_scatter(c: &mut Criterion) {
     let mut g = c.benchmark_group("sca_scatter");
     g.sample_size(10);
     let nodes = 256;
-    let p = Pscan::new(PscanConfig { nodes, ..Default::default() });
+    let p = Pscan::new(PscanConfig {
+        nodes,
+        ..Default::default()
+    });
     let spec = ScatterSpec::blocked(nodes, 64);
     let burst: Vec<u64> = (0..(nodes * 64) as u64).collect();
     g.bench_function("256x64_blocked", |b| {
@@ -47,5 +53,10 @@ fn bench_sca_scatter(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cp_compile, bench_sca_gather, bench_sca_scatter);
+criterion_group!(
+    benches,
+    bench_cp_compile,
+    bench_sca_gather,
+    bench_sca_scatter
+);
 criterion_main!(benches);

@@ -11,6 +11,7 @@ use analytic::table3::Table3Params;
 use bench::{f, quick_mode, render_table, write_json};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,25 +30,32 @@ fn main() {
     }
     .pscan_cycles();
 
-    let mut points = Vec::new();
-    let mut cells = Vec::new();
-    for depth in [2usize, 4, 8, 16, 64] {
-        eprintln!("buffer depth {depth}...");
-        let mut cfg = MeshConfig::table3(procs, 1);
-        cfg.buffer_depth = depth;
-        let mut mesh = load_transpose(cfg, procs, row_len);
-        let cycles = mesh.run().expect("deadlock").cycles;
-        points.push(Point {
-            buffer_depth: depth,
-            mesh_cycles: cycles,
-            multiplier: cycles as f64 / pscan as f64,
-        });
-        cells.push(vec![
-            depth.to_string(),
-            cycles.to_string(),
-            f(cycles as f64 / pscan as f64, 2),
-        ]);
-    }
+    // Every depth is an independent simulation: sweep in parallel.
+    let points: Vec<Point> = [2usize, 4, 8, 16, 64]
+        .into_par_iter()
+        .map(|depth| {
+            eprintln!("buffer depth {depth}...");
+            let mut cfg = MeshConfig::table3(procs, 1);
+            cfg.buffer_depth = depth;
+            let mut mesh = load_transpose(cfg, procs, row_len);
+            let cycles = mesh.run().expect("deadlock").cycles;
+            Point {
+                buffer_depth: depth,
+                mesh_cycles: cycles,
+                multiplier: cycles as f64 / pscan as f64,
+            }
+        })
+        .collect();
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.buffer_depth.to_string(),
+                p.mesh_cycles.to_string(),
+                f(p.multiplier, 2),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(

@@ -25,7 +25,10 @@ struct Point {
 fn main() {
     let nodes = 64;
     let words_per_node = 256;
-    let pscan = Pscan::new(PscanConfig { nodes, ..Default::default() });
+    let pscan = Pscan::new(PscanConfig {
+        nodes,
+        ..Default::default()
+    });
 
     let mut points = Vec::new();
     let mut cells = Vec::new();
@@ -59,7 +62,13 @@ fn main() {
         "{}",
         render_table(
             &format!("Ablation: CP granularity ({nodes} nodes x {words_per_node} words)"),
-            &["interleave block", "CP entries/node", "CP bits/node", "bus util (%)", "slots"],
+            &[
+                "interleave block",
+                "CP entries/node",
+                "CP bits/node",
+                "bus util (%)",
+                "slots"
+            ],
             &cells
         )
     );

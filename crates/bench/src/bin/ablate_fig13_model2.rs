@@ -53,7 +53,14 @@ fn main() {
         "{}",
         render_table(
             "Ablation: Fig. 13 under Model II delivery (k = 8)",
-            &["cores", "P-sync MI", "P-sync MII", "gain", "mesh MI", "mesh MII"],
+            &[
+                "cores",
+                "P-sync MI",
+                "P-sync MII",
+                "gain",
+                "mesh MI",
+                "mesh MII"
+            ],
             &cells
         )
     );

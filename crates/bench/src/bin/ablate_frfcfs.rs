@@ -24,10 +24,13 @@ struct Point {
 
 fn main() {
     let n = 1usize << 18; // 256k elements
-    // The SCA's stream: linear order, in-order controller.
+                          // The SCA's stream: linear order, in-order controller.
     let ordered = {
         let mut c = FrFcfsController::new(
-            FrFcfsConfig { dram: DramConfig::default(), window: 1 },
+            FrFcfsConfig {
+                dram: DramConfig::default(),
+                window: 1,
+            },
             64,
         );
         c.run((0..n as u64).map(|i| (i, i)))
@@ -45,7 +48,10 @@ fn main() {
     for window in [1usize, 4, 16, 64, 256] {
         eprintln!("window {window}...");
         let mut c = FrFcfsController::new(
-            FrFcfsConfig { dram: DramConfig::default(), window },
+            FrFcfsConfig {
+                dram: DramConfig::default(),
+                window,
+            },
             64,
         );
         let done = c.run(scrambled.clone());

@@ -9,9 +9,10 @@
 
 use analytic::table3::Table3Params;
 use bench::{f, quick_mode, render_table, write_json};
+use emesh::flit::Packet;
 use emesh::mesh::{Mesh, MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
-use emesh::flit::Packet;
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -57,27 +58,37 @@ fn main() {
     };
     let pscan_single = t3.pscan_cycles();
 
-    let mut points = Vec::new();
-    let mut cells = Vec::new();
-    for (ports, placement) in [(1usize, MemifPlacement::SingleCorner), (4, MemifPlacement::FourCorners)] {
+    // Both placements are independent simulations: run them in parallel.
+    let points: Vec<Point> = [
+        (1usize, MemifPlacement::SingleCorner),
+        (4, MemifPlacement::FourCorners),
+    ]
+    .into_par_iter()
+    .map(|(ports, placement)| {
         eprintln!("{ports}-port mesh transpose...");
         let mesh = mesh_transpose(procs, row_len, placement);
-        // P-sync with `ports` banks: one PSCAN bus per bank, each carrying
-        // 1/ports of the transactions in parallel.
+        // P-sync with `ports` banks: one PSCAN bus per bank, each
+        // carrying 1/ports of the transactions in parallel.
         let pscan = pscan_single / ports as u64;
-        points.push(Point {
+        Point {
             ports,
             mesh_cycles: mesh,
             pscan_cycles: pscan,
             multiplier: mesh as f64 / pscan as f64,
-        });
-        cells.push(vec![
-            ports.to_string(),
-            mesh.to_string(),
-            pscan.to_string(),
-            f(mesh as f64 / pscan as f64, 2),
-        ]);
-    }
+        }
+    })
+    .collect();
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.ports.to_string(),
+                p.mesh_cycles.to_string(),
+                p.pscan_cycles.to_string(),
+                f(p.multiplier, 2),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(

@@ -12,11 +12,17 @@ use fft::Complex64;
 use psync::model2::run_model2_rows;
 
 fn main() {
-    let (procs, n) = if quick_mode() { (8usize, 256usize) } else { (16, 1024) };
+    let (procs, n) = if quick_mode() {
+        (8usize, 256usize)
+    } else {
+        (16, 1024)
+    };
     let rows: Vec<Vec<Complex64>> = (0..procs)
         .map(|p| {
             (0..n)
-                .map(|i| Complex64::new(((p * 13 + i) as f64 * 0.19).sin(), (i as f64 * 0.31).cos()))
+                .map(|i| {
+                    Complex64::new(((p * 13 + i) as f64 * 0.19).sin(), (i as f64 * 0.31).cos())
+                })
                 .collect()
         })
         .collect();
@@ -43,7 +49,13 @@ fn main() {
         "{}",
         render_table(
             &format!("Ablation: Model I vs Model II on P-sync ({procs} procs, {n}-pt rows)"),
-            &["k", "Model I (us)", "Model II (us)", "speedup", "Model II eta (%)"],
+            &[
+                "k",
+                "Model I (us)",
+                "Model II (us)",
+                "speedup",
+                "Model II eta (%)"
+            ],
             &cells
         )
     );

@@ -8,6 +8,7 @@
 use bench::{f, quick_mode, render_table, write_json};
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::workloads::load_transpose;
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,42 +22,60 @@ struct Point {
 
 fn main() {
     let sizes: &[usize] = if quick_mode() { &[64] } else { &[64, 256] };
-    let mut points = Vec::new();
-    let mut cells = Vec::new();
-    for &procs in sizes {
-        let row_len = procs;
-        for (name, policy) in [
-            ("xy", RoutingPolicy::Xy),
-            ("adaptive", RoutingPolicy::MinimalAdaptive),
-        ] {
+    let combos: Vec<(usize, &str, RoutingPolicy)> = sizes
+        .iter()
+        .flat_map(|&procs| {
+            [
+                (procs, "xy", RoutingPolicy::Xy),
+                (procs, "adaptive", RoutingPolicy::MinimalAdaptive),
+            ]
+        })
+        .collect();
+    // Each (size, policy) cell is an independent simulation: run them all
+    // in parallel; order is preserved so the table reads as before.
+    let points: Vec<Point> = combos
+        .into_par_iter()
+        .map(|(procs, name, policy)| {
             eprintln!("P = {procs}, {name}...");
+            let row_len = procs;
             let mut cfg = MeshConfig::table3(procs, 1);
             cfg.policy = policy;
             let mut mesh = load_transpose(cfg, procs, row_len);
             mesh.track_latency(64, 4096);
             let res = mesh.run().expect("deadlock");
             let h = res.latency.expect("tracking on");
-            points.push(Point {
+            Point {
                 procs,
                 policy: name.to_string(),
                 cycles: res.cycles,
                 mean_latency: h.mean(),
                 p99_latency: h.quantile(0.99),
-            });
-            cells.push(vec![
-                procs.to_string(),
-                name.to_string(),
-                res.cycles.to_string(),
-                f(h.mean().unwrap_or(0.0), 0),
-                h.quantile(0.99).unwrap_or(0).to_string(),
-            ]);
-        }
-    }
+            }
+        })
+        .collect();
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.procs.to_string(),
+                p.policy.clone(),
+                p.cycles.to_string(),
+                f(p.mean_latency.unwrap_or(0.0), 0),
+                p.p99_latency.unwrap_or(0).to_string(),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(
             "Ablation: routing policy on the transpose hotspot (t_p = 1)",
-            &["P", "policy", "completion (cycles)", "mean pkt latency", "p99 pkt latency"],
+            &[
+                "P",
+                "policy",
+                "completion (cycles)",
+                "mean pkt latency",
+                "p99 pkt latency"
+            ],
             &cells
         )
     );
@@ -64,13 +83,19 @@ fn main() {
     println!("degenerates to XY: the ejection port bounds completion either way.\n");
 
     // Second workload: four-corner gather, where eastbound packets really
-    // do choose between E and N/S by congestion.
-    let mut cells4 = Vec::new();
-    for &procs in sizes {
-        for (name, policy) in [
-            ("xy", RoutingPolicy::Xy),
-            ("adaptive", RoutingPolicy::MinimalAdaptive),
-        ] {
+    // do choose between E and N/S by congestion. Same parallel sweep shape.
+    let combos4: Vec<(usize, &str, RoutingPolicy)> = sizes
+        .iter()
+        .flat_map(|&procs| {
+            [
+                (procs, "xy", RoutingPolicy::Xy),
+                (procs, "adaptive", RoutingPolicy::MinimalAdaptive),
+            ]
+        })
+        .collect();
+    let cells4: Vec<Vec<String>> = combos4
+        .into_par_iter()
+        .map(|(procs, name, policy)| {
             let cfg = emesh::mesh::MeshConfig {
                 topology: emesh::topology::Topology::square(
                     procs,
@@ -86,20 +111,26 @@ fn main() {
             mesh.track_latency(64, 4096);
             let res = mesh.run().expect("deadlock");
             let h = res.latency.expect("tracking on");
-            cells4.push(vec![
+            vec![
                 procs.to_string(),
                 name.to_string(),
                 res.cycles.to_string(),
                 f(h.mean().unwrap_or(0.0), 0),
                 h.quantile(0.99).unwrap_or(0).to_string(),
-            ]);
-        }
-    }
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(
             "Ablation: routing policy, four-corner gather (adaptivity active)",
-            &["P", "policy", "completion (cycles)", "mean pkt latency", "p99 pkt latency"],
+            &[
+                "P",
+                "policy",
+                "completion (cycles)",
+                "mean pkt latency",
+                "p99 pkt latency"
+            ],
             &cells4
         )
     );

@@ -45,7 +45,10 @@ fn main() {
     let mut points = Vec::new();
     let mut cells = Vec::new();
     for s_r in [512u64, 1024, 2048, 4096, 8192] {
-        let p = Table3Params { s_r, ..Default::default() };
+        let p = Table3Params {
+            s_r,
+            ..Default::default()
+        };
         let cycles = p.pscan_cycles();
         let payload = p.total_samples(); // 1 cycle per 64-bit sample
         let overhead = (cycles - payload) as f64 / payload as f64 * 100.0;

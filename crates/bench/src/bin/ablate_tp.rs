@@ -9,6 +9,7 @@ use analytic::table3::Table3Params;
 use bench::{f, quick_mode, render_table, write_json};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,16 +28,30 @@ fn main() {
     }
     .pscan_cycles();
 
-    let mut points = Vec::new();
-    let mut cells = Vec::new();
-    for t_p in 1..=8u64 {
-        eprintln!("t_p = {t_p}...");
-        let mut mesh = load_transpose(MeshConfig::table3(procs, t_p), procs, row_len);
-        let cycles = mesh.run().expect("deadlock").cycles;
-        let multiplier = cycles as f64 / pscan as f64;
-        points.push(Point { t_p, mesh_cycles: cycles, multiplier });
-        cells.push(vec![t_p.to_string(), cycles.to_string(), f(multiplier, 2)]);
-    }
+    // Eight independent simulations: sweep the t_p axis in parallel.
+    let points: Vec<Point> = (1u64..9)
+        .into_par_iter()
+        .map(|t_p| {
+            eprintln!("t_p = {t_p}...");
+            let mut mesh = load_transpose(MeshConfig::table3(procs, t_p), procs, row_len);
+            let cycles = mesh.run().expect("deadlock").cycles;
+            Point {
+                t_p,
+                mesh_cycles: cycles,
+                multiplier: cycles as f64 / pscan as f64,
+            }
+        })
+        .collect();
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.t_p.to_string(),
+                p.mesh_cycles.to_string(),
+                f(p.multiplier, 2),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(

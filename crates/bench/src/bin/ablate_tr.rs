@@ -8,6 +8,7 @@
 use analytic::model::FftParams;
 use analytic::table1::TABLE1_K;
 use bench::{f, render_table, write_json};
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -19,32 +20,41 @@ struct Row {
 }
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut cells = Vec::new();
-    for t_r in [0u64, 1, 2, 4, 8] {
-        let params = FftParams { t_r, ..Default::default() };
-        let (mut peak_k, mut peak) = (1u64, f64::MIN);
-        for &k in &TABLE1_K {
-            let e = params.mesh_efficiency(k);
-            if e > peak {
-                peak = e;
-                peak_k = k;
+    // Each t_r point is an independent curve evaluation: sweep in parallel.
+    let rows: Vec<Row> = [0u64, 1, 2, 4, 8]
+        .into_par_iter()
+        .map(|t_r| {
+            let params = FftParams {
+                t_r,
+                ..Default::default()
+            };
+            let (mut peak_k, mut peak) = (1u64, f64::MIN);
+            for &k in &TABLE1_K {
+                let e = params.mesh_efficiency(k);
+                if e > peak {
+                    peak = e;
+                    peak_k = k;
+                }
             }
-        }
-        let at64 = params.mesh_efficiency(64) * 100.0;
-        rows.push(Row {
-            t_r,
-            peak_k,
-            peak_eta_pct: peak * 100.0,
-            eta_at_k64_pct: at64,
-        });
-        cells.push(vec![
-            t_r.to_string(),
-            peak_k.to_string(),
-            f(peak * 100.0, 2),
-            f(at64, 2),
-        ]);
-    }
+            Row {
+                t_r,
+                peak_k,
+                peak_eta_pct: peak * 100.0,
+                eta_at_k64_pct: params.mesh_efficiency(64) * 100.0,
+            }
+        })
+        .collect();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.t_r.to_string(),
+                r.peak_k.to_string(),
+                f(r.peak_eta_pct, 2),
+                f(r.eta_at_k64_pct, 2),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(

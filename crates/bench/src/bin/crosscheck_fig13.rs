@@ -25,7 +25,11 @@ struct Point {
 }
 
 fn main() {
-    let sizes: &[usize] = if quick_mode() { &[16, 64] } else { &[16, 64, 256] };
+    let sizes: &[usize] = if quick_mode() {
+        &[16, 64]
+    } else {
+        &[16, 64, 256]
+    };
     let mut points = Vec::new();
     let mut cells = Vec::new();
     for &procs in sizes {
@@ -51,11 +55,16 @@ fn main() {
         let machine_ratio = mesh_reorg as f64 / psync_reorg as f64;
 
         // The same ratio from the LLMORE phase model (reorg phase only).
-        let params = SystemParams { n: n as u64, ..Default::default() };
+        let params = SystemParams {
+            n: n as u64,
+            ..Default::default()
+        };
         let lm_mesh = simulate_fft2d(ArchKind::ElectronicMesh, &params, procs as u64)
             .phases
             .reorg;
-        let lm_psync = simulate_fft2d(ArchKind::Psync, &params, procs as u64).phases.reorg;
+        let lm_psync = simulate_fft2d(ArchKind::Psync, &params, procs as u64)
+            .phases
+            .reorg;
         let llmore_ratio = lm_mesh / lm_psync;
 
         points.push(Point {

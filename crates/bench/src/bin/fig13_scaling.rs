@@ -28,7 +28,13 @@ fn main() {
         "{}",
         render_table(
             "Fig. 13: 2-D FFT performance vs cores (1024x1024, 4 memory controllers)",
-            &["cores", "ideal GFLOPS", "P-sync GFLOPS", "mesh GFLOPS", "P-sync/mesh"],
+            &[
+                "cores",
+                "ideal GFLOPS",
+                "P-sync GFLOPS",
+                "mesh GFLOPS",
+                "P-sync/mesh"
+            ],
             &cells
         )
     );

@@ -64,12 +64,7 @@ fn main() {
             pscan_pj_per_bit: pscan,
             ratio,
         });
-        cells.push(vec![
-            n.to_string(),
-            f(mesh, 2),
-            f(pscan, 3),
-            f(ratio, 1),
-        ]);
+        cells.push(vec![n.to_string(), f(mesh, 2), f(pscan, 3), f(ratio, 1)]);
     }
     println!(
         "{}",
@@ -80,8 +75,6 @@ fn main() {
         )
     );
     let min_ratio = points.iter().map(|p| p.ratio).fold(f64::INFINITY, f64::min);
-    println!(
-        "minimum PSCAN advantage: {min_ratio:.1}x (paper: at least 5.2x)"
-    );
+    println!("minimum PSCAN advantage: {min_ratio:.1}x (paper: at least 5.2x)");
     write_json("fig5_energy", &points);
 }

@@ -28,7 +28,15 @@ fn main() {
         "{}",
         render_table(
             "Table I: compute efficiency for zero latency (1024-pt FFT, P = 256)",
-            &["k", "S_b", "t_ck (ns)", "t_cf (ns)", "W_p (Gb/s)", "eta (%)", "paper eta (%)"],
+            &[
+                "k",
+                "S_b",
+                "t_ck (ns)",
+                "t_cf (ns)",
+                "W_p (Gb/s)",
+                "eta (%)",
+                "paper eta (%)"
+            ],
             &cells
         )
     );

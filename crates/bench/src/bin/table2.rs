@@ -83,6 +83,9 @@ fn main() {
         .iter()
         .max_by(|a, b| a.eta_pct.partial_cmp(&b.eta_pct).unwrap())
         .unwrap();
-    println!("peak efficiency: {:.2}% at k = {} (paper: 81.74% at k = 8)", peak.eta_pct, peak.k);
+    println!(
+        "peak efficiency: {:.2}% at k = {} (paper: 81.74% at k = 8)",
+        peak.eta_pct, peak.k
+    );
     write_json("table2", &out_rows);
 }

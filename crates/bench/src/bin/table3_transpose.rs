@@ -19,6 +19,7 @@ use analytic::table3::{
 use bench::{f, quick_mode, render_table, write_json};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -44,7 +45,11 @@ fn mesh_transpose_cycles(procs: usize, row_len: usize, t_p: u64) -> u64 {
 }
 
 fn main() {
-    let (procs, row_len) = if quick_mode() { (256, 256) } else { (1024, 1024) };
+    let (procs, row_len) = if quick_mode() {
+        (256, 256)
+    } else {
+        (1024, 1024)
+    };
 
     // PSCAN closed form, scaled to this configuration.
     let params = Table3Params {
@@ -54,10 +59,15 @@ fn main() {
     };
     let pscan = params.pscan_cycles();
 
-    eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = 1)...");
-    let mesh1 = mesh_transpose_cycles(procs, row_len, 1);
-    eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = 4)...");
-    let mesh4 = mesh_transpose_cycles(procs, row_len, 4);
+    // The two t_p points are independent simulations: run them in parallel.
+    let mesh_cycles: Vec<u64> = [1u64, 4]
+        .into_par_iter()
+        .map(|t_p| {
+            eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = {t_p})...");
+            mesh_transpose_cycles(procs, row_len, t_p)
+        })
+        .collect();
+    let (mesh1, mesh4) = (mesh_cycles[0], mesh_cycles[1]);
 
     let result = Result {
         procs,
@@ -101,7 +111,13 @@ fn main() {
                 "Table III: transpose writeback, P = {procs}, N = {row_len} ({} samples)",
                 procs * row_len
             ),
-            &["network", "t_p", "writeback (cycles)", "multiplier", "paper multiplier"],
+            &[
+                "network",
+                "t_p",
+                "writeback (cycles)",
+                "multiplier",
+                "paper multiplier"
+            ],
             &cells
         )
     );

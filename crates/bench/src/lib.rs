@@ -62,7 +62,8 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
         return;
     }
     let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
@@ -112,7 +113,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(409.6, 1), "409.6");
     }
 }

@@ -130,13 +130,18 @@ mod tests {
     #[test]
     fn total_energy_scales_with_traffic() {
         let p = OrionParams::default();
-        let mut c = EnergyCounters::default();
-        c.router_traversals = 100;
-        c.link_hops = 100;
-        let e1 = p.total_j(&c, 64);
-        c.router_traversals = 200;
-        c.link_hops = 200;
-        let e2 = p.total_j(&c, 64);
+        let c1 = EnergyCounters {
+            router_traversals: 100,
+            link_hops: 100,
+            ..Default::default()
+        };
+        let e1 = p.total_j(&c1, 64);
+        let c2 = EnergyCounters {
+            router_traversals: 200,
+            link_hops: 200,
+            ..Default::default()
+        };
+        let e2 = p.total_j(&c2, 64);
         assert!((e2 / e1 - 2.0).abs() < 1e-9);
     }
 

@@ -127,9 +127,9 @@ impl MemIf {
     fn write_row(&mut self, cycle: u64, row: u64) {
         let start = cycle.max(self.dram_free_at);
         let first_word = row * self.words_per_row;
-        let mut done = self
-            .dram
-            .access_burst(start, first_word, self.words_per_row, AccessKind::Write);
+        let mut done =
+            self.dram
+                .access_burst(start, first_word, self.words_per_row, AccessKind::Write);
         done += self.cfg.header_beats;
         self.dram_free_at = done;
         self.stats.rows_written += 1;
@@ -179,7 +179,10 @@ mod tests {
 
     #[test]
     fn accepts_one_flit_per_cycle_plus_tp() {
-        let mut m = MemIf::new(MemifConfig { t_p: 4, ..Default::default() });
+        let mut m = MemIf::new(MemifConfig {
+            t_p: 4,
+            ..Default::default()
+        });
         let fs = element_flits(0);
         assert!(m.can_accept(0));
         m.accept(0, &fs[0]); // header
@@ -195,7 +198,10 @@ mod tests {
         // Saturated ejection: each 2-flit element occupies the port for
         // exactly 2 + t_p cycles.
         for t_p in [1u64, 4] {
-            let mut m = MemIf::new(MemifConfig { t_p, ..Default::default() });
+            let mut m = MemIf::new(MemifConfig {
+                t_p,
+                ..Default::default()
+            });
             let mut cycle = 0;
             for addr in 0..64u64 {
                 let fs = element_flits(addr);

@@ -18,8 +18,20 @@
 //! seconds while preserving exact cycle semantics. Determinism: wakeups pop
 //! in (cycle, insertion) order and port service order rotates with the
 //! cycle number.
+//!
+//! Wakeups live in a bucketed timing wheel ([`WakeWheel`]): near-future
+//! cycles map to a ring of per-cycle vectors (push/pop are O(1) appends in
+//! insertion order), far-future cycles spill to a small overflow heap.
+//! Redundant wakeups are suppressed at *push* time via a per-router
+//! `next_wake` array: a wake for router `r` at cycle `c` is dropped when a
+//! wake at some cycle ≤ `c` is already pending, because servicing `r` at
+//! the earlier cycle re-derives every later wake condition (a still-future
+//! `ready_at`, a busy reorder unit, a held channel each re-arm their own
+//! wakeup). This preserves the heap scheduler's exact (cycle, insertion)
+//! service order — enforced bit-for-bit by the golden transpose tests —
+//! while skipping most of its queue traffic.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 use sim_core::stats::Histogram;
@@ -66,7 +78,10 @@ impl MeshConfig {
             topology: Topology::square(n, crate::topology::MemifPlacement::SingleCorner),
             t_r: 1,
             policy: RoutingPolicy::MinimalAdaptive,
-            memif: MemifConfig { t_p, ..Default::default() },
+            memif: MemifConfig {
+                t_p,
+                ..Default::default()
+            },
             buffer_depth: crate::router::Router::BUFFER_DEPTH,
             max_cycles: 1 << 36,
         }
@@ -93,8 +108,14 @@ pub enum MeshError {
 impl std::fmt::Display for MeshError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MeshError::Deadlock { at_cycle, in_flight } => {
-                write!(f, "mesh deadlocked at cycle {at_cycle} with {in_flight} flits in flight")
+            MeshError::Deadlock {
+                at_cycle,
+                in_flight,
+            } => {
+                write!(
+                    f,
+                    "mesh deadlocked at cycle {at_cycle} with {in_flight} flits in flight"
+                )
             }
             MeshError::CycleLimit { limit } => write!(f, "mesh exceeded {limit} cycles"),
         }
@@ -147,6 +168,101 @@ impl PartialOrd for Wake {
     }
 }
 
+/// Bucketed timing wheel of router wakeups.
+///
+/// Cycles within [`WakeWheel::WINDOW`] of the wheel cursor land in a ring
+/// of per-cycle buckets; each bucket is a plain `Vec<u32>` of router ids in
+/// insertion order, so draining a bucket front-to-back reproduces the
+/// (cycle, seq) order the old global `BinaryHeap` produced — with O(1)
+/// unordered appends instead of O(log n) sift-ups. Cycles at or beyond the
+/// window (rare: nothing in the simulator wakes more than `t_r`/`t_p` + 1
+/// cycles ahead) spill into a seq-stamped overflow heap and are merged to
+/// the *front* of their bucket on arrival; front is correct because the
+/// cursor is monotone, so every overflow push for a cycle predates every
+/// direct push for it.
+struct WakeWheel {
+    buckets: Vec<Vec<u32>>,
+    /// Cycle the wheel is positioned at; bucket `cursor % WINDOW` holds it.
+    cursor: u64,
+    /// Total entries across all buckets (not counting the overflow heap).
+    bucket_pending: u64,
+    overflow: BinaryHeap<Wake>,
+    seq: u64,
+}
+
+impl WakeWheel {
+    /// Ring size in cycles. Power of two; must exceed the longest
+    /// self-rearm distance (`1 + max(t_r, t_p)` in practice — the overflow
+    /// heap keeps correctness for configs beyond it).
+    const WINDOW: u64 = 64;
+
+    fn new() -> Self {
+        WakeWheel {
+            buckets: (0..Self::WINDOW).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            bucket_pending: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, router: u32, cycle: u64) {
+        debug_assert!(cycle >= self.cursor, "wakeup in the past");
+        if cycle - self.cursor < Self::WINDOW {
+            self.buckets[(cycle % Self::WINDOW) as usize].push(router);
+            self.bucket_pending += 1;
+        } else {
+            self.overflow.push(Wake {
+                cycle,
+                seq: self.seq,
+                router,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Earliest cycle ≥ cursor holding any wakeup, or `None` when drained.
+    fn next_cycle(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        if self.bucket_pending > 0 {
+            for off in 0..Self::WINDOW {
+                let c = self.cursor + off;
+                if !self.buckets[(c % Self::WINDOW) as usize].is_empty() {
+                    best = Some(c);
+                    break;
+                }
+            }
+            debug_assert!(best.is_some(), "pending entries must be in-window");
+        }
+        if let Some(w) = self.overflow.peek() {
+            best = Some(best.map_or(w.cycle, |b| b.min(w.cycle)));
+        }
+        best
+    }
+
+    /// Move the cursor to `c` and merge any overflow entries for `c` in
+    /// front of the direct-push entries already bucketed for it.
+    fn advance_to(&mut self, c: u64) {
+        debug_assert!(c >= self.cursor);
+        self.cursor = c;
+        if self.overflow.peek().is_none_or(|w| w.cycle != c) {
+            return;
+        }
+        let b = (c % Self::WINDOW) as usize;
+        let mut merged: Vec<u32> = Vec::new();
+        while let Some(w) = self.overflow.peek() {
+            debug_assert!(w.cycle >= c, "overflow entry skipped");
+            if w.cycle != c {
+                break;
+            }
+            merged.push(self.overflow.pop().expect("peeked").router);
+        }
+        self.bucket_pending += merged.len() as u64;
+        merged.append(&mut self.buckets[b]);
+        self.buckets[b] = merged;
+    }
+}
+
 /// The mesh simulator.
 pub struct Mesh {
     cfg: MeshConfig,
@@ -162,14 +278,17 @@ pub struct Mesh {
     sink_words: Vec<Vec<u64>>,
     /// Whether sinks retain delivered payload words (tests) or just count.
     collect_sink_words: bool,
-    /// Packet-latency tracking: inject cycle per in-flight packet id.
-    inject_cycle: Option<HashMap<u32, u64>>,
+    /// Packet-latency tracking: inject cycle indexed by packet id
+    /// ([`NEVER`] = not in flight), grown on demand.
+    inject_cycle: Option<Vec<u64>>,
     latency: Option<Histogram>,
-    wakeups: BinaryHeap<Wake>,
-    /// Last cycle each router was processed (wake dedup: a router runs at
-    /// most once per cycle; redundant wakeups pop as no-ops).
+    wheel: WakeWheel,
+    /// Last cycle each router was processed (a router runs at most once per
+    /// cycle; stale wheel entries pop as no-ops).
     processed_at: Vec<u64>,
-    wake_seq: u64,
+    /// Earliest pending wakeup per router ([`NEVER`] = none). Push-time
+    /// dedup: a wake at cycle ≥ this is redundant.
+    next_wake: Vec<u64>,
     in_flight: u64,
     pending_inject: u64,
     energy: EnergyCounters,
@@ -203,9 +322,9 @@ impl Mesh {
             collect_sink_words: false,
             inject_cycle: None,
             latency: None,
-            wakeups: BinaryHeap::new(),
+            wheel: WakeWheel::new(),
             processed_at: vec![NEVER; n],
-            wake_seq: 0,
+            next_wake: vec![NEVER; n],
             in_flight: 0,
             pending_inject: 0,
             energy: EnergyCounters::default(),
@@ -223,17 +342,27 @@ impl Mesh {
     /// Record per-packet inject→eject latency into a histogram
     /// (`bucket_width` cycles per bucket).
     pub fn track_latency(&mut self, bucket_width: u64, buckets: usize) {
-        self.inject_cycle = Some(HashMap::new());
+        self.inject_cycle = Some(Vec::new());
         self.latency = Some(Histogram::new(bucket_width, buckets));
     }
 
     /// Queue `packet` for injection at `node` (flits leave in FIFO order,
     /// one per cycle at best).
+    ///
+    /// Injection may happen between [`Mesh::run`] calls: the node wakes at
+    /// the *current* cycle, or the next one if it was already serviced this
+    /// cycle (a same-cycle wake would pop as already-processed and the new
+    /// traffic would falsely deadlock).
     pub fn inject_packet(&mut self, node: u32, packet: &crate::flit::Packet) {
         let flits = packet.flits();
         self.pending_inject += flits.len() as u64;
         self.inject[node as usize].extend(flits);
-        self.wake(node, 0);
+        let at = if self.processed_at[node as usize] == self.now {
+            self.now + 1
+        } else {
+            self.now
+        };
+        self.wake(node, at);
     }
 
     /// The configuration.
@@ -247,12 +376,21 @@ impl Mesh {
     }
 
     fn wake(&mut self, router: u32, cycle: u64) {
-        self.wakeups.push(Wake {
-            cycle,
-            seq: self.wake_seq,
-            router,
-        });
-        self.wake_seq += 1;
+        let ri = router as usize;
+        if self.next_wake[ri] == cycle {
+            // A wake for this router at this exact cycle is already
+            // pending; the duplicate would pop as a no-op (the first entry
+            // services the router, `processed_at` skips the rest). Dropping
+            // *only* exact duplicates keeps every surviving entry at the
+            // seed scheduler's (cycle, insertion) position — a
+            // stronger-looking "skip if any earlier wake is pending" rule
+            // re-pushes the pair later and reorders same-cycle service.
+            return;
+        }
+        if cycle < self.next_wake[ri] {
+            self.next_wake[ri] = cycle;
+        }
+        self.wheel.push(router, cycle);
     }
 
     fn neighbor(&self, node: u32, port: Port) -> u32 {
@@ -301,8 +439,12 @@ impl Mesh {
                 // buffer; tie prefers x (dimension order).
                 let nx = self.neighbor(node, x);
                 let ny = self.neighbor(node, y);
-                let ox = self.routers[nx as usize].inputs[x.opposite() as usize].buf.len();
-                let oy = self.routers[ny as usize].inputs[y.opposite() as usize].buf.len();
+                let ox = self.routers[nx as usize].inputs[x.opposite() as usize]
+                    .buf
+                    .len();
+                let oy = self.routers[ny as usize].inputs[y.opposite() as usize]
+                    .buf
+                    .len();
                 if oy < ox {
                     y
                 } else {
@@ -339,11 +481,17 @@ impl Mesh {
         flit.ready_at = c + 1 + if flit.kind.is_head() { self.cfg.t_r } else { 0 };
         let ready = flit.ready_at;
         if flit.kind.is_head() {
-            if let Some(map) = self.inject_cycle.as_mut() {
-                map.insert(flit.packet, c);
+            if let Some(t0) = self.inject_cycle.as_mut() {
+                let id = flit.packet as usize;
+                if t0.len() <= id {
+                    t0.resize(id + 1, NEVER);
+                }
+                t0[id] = c;
             }
         }
-        self.routers[ri].inputs[Port::Local as usize].buf.push_back(flit);
+        self.routers[ri].inputs[Port::Local as usize]
+            .buf
+            .push_back(flit);
         self.last_inject[ri] = c;
         self.pending_inject -= 1;
         self.in_flight += 1;
@@ -413,9 +561,12 @@ impl Mesh {
         if !flit.kind.is_tail() {
             return;
         }
-        if let (Some(map), Some(h)) = (self.inject_cycle.as_mut(), self.latency.as_mut()) {
-            if let Some(t0) = map.remove(&flit.packet) {
-                h.record(c - t0);
+        if let (Some(t0), Some(h)) = (self.inject_cycle.as_mut(), self.latency.as_mut()) {
+            if let Some(slot) = t0.get_mut(flit.packet as usize) {
+                if *slot != NEVER {
+                    h.record(c - *slot);
+                    *slot = NEVER;
+                }
             }
         }
     }
@@ -501,17 +652,44 @@ impl Mesh {
     /// Drive the simulation until all traffic drains. Returns completion
     /// cycle and statistics.
     pub fn run(&mut self) -> Result<MeshRunResult, MeshError> {
-        while let Some(w) = self.wakeups.pop() {
-            if w.cycle > self.cfg.max_cycles {
-                return Err(MeshError::CycleLimit { limit: self.cfg.max_cycles });
+        while let Some(c) = self.wheel.next_cycle() {
+            if c > self.cfg.max_cycles {
+                return Err(MeshError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
             }
-            debug_assert!(w.cycle >= self.now, "wakeup in the past");
-            self.now = self.now.max(w.cycle);
-            if self.processed_at[w.router as usize] == w.cycle {
-                continue; // redundant wakeup for a cycle already serviced
+            debug_assert!(c >= self.now, "wakeup in the past");
+            self.now = c;
+            self.wheel.advance_to(c);
+            // Drain the bucket for cycle `c` in insertion order. Every wake
+            // pushed while processing cycle `c` targets a cycle ≥ c + 1, so
+            // the bucket cannot grow (or be reused — c + WINDOW is spilled
+            // to the overflow heap) underneath this loop; take it out
+            // wholesale and hand its allocation back afterwards.
+            let b = (c % WakeWheel::WINDOW) as usize;
+            let mut ids = std::mem::take(&mut self.wheel.buckets[b]);
+            self.wheel.bucket_pending -= ids.len() as u64;
+            for &r in &ids {
+                let ri = r as usize;
+                if self.next_wake[ri] == c {
+                    // This entry is r's earliest pending wake; clear it so
+                    // wakes derived while processing re-arm the wheel.
+                    // (`next_wake > c` means this entry is stale — a later
+                    // pending wake exists and must stay tracked.)
+                    self.next_wake[ri] = NEVER;
+                }
+                if self.processed_at[ri] == c {
+                    continue; // redundant wakeup for a cycle already serviced
+                }
+                self.processed_at[ri] = c;
+                self.process(r, c);
             }
-            self.processed_at[w.router as usize] = w.cycle;
-            self.process(w.router, w.cycle);
+            ids.clear();
+            debug_assert!(
+                self.wheel.buckets[b].is_empty(),
+                "same-cycle wake pushed while draining"
+            );
+            self.wheel.buckets[b] = ids;
         }
         if self.pending_inject > 0 || self.in_flight > 0 {
             return Err(MeshError::Deadlock {
@@ -610,7 +788,10 @@ mod tests {
             // node n sends addresses n*32..(n+1)*32 (its own row).
             for n in 0..16u32 {
                 for e in 0..32u64 {
-                    m.inject_packet(n, &Packet::with_header(0, n * 32 + e as u32, vec![n as u64 * 32 + e]));
+                    m.inject_packet(
+                        n,
+                        &Packet::with_header(0, n * 32 + e as u32, vec![n as u64 * 32 + e]),
+                    );
                 }
             }
             let res = m.run().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
@@ -733,12 +914,52 @@ mod tests {
     }
 
     #[test]
+    fn mid_run_injection_wakes_at_current_cycle() {
+        // Inject, drain, then inject again: the second wave must wake at
+        // the mesh's current cycle (not cycle 0, which is in the past once
+        // the mesh has advanced) and drain to the same sinks.
+        let mut m = Mesh::new(small_cfg(RoutingPolicy::Xy));
+        m.collect_sink_words(true);
+        m.inject_packet(15, &Packet::with_header(12, 0, vec![0xAAAA]));
+        let first = m.run().unwrap();
+        assert_eq!(m.sink_words(12), &[0xAAAA]);
+
+        m.inject_packet(15, &Packet::with_header(12, 1, vec![0xBBBB]));
+        m.inject_packet(3, &Packet::with_header(12, 2, vec![0xCCCC]));
+        let second = m.run().unwrap();
+        assert_eq!(second.sink_delivered[12], 3);
+        assert!(m.sink_words(12).contains(&0xBBBB));
+        assert!(m.sink_words(12).contains(&0xCCCC));
+        // Time moved forward, never backward.
+        assert!(second.cycles > first.cycles);
+    }
+
+    #[test]
+    fn injection_after_wave_completes_does_not_deadlock() {
+        // Many repeated inject+run rounds on the same node: each round's
+        // wake must land at the current cycle even though the node's
+        // processed_at stamp equals `now` right after a run.
+        let mut m = Mesh::new(small_cfg(RoutingPolicy::MinimalAdaptive));
+        let mut last = 0;
+        for round in 0..5u32 {
+            m.inject_packet(15, &Packet::with_header(0, round, vec![round as u64]));
+            let res = m.run().unwrap();
+            assert!(res.cycles > last, "round {round} did not advance");
+            last = res.cycles;
+            assert_eq!(res.memif_stats[0].flits_accepted, 2 * (round as u64 + 1));
+        }
+    }
+
+    #[test]
     fn deterministic_repeat_runs() {
         let run = || {
             let mut m = Mesh::new(small_cfg(RoutingPolicy::MinimalAdaptive));
             for n in 0..16u32 {
                 for e in 0..8u64 {
-                    m.inject_packet(n, &Packet::with_header(0, n * 8 + e as u32, vec![n as u64 * 8 + e]));
+                    m.inject_packet(
+                        n,
+                        &Packet::with_header(0, n * 8 + e as u32, vec![n as u64 * 8 + e]),
+                    );
                 }
             }
             m.run().unwrap().cycles

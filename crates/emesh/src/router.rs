@@ -5,10 +5,13 @@
 //! inter-processor channels"); each output port is a wormhole channel owned
 //! by at most one in-flight packet between its head and tail flits, and
 //! carries at most one flit per cycle.
+//!
+//! Input buffers are fixed-capacity inline rings ([`FlitRing`]) rather than
+//! `VecDeque`s: a flit move touches one cache line of the router it lives
+//! in instead of a separately heap-allocated block, which matters because
+//! buffer push/pop is the hottest operation in the mesh simulator.
 
-use std::collections::VecDeque;
-
-use crate::flit::Flit;
+use crate::flit::{Flit, FlitKind};
 
 /// Port indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,7 +30,13 @@ pub enum Port {
 }
 
 /// All ports, in arbitration order.
-pub const PORTS: [Port; 5] = [Port::Local, Port::North, Port::East, Port::South, Port::West];
+pub const PORTS: [Port; 5] = [
+    Port::Local,
+    Port::North,
+    Port::East,
+    Port::South,
+    Port::West,
+];
 
 /// Number of ports.
 pub const NUM_PORTS: usize = 5;
@@ -50,11 +59,92 @@ impl Port {
     }
 }
 
+/// Fixed-capacity inline FIFO of flits.
+///
+/// Capacity is [`FlitRing::MAX_DEPTH`]; the *logical* buffer depth is
+/// enforced by the mesh via [`Router::has_space_depth`], so one ring type
+/// serves every depth the buffer-ablation sweeps (2..=64). Storage is
+/// inline — no heap allocation, no pointer chase on the hot path.
+#[derive(Debug, Clone)]
+pub struct FlitRing {
+    slots: [Flit; Self::MAX_DEPTH],
+    head: u32,
+    len: u32,
+}
+
+impl Default for FlitRing {
+    fn default() -> Self {
+        const EMPTY: Flit = Flit {
+            dest: 0,
+            payload: 0,
+            kind: FlitKind::HeadTail,
+            packet: 0,
+            ready_at: 0,
+        };
+        FlitRing {
+            slots: [EMPTY; Self::MAX_DEPTH],
+            head: 0,
+            len: 0,
+        }
+    }
+}
+
+impl FlitRing {
+    /// Physical ring capacity; the deepest buffer any experiment configures.
+    pub const MAX_DEPTH: usize = 64;
+
+    const MASK: u32 = Self::MAX_DEPTH as u32 - 1;
+
+    /// Buffered flit count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when nothing is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The oldest buffered flit, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Flit> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.slots[(self.head & Self::MASK) as usize])
+        }
+    }
+
+    /// Append a flit. Panics if the physical capacity is exceeded (the mesh
+    /// checks logical space via [`Router::has_space_depth`] first).
+    #[inline]
+    pub fn push_back(&mut self, flit: Flit) {
+        assert!(self.len() < Self::MAX_DEPTH, "FlitRing overflow");
+        self.slots[((self.head + self.len) & Self::MASK) as usize] = flit;
+        self.len += 1;
+    }
+
+    /// Remove and return the oldest buffered flit.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<Flit> {
+        if self.len == 0 {
+            return None;
+        }
+        let f = self.slots[(self.head & Self::MASK) as usize];
+        self.head = self.head.wrapping_add(1);
+        self.len -= 1;
+        Some(f)
+    }
+}
+
 /// Per-input-port state.
 #[derive(Debug, Clone, Default)]
 pub struct InputPort {
-    /// The buffer (capacity enforced by [`Router::BUFFER_DEPTH`]).
-    pub buf: VecDeque<Flit>,
+    /// The buffer (logical capacity enforced by [`Router::BUFFER_DEPTH`] /
+    /// the configured depth; physical capacity [`FlitRing::MAX_DEPTH`]).
+    pub buf: FlitRing,
     /// Output port assigned to the packet currently flowing through this
     /// input (set when its head is forwarded, cleared at its tail).
     pub route: Option<u8>,
@@ -85,11 +175,26 @@ impl Default for Router {
         Router {
             inputs: Default::default(),
             outputs: [
-                OutputPort { last_used: u64::MAX, ..Default::default() },
-                OutputPort { last_used: u64::MAX, ..Default::default() },
-                OutputPort { last_used: u64::MAX, ..Default::default() },
-                OutputPort { last_used: u64::MAX, ..Default::default() },
-                OutputPort { last_used: u64::MAX, ..Default::default() },
+                OutputPort {
+                    last_used: u64::MAX,
+                    ..Default::default()
+                },
+                OutputPort {
+                    last_used: u64::MAX,
+                    ..Default::default()
+                },
+                OutputPort {
+                    last_used: u64::MAX,
+                    ..Default::default()
+                },
+                OutputPort {
+                    last_used: u64::MAX,
+                    ..Default::default()
+                },
+                OutputPort {
+                    last_used: u64::MAX,
+                    ..Default::default()
+                },
             ],
         }
     }
@@ -180,5 +285,46 @@ mod tests {
     fn flit_kind_roundtrip_via_packet() {
         let f = some_flit();
         assert_eq!(f.kind, FlitKind::HeadTail);
+    }
+
+    #[test]
+    fn flit_ring_fifo_order_and_wraparound() {
+        let mut ring = FlitRing::default();
+        assert!(ring.is_empty());
+        assert!(ring.front().is_none());
+        // Push/pop more than MAX_DEPTH total so head wraps the ring.
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for _ in 0..(FlitRing::MAX_DEPTH * 3) {
+            let mut f = some_flit();
+            f.payload = next;
+            next += 1;
+            ring.push_back(f);
+            let mut g = some_flit();
+            g.payload = next;
+            next += 1;
+            ring.push_back(g);
+            assert_eq!(ring.len(), 2);
+            assert_eq!(ring.front().unwrap().payload, expect);
+            assert_eq!(ring.pop_front().unwrap().payload, expect);
+            assert_eq!(ring.pop_front().unwrap().payload, expect + 1);
+            expect += 2;
+            assert!(ring.is_empty());
+        }
+    }
+
+    #[test]
+    fn flit_ring_holds_max_depth() {
+        let mut ring = FlitRing::default();
+        for i in 0..FlitRing::MAX_DEPTH as u64 {
+            let mut f = some_flit();
+            f.payload = i;
+            ring.push_back(f);
+        }
+        assert_eq!(ring.len(), FlitRing::MAX_DEPTH);
+        for i in 0..FlitRing::MAX_DEPTH as u64 {
+            assert_eq!(ring.pop_front().unwrap().payload, i);
+        }
+        assert!(ring.is_empty());
     }
 }

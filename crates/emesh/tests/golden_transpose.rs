@@ -1,0 +1,127 @@
+//! Golden cycle-exactness tests for the mesh scheduler.
+//!
+//! The numbers below were recorded from the original global-`BinaryHeap`
+//! wakeup scheduler (the seed implementation) on the Table III transpose
+//! workload. Any scheduler or data-layout change — the bucketed timing
+//! wheel, push-time wake dedup, the inline flit rings — must reproduce
+//! them **bit-for-bit**: completion cycle, every `MemifStats` field, every
+//! energy counter, and the packet-latency histogram envelope. A drift of
+//! even one cycle means the event order changed and the simulator is no
+//! longer the one the paper results were produced with.
+
+use emesh::mesh::{MeshConfig, MeshRunResult, RoutingPolicy};
+use emesh::workloads::load_transpose;
+
+/// One recorded seed-scheduler run.
+struct Golden {
+    procs: usize,
+    row_len: usize,
+    policy: RoutingPolicy,
+    t_p: u64,
+    cycles: u64,
+    // MemifStats, in declaration order.
+    flits_accepted: u64,
+    elements: u64,
+    rows_written: u64,
+    dram_done: u64,
+    last_accept: u64,
+    // EnergyCounters.
+    injections: u64,
+    ejections: u64,
+    router_traversals: u64,
+    link_hops: u64,
+    // Latency histogram envelope and total forwards.
+    lat_count: u64,
+    lat_min: u64,
+    lat_max: u64,
+    forwards: u64,
+}
+
+const XY: RoutingPolicy = RoutingPolicy::Xy;
+const AD: RoutingPolicy = RoutingPolicy::MinimalAdaptive;
+
+/// Recorded 2026-08-05 from the seed `BinaryHeap` scheduler (commit
+/// f071ec2), release build. Three transpose sizes × both routing policies
+/// × `t_p` ∈ {1, 4}.
+#[rustfmt::skip]
+const GOLDENS: &[Golden] = &[
+    Golden { procs: 16, row_len: 16, policy: XY, t_p: 1, cycles:   957, flits_accepted:  512, elements:  256, rows_written:   8, dram_done:   957, last_accept:   768, injections:  512, ejections:  512, router_traversals:  2048, link_hops:  1536, lat_count:  256, lat_min: 3, lat_max:   690, forwards:  2048 },
+    Golden { procs: 16, row_len: 16, policy: AD, t_p: 1, cycles:   957, flits_accepted:  512, elements:  256, rows_written:   8, dram_done:   957, last_accept:   768, injections:  512, ejections:  512, router_traversals:  2048, link_hops:  1536, lat_count:  256, lat_min: 3, lat_max:   690, forwards:  2048 },
+    Golden { procs: 16, row_len: 16, policy: XY, t_p: 4, cycles:  1611, flits_accepted:  512, elements:  256, rows_written:   8, dram_done:  1611, last_accept:  1533, injections:  512, ejections:  512, router_traversals:  2048, link_hops:  1536, lat_count:  256, lat_min: 3, lat_max:  1290, forwards:  2048 },
+    Golden { procs: 16, row_len: 16, policy: AD, t_p: 4, cycles:  1611, flits_accepted:  512, elements:  256, rows_written:   8, dram_done:  1611, last_accept:  1533, injections:  512, ejections:  512, router_traversals:  2048, link_hops:  1536, lat_count:  256, lat_min: 3, lat_max:  1290, forwards:  2048 },
+    Golden { procs: 16, row_len: 64, policy: XY, t_p: 1, cycles:  3822, flits_accepted: 2048, elements: 1024, rows_written:  32, dram_done:  3822, last_accept:  3072, injections: 2048, ejections: 2048, router_traversals:  8192, link_hops:  6144, lat_count: 1024, lat_min: 3, lat_max:  2763, forwards:  8192 },
+    Golden { procs: 16, row_len: 64, policy: AD, t_p: 1, cycles:  3822, flits_accepted: 2048, elements: 1024, rows_written:  32, dram_done:  3822, last_accept:  3072, injections: 2048, ejections: 2048, router_traversals:  8192, link_hops:  6144, lat_count: 1024, lat_min: 3, lat_max:  2763, forwards:  8192 },
+    Golden { procs: 16, row_len: 64, policy: XY, t_p: 4, cycles:  6393, flits_accepted: 2048, elements: 1024, rows_written:  32, dram_done:  6393, last_accept:  6141, injections: 2048, ejections: 2048, router_traversals:  8192, link_hops:  6144, lat_count: 1024, lat_min: 3, lat_max:  5070, forwards:  8192 },
+    Golden { procs: 16, row_len: 64, policy: AD, t_p: 4, cycles:  6393, flits_accepted: 2048, elements: 1024, rows_written:  32, dram_done:  6393, last_accept:  6141, injections: 2048, ejections: 2048, router_traversals:  8192, link_hops:  6144, lat_count: 1024, lat_min: 3, lat_max:  5070, forwards:  8192 },
+    Golden { procs: 64, row_len: 64, policy: XY, t_p: 1, cycles: 13980, flits_accepted: 8192, elements: 4096, rows_written: 128, dram_done: 13980, last_accept: 12288, injections: 8192, ejections: 8192, router_traversals: 65536, link_hops: 57344, lat_count: 4096, lat_min: 3, lat_max: 11871, forwards: 65536 },
+    Golden { procs: 64, row_len: 64, policy: AD, t_p: 1, cycles: 13980, flits_accepted: 8192, elements: 4096, rows_written: 128, dram_done: 13980, last_accept: 12288, injections: 8192, ejections: 8192, router_traversals: 65536, link_hops: 57344, lat_count: 4096, lat_min: 3, lat_max: 11871, forwards: 65536 },
+    Golden { procs: 64, row_len: 64, policy: XY, t_p: 4, cycles: 25755, flits_accepted: 8192, elements: 4096, rows_written: 128, dram_done: 25755, last_accept: 24573, injections: 8192, ejections: 8192, router_traversals: 65536, link_hops: 57344, lat_count: 4096, lat_min: 3, lat_max: 23670, forwards: 65536 },
+    Golden { procs: 64, row_len: 64, policy: AD, t_p: 4, cycles: 25755, flits_accepted: 8192, elements: 4096, rows_written: 128, dram_done: 25755, last_accept: 24573, injections: 8192, ejections: 8192, router_traversals: 65536, link_hops: 57344, lat_count: 4096, lat_min: 3, lat_max: 23670, forwards: 65536 },
+];
+
+fn run_case(procs: usize, row_len: usize, policy: RoutingPolicy, t_p: u64) -> MeshRunResult {
+    let mut cfg = MeshConfig::table3(procs, t_p);
+    cfg.policy = policy;
+    let mut mesh = load_transpose(cfg, procs, row_len);
+    mesh.track_latency(8, 512);
+    mesh.run().expect("transpose completes")
+}
+
+#[test]
+fn scheduler_reproduces_seed_cycle_counts_bit_for_bit() {
+    for g in GOLDENS {
+        let tag = format!(
+            "({}, {}, {:?}, t_p={})",
+            g.procs, g.row_len, g.policy, g.t_p
+        );
+        let res = run_case(g.procs, g.row_len, g.policy, g.t_p);
+        assert_eq!(res.cycles, g.cycles, "{tag}: cycles");
+        let s = res.memif_stats[0];
+        assert_eq!(s.flits_accepted, g.flits_accepted, "{tag}: flits_accepted");
+        assert_eq!(s.elements, g.elements, "{tag}: elements");
+        assert_eq!(s.rows_written, g.rows_written, "{tag}: rows_written");
+        assert_eq!(s.dram_done, g.dram_done, "{tag}: dram_done");
+        assert_eq!(s.last_accept, g.last_accept, "{tag}: last_accept");
+        assert_eq!(res.energy.injections, g.injections, "{tag}: injections");
+        assert_eq!(res.energy.ejections, g.ejections, "{tag}: ejections");
+        assert_eq!(
+            res.energy.router_traversals, g.router_traversals,
+            "{tag}: traversals"
+        );
+        assert_eq!(res.energy.link_hops, g.link_hops, "{tag}: link_hops");
+        let h = res.latency.as_ref().expect("tracking enabled");
+        assert_eq!(h.count(), g.lat_count, "{tag}: latency count");
+        assert_eq!(h.min(), Some(g.lat_min), "{tag}: latency min");
+        assert_eq!(h.max(), Some(g.lat_max), "{tag}: latency max");
+        assert_eq!(
+            res.router_forwards.iter().sum::<u64>(),
+            g.forwards,
+            "{tag}: forwards"
+        );
+    }
+}
+
+#[test]
+fn repeated_table3_transpose_is_deterministic() {
+    // Same workload twice under each policy: every observable — completion
+    // cycle, energy counters, per-interface stats, the full latency
+    // histogram, the per-router forward heatmap — must be identical.
+    for policy in [RoutingPolicy::Xy, RoutingPolicy::MinimalAdaptive] {
+        let a = run_case(64, 64, policy, 1);
+        let b = run_case(64, 64, policy, 1);
+        assert_eq!(a.cycles, b.cycles, "{policy:?}: cycles");
+        assert_eq!(a.energy, b.energy, "{policy:?}: energy");
+        assert_eq!(
+            format!("{:?}", a.memif_stats),
+            format!("{:?}", b.memif_stats),
+            "{policy:?}: memif stats"
+        );
+        assert_eq!(
+            format!("{:?}", a.latency),
+            format!("{:?}", b.latency),
+            "{policy:?}: latency histogram"
+        );
+        assert_eq!(a.router_forwards, b.router_forwards, "{policy:?}: heatmap");
+        assert_eq!(a.sink_delivered, b.sink_delivered, "{policy:?}: sinks");
+    }
+}

@@ -29,7 +29,10 @@ impl BlockedFft {
     /// two, `k ≤ n`).
     pub fn new(n: usize, k: usize) -> Self {
         assert!(n.is_power_of_two(), "n must be a power of two");
-        assert!(k.is_power_of_two() && k <= n, "k must be a power of two ≤ n");
+        assert!(
+            k.is_power_of_two() && k <= n,
+            "k must be a power of two ≤ n"
+        );
         BlockedFft {
             plan: Radix2Plan::new(n),
             k,
@@ -284,8 +287,7 @@ mod tests {
     fn double_delivery_rejected() {
         let bf = BlockedFft::new(64, 4);
         let x = signal(64);
-        let samples: Vec<Complex64> =
-            bf.block_source_indices(0).iter().map(|&i| x[i]).collect();
+        let samples: Vec<Complex64> = bf.block_source_indices(0).iter().map(|&i| x[i]).collect();
         let mut st = bf.begin();
         st.deliver_block(0, &samples);
         st.deliver_block(0, &samples);

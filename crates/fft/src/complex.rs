@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn cis_is_unit_magnitude() {
         for k in 0..16 {
-            let theta = k as f64 * 0.3927;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             let w = Complex64::cis(theta);
             assert!((w.abs() - 1.0).abs() < 1e-12);
         }

@@ -112,7 +112,9 @@ impl Fft2d {
     /// column-major DRAM, emitted in c order. `P` = number of rows.
     pub fn transpose_writeback_addresses(rows: usize, cols: usize, r: usize) -> Vec<u64> {
         assert!(r < rows);
-        (0..cols as u64).map(|c| c * rows as u64 + r as u64).collect()
+        (0..cols as u64)
+            .map(|c| c * rows as u64 + r as u64)
+            .collect()
     }
 }
 
@@ -191,7 +193,9 @@ mod tests {
     fn separable_tone_lands_in_one_bin() {
         let n = 16;
         let m = Matrix::from_fn(n, n, |r, c| {
-            Complex64::cis(2.0 * std::f64::consts::PI * (3.0 * r as f64 + 5.0 * c as f64) / n as f64)
+            Complex64::cis(
+                2.0 * std::f64::consts::PI * (3.0 * r as f64 + 5.0 * c as f64) / n as f64,
+            )
         });
         let s = Fft2d::new(n, n).forward(&m);
         for r in 0..n {

@@ -19,7 +19,10 @@ pub struct Radix2Plan {
 impl Radix2Plan {
     /// Plan for transforms of length `n` (a power of two ≥ 1).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "radix-2 FFT needs a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|j| Complex64::cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
             .collect();

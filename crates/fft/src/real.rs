@@ -14,7 +14,10 @@ use crate::radix2::fft_in_place;
 /// complex spectrum (length 2N, conjugate-symmetric).
 pub fn rfft(x: &[f64]) -> Vec<Complex64> {
     let n2 = x.len();
-    assert!(n2 >= 2 && n2.is_multiple_of(2), "rfft needs even length ≥ 2");
+    assert!(
+        n2 >= 2 && n2.is_multiple_of(2),
+        "rfft needs even length ≥ 2"
+    );
     let n = n2 / 2;
     assert!(n.is_power_of_two(), "packed length must be a power of two");
 
@@ -77,7 +80,9 @@ mod tests {
 
     #[test]
     fn spectrum_is_conjugate_symmetric() {
-        let x: Vec<f64> = (0..64).map(|i| (i as f64).cos() * 0.5 + (i as f64 * 0.1).sin()).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| (i as f64).cos() * 0.5 + (i as f64 * 0.1).sin())
+            .collect();
         let s = rfft(&x);
         for k in 1..32 {
             let a = s[k];

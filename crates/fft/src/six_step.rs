@@ -102,7 +102,7 @@ impl SixStepPlan {
             self.col_plan.forward(t.row_mut(r));
         }
         let mut inner = t.transposed(); // n1 x n2, rows indexed by k1
-        // Step 2: twiddles.
+                                        // Step 2: twiddles.
         self.apply_twiddles(&mut inner);
         // Step 3: row FFTs of length n2.
         for r in 0..n1 {

@@ -102,7 +102,7 @@ mod tests {
         let s = SystemParams::default();
         assert!((s.agg_mem_bps() - 320e9).abs() < 1.0);
         assert_eq!(s.matrix_bits() as u64, 1 << 26); // 2^20 samples x 64 b
-        // Streaming the matrix once: 2^26 / 320e9 ≈ 210 µs.
+                                                     // Streaming the matrix once: 2^26 / 320e9 ≈ 210 µs.
         assert!((s.matrix_stream_secs() - 2.097e-4).abs() < 2e-6);
     }
 

@@ -43,7 +43,10 @@ impl RowDistribution {
 
     /// Maximum rows any processor owns (load balance metric).
     pub fn max_load(&self, n: usize, p: usize) -> usize {
-        (0..p).map(|q| self.rows_of(q, n, p).len()).max().unwrap_or(0)
+        (0..p)
+            .map(|q| self.rows_of(q, n, p).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -88,12 +91,7 @@ pub fn predict_efficiency(arch: ArchKind, params: &SystemParams, p: u64, map: &F
 }
 
 /// Search block/cyclic distributions × k ∈ {1..=k_max} for the best map.
-pub fn optimize_map(
-    arch: ArchKind,
-    params: &SystemParams,
-    p: u64,
-    k_max: u64,
-) -> OptimizedMap {
+pub fn optimize_map(arch: ArchKind, params: &SystemParams, p: u64, k_max: u64) -> OptimizedMap {
     let mut best: Option<OptimizedMap> = None;
     let mut k = 1;
     while k <= k_max {
@@ -105,7 +103,10 @@ pub fn optimize_map(
             let map = FftMap { rows, k };
             let eff = predict_efficiency(arch, params, p, &map);
             if best.is_none_or(|b| eff > b.efficiency) {
-                best = Some(OptimizedMap { map, efficiency: eff });
+                best = Some(OptimizedMap {
+                    map,
+                    efficiency: eff,
+                });
             }
         }
         k *= 2;
@@ -142,7 +143,10 @@ mod tests {
         assert_eq!(RowDistribution::Block.owner(63, 64, 8), 7);
         assert_eq!(RowDistribution::Cyclic.owner(9, 64, 8), 1);
         assert_eq!(RowDistribution::BlockCyclic { block: 4 }.owner(4, 64, 8), 1);
-        assert_eq!(RowDistribution::BlockCyclic { block: 4 }.owner(32, 64, 8), 0);
+        assert_eq!(
+            RowDistribution::BlockCyclic { block: 4 }.owner(32, 64, 8),
+            0
+        );
     }
 
     #[test]
@@ -170,7 +174,10 @@ mod tests {
             ArchKind::Psync,
             &params,
             256,
-            &FftMap { rows: RowDistribution::Block, k: 8 },
+            &FftMap {
+                rows: RowDistribution::Block,
+                k: 8,
+            },
         );
         // Same arch, deliberately awful distribution: block-cyclic with a
         // block so large one processor gets everything.

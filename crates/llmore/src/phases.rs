@@ -194,10 +194,7 @@ mod tests {
             let mesh = reorg_phase_secs(ArchKind::ElectronicMesh, &s, p);
             let psync = reorg_phase_secs(ArchKind::Psync, &s, p);
             let ratio = mesh / psync;
-            assert!(
-                (lo..hi).contains(&ratio),
-                "P = {p}: ratio {ratio}"
-            );
+            assert!((lo..hi).contains(&ratio), "P = {p}: ratio {ratio}");
         }
     }
 
@@ -218,8 +215,7 @@ mod tests {
         for kind in [ArchKind::Psync, ArchKind::ElectronicMesh, ArchKind::Ideal] {
             for p in [16u64, 256, 4096] {
                 let m1 = phase_breakdown_with(kind, &s, p, DeliveryModel::ModelI).total();
-                let m2 =
-                    phase_breakdown_with(kind, &s, p, DeliveryModel::ModelII { k: 8 }).total();
+                let m2 = phase_breakdown_with(kind, &s, p, DeliveryModel::ModelII { k: 8 }).total();
                 assert!(m2 <= m1 + 1e-15, "{kind:?} P={p}: {m2} > {m1}");
             }
         }
@@ -230,8 +226,7 @@ mod tests {
         let s = SystemParams::default();
         let m1 = phase_breakdown_with(ArchKind::Psync, &s, 256, DeliveryModel::ModelI).total();
         let m2 =
-            phase_breakdown_with(ArchKind::Psync, &s, 256, DeliveryModel::ModelII { k: 1 })
-                .total();
+            phase_breakdown_with(ArchKind::Psync, &s, 256, DeliveryModel::ModelII { k: 1 }).total();
         assert!((m1 - m2).abs() < 1e-15);
     }
 
@@ -243,9 +238,8 @@ mod tests {
         let s = SystemParams::default();
         let gain = |p: u64| {
             let m1 = phase_breakdown_with(ArchKind::Psync, &s, p, DeliveryModel::ModelI).total();
-            let m2 =
-                phase_breakdown_with(ArchKind::Psync, &s, p, DeliveryModel::ModelII { k: 16 })
-                    .total();
+            let m2 = phase_breakdown_with(ArchKind::Psync, &s, p, DeliveryModel::ModelII { k: 16 })
+                .total();
             (m1 - m2) / m1
         };
         assert!(gain(256) > gain(4u64));

@@ -84,10 +84,7 @@ mod tests {
             .copied()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
-        assert!(
-            (64..=1024).contains(&peak_p),
-            "mesh peak at {peak_p} cores"
-        );
+        assert!((64..=1024).contains(&peak_p), "mesh peak at {peak_p} cores");
         assert!(g(4096) < g(256), "mesh must decline past its peak");
     }
 
@@ -106,7 +103,10 @@ mod tests {
         }
         let r4096 = simulate_fft2d(ArchKind::Psync, &s, 4096).gflops
             / simulate_fft2d(ArchKind::ElectronicMesh, &s, 4096).gflops;
-        assert!(r4096 >= 2.0, "at 4096 cores the gap should exceed 2x: {r4096}");
+        assert!(
+            r4096 >= 2.0,
+            "at 4096 cores the gap should exceed 2x: {r4096}"
+        );
     }
 
     #[test]

@@ -27,7 +27,13 @@ pub enum RowOutcome {
 impl Bank {
     /// Access `row` starting no earlier than `now`; returns
     /// `(completion_cycle, outcome)` for a burst of `beats` bus words.
-    pub fn access(&mut self, cfg: &DramConfig, now: u64, row: u64, beats: u64) -> (u64, RowOutcome) {
+    pub fn access(
+        &mut self,
+        cfg: &DramConfig,
+        now: u64,
+        row: u64,
+        beats: u64,
+    ) -> (u64, RowOutcome) {
         let start = now.max(self.ready_at);
         let (latency, outcome) = match self.open_row {
             Some(r) if r == row => (cfg.t_cas, RowOutcome::Hit),

@@ -111,14 +111,21 @@ mod tests {
 
     #[test]
     fn validation_catches_misconfig() {
-        let mut c = DramConfig::default();
-        c.row_bits = 100; // not a multiple of 64
+        // row_bits not a multiple of 64:
+        let c = DramConfig {
+            row_bits: 100,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = DramConfig::default();
-        c.banks = 0;
+        let c = DramConfig {
+            banks: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = DramConfig::default();
-        c.t_beat = 0;
+        let c = DramConfig {
+            t_beat: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -65,7 +65,10 @@ impl FrFcfsController {
     /// arrival). Returns the completion cycle of the last request.
     pub fn run(&mut self, requests: impl IntoIterator<Item = (u64, u64)>) -> u64 {
         let mut incoming: VecDeque<(u64, u64)> = requests.into_iter().collect();
-        debug_assert!(incoming.iter().zip(incoming.iter().skip(1)).all(|(a, b)| a.0 <= b.0));
+        debug_assert!(incoming
+            .iter()
+            .zip(incoming.iter().skip(1))
+            .all(|(a, b)| a.0 <= b.0));
         let mut window: VecDeque<(u64, u64)> = VecDeque::new();
         let mut now = 0u64;
         let mut last_done = 0u64;
@@ -137,7 +140,10 @@ mod tests {
     fn window_1_matches_in_order_controller() {
         let reqs = scrambled(2048);
         let mut oo = FrFcfsController::new(
-            FrFcfsConfig { window: 1, ..Default::default() },
+            FrFcfsConfig {
+                window: 1,
+                ..Default::default()
+            },
             64,
         );
         let oo_done = oo.run(reqs.clone());
@@ -156,7 +162,10 @@ mod tests {
         let mut results = Vec::new();
         for window in [1usize, 4, 16, 64] {
             let mut c = FrFcfsController::new(
-                FrFcfsConfig { window, ..Default::default() },
+                FrFcfsConfig {
+                    window,
+                    ..Default::default()
+                },
                 64,
             );
             let done = c.run(reqs.clone());
@@ -170,8 +179,20 @@ mod tests {
     #[test]
     fn linear_stream_needs_no_reordering() {
         let reqs: Vec<(u64, u64)> = (0..2048u64).map(|i| (i, i)).collect();
-        let mut narrow = FrFcfsController::new(FrFcfsConfig { window: 1, ..Default::default() }, 64);
-        let mut wide = FrFcfsController::new(FrFcfsConfig { window: 64, ..Default::default() }, 64);
+        let mut narrow = FrFcfsController::new(
+            FrFcfsConfig {
+                window: 1,
+                ..Default::default()
+            },
+            64,
+        );
+        let mut wide = FrFcfsController::new(
+            FrFcfsConfig {
+                window: 64,
+                ..Default::default()
+            },
+            64,
+        );
         let a = narrow.run(reqs.clone());
         let b = wide.run(reqs);
         assert_eq!(a, b, "reordering can't improve an already-linear stream");
@@ -182,9 +203,21 @@ mod tests {
         // Even a wide window on scrambled input stays behind the same
         // requests in linear order — the SCA's whole point.
         let n = 4096;
-        let mut wide = FrFcfsController::new(FrFcfsConfig { window: 64, ..Default::default() }, 64);
+        let mut wide = FrFcfsController::new(
+            FrFcfsConfig {
+                window: 64,
+                ..Default::default()
+            },
+            64,
+        );
         let scrambled_done = wide.run(scrambled(n));
-        let mut lin = FrFcfsController::new(FrFcfsConfig { window: 1, ..Default::default() }, 64);
+        let mut lin = FrFcfsController::new(
+            FrFcfsConfig {
+                window: 1,
+                ..Default::default()
+            },
+            64,
+        );
         let linear_done = lin.run((0..n as u64).map(|i| (i, i)));
         assert!(
             scrambled_done > linear_done + (linear_done / 5),

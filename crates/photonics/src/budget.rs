@@ -71,9 +71,7 @@ impl LinkBudget {
     ) -> Self {
         // One active modulator (the sender) and one drop filter (the
         // receiver) are always in the path, plus ~1 dB of coupling.
-        let fixed = modulator.insertion_loss
-            + modulator.ring.drop_loss
-            + DbLoss::from_db(1.0);
+        let fixed = modulator.insertion_loss + modulator.ring.drop_loss + DbLoss::from_db(1.0);
         LinkBudget {
             input_power: laser_output,
             sensitivity: photodiode.sensitivity,
@@ -200,7 +198,10 @@ mod tests {
 
         let lossy = default_budget(layout.pitch_mm());
         let reps = lossy.segments_with_repeaters(1024);
-        assert!((1..=3).contains(&reps), "expected 1-3 repeaters, got {reps}");
+        assert!(
+            (1..=3).contains(&reps),
+            "expected 1-3 repeaters, got {reps}"
+        );
 
         let low_loss = LinkBudget::new(
             Laser::default().output,

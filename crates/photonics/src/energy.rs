@@ -94,9 +94,7 @@ impl PhotonicEnergyModel {
         let span_mm = layout.bus_length_mm() / (repeaters + 1) as f64;
         let span_loss = self.modulator.pass_loss().db() * span_nodes as f64
             + self.waveguide_loss_db_per_cm * span_mm / 10.0;
-        let fixed = self.modulator.insertion_loss.db()
-            + self.modulator.ring.drop_loss.db()
-            + 1.0; // coupler
+        let fixed = self.modulator.insertion_loss.db() + self.modulator.ring.drop_loss.db() + 1.0; // coupler
         let need = self.photodiode.sensitivity.dbm() + span_loss + fixed + self.margin_db;
         (need <= MAX_LAUNCH_DBM).then(|| OpticalPower::from_dbm(need))
     }
@@ -156,8 +154,7 @@ impl PhotonicEnergyModel {
         // Dynamic, already per-bit (convert fJ -> pJ).
         let modulator_pj = self.modulator.energy_fj_per_bit * 1e-3;
         // Receiver energy: final detector plus one extra O-E-O per repeater.
-        let receiver_pj =
-            self.photodiode.energy_fj_per_bit * 1e-3 * (1.0 + repeaters as f64);
+        let receiver_pj = self.photodiode.energy_fj_per_bit * 1e-3 * (1.0 + repeaters as f64);
 
         EnergyBreakdown {
             laser_pj_per_bit: laser_elec_w / agg_bps * 1e12,

@@ -156,7 +156,11 @@ mod tests {
         // standard 50 GHz grid (plenty for 10 Gb/s modulation).
         let r = RingSpectrum::default();
         let check = check_plan(&r, 32, 50.0);
-        assert!(check.fsr_occupancy < 0.7, "occupancy {}", check.fsr_occupancy);
+        assert!(
+            check.fsr_occupancy < 0.7,
+            "occupancy {}",
+            check.fsr_occupancy
+        );
         assert!(
             check.adjacent_suppression_db > 13.0,
             "adjacent suppression {}",

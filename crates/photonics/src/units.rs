@@ -155,10 +155,7 @@ mod tests {
 
     #[test]
     fn losses_accumulate() {
-        let total: DbLoss = [1.0, 0.5, 0.25]
-            .iter()
-            .map(|&d| DbLoss::from_db(d))
-            .sum();
+        let total: DbLoss = [1.0, 0.5, 0.25].iter().map(|&d| DbLoss::from_db(d)).sum();
         close(total.db(), 1.75);
     }
 

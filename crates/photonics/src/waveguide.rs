@@ -122,7 +122,11 @@ impl ChipLayout {
     /// Taps are evenly pitched with half-pitch margins at both ends, so the
     /// inter-tap pitch equals `bus_length / nodes` — the `D_m` of Eq. (2).
     pub fn tap_position_mm(&self, i: usize) -> f64 {
-        assert!(i < self.nodes, "tap {i} out of range ({} nodes)", self.nodes);
+        assert!(
+            i < self.nodes,
+            "tap {i} out of range ({} nodes)",
+            self.nodes
+        );
         let pitch = self.pitch_mm();
         pitch * (i as f64 + 0.5)
     }

@@ -43,7 +43,10 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::WrongDirection { index } => {
-                write!(f, "message {index} flows upstream: impossible on a directional bus")
+                write!(
+                    f,
+                    "message {index} flows upstream: impossible on a directional bus"
+                )
             }
             PlanError::FrameFull { deficit } => {
                 write!(f, "frame too small: {deficit} more slots needed")
@@ -94,7 +97,10 @@ impl TdmPlanner {
         assert!(node < self.nodes, "node {node} out of range");
         assert!(start + len <= self.frame_len, "reservation exceeds frame");
         for &(s, l, _) in &self.reserved {
-            assert!(start + len <= s || s + l <= start, "overlapping reservation");
+            assert!(
+                start + len <= s || s + l <= start,
+                "overlapping reservation"
+            );
         }
         self.reserved.push((start, len, node));
         self
@@ -126,7 +132,11 @@ impl TdmPlanner {
         let mut drive: Vec<Vec<CpEntry>> = vec![Vec::new(); self.nodes];
         let mut listen: Vec<Vec<CpEntry>> = vec![Vec::new(); self.nodes];
         for &(s, l, n) in &res {
-            drive[n].push(CpEntry { start: s, len: l, action: CpAction::Drive });
+            drive[n].push(CpEntry {
+                start: s,
+                len: l,
+                action: CpAction::Drive,
+            });
         }
 
         let mut message_slots = Vec::with_capacity(messages.len());
@@ -149,8 +159,16 @@ impl TdmPlanner {
                 if first.is_none() {
                     first = Some(start);
                 }
-                drive[m.src].push(CpEntry { start, len: take, action: CpAction::Drive });
-                listen[m.dst].push(CpEntry { start, len: take, action: CpAction::Listen });
+                drive[m.src].push(CpEntry {
+                    start,
+                    len: take,
+                    action: CpAction::Drive,
+                });
+                listen[m.dst].push(CpEntry {
+                    start,
+                    len: take,
+                    action: CpAction::Listen,
+                });
                 run.0 += take;
                 run.1 -= take;
                 need -= take;
@@ -164,9 +182,7 @@ impl TdmPlanner {
             let mut entries = drive[n].clone();
             entries.extend(listen[n].iter().copied());
             entries.sort_by_key(|e| e.start);
-            programs.push(
-                CommProgram::new(entries).expect("planner produced overlapping entries"),
-            );
+            programs.push(CommProgram::new(entries).expect("planner produced overlapping entries"));
         }
         Ok(FramePlan {
             programs,
@@ -189,8 +205,16 @@ mod tests {
         p.reserve(1, 8, 8); // an SCA share in the middle of the frame
         let plan = p
             .plan(&[
-                Message { src: 0, dst: 3, words: 8 },
-                Message { src: 0, dst: 2, words: 10 },
+                Message {
+                    src: 0,
+                    dst: 3,
+                    words: 8,
+                },
+                Message {
+                    src: 0,
+                    dst: 2,
+                    words: 10,
+                },
             ])
             .unwrap();
         // First message fits before the reservation; second wraps past it.
@@ -205,7 +229,11 @@ mod tests {
         let mut p = TdmPlanner::new(4, 16);
         p.reserve(2, 0, 4);
         let plan = p
-            .plan(&[Message { src: 0, dst: 1, words: 3 }])
+            .plan(&[Message {
+                src: 0,
+                dst: 1,
+                words: 3,
+            }])
             .unwrap();
         let bus = BusSim::new(ChipLayout::square(20.0, 4), WavelengthPlan::paper_320g());
         // Node 2 drives its SCA share; node 0 drives the message.
@@ -213,15 +241,30 @@ mod tests {
         let out = bus.transact(&plan.programs, &data).unwrap();
         assert_eq!(out.delivered[1], vec![100, 101, 102]);
         // SCA share coalesces at the terminus untouched.
-        assert_eq!(out.gather.received[0..4], [Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(
+            out.gather.received[0..4],
+            [Some(1), Some(2), Some(3), Some(4)]
+        );
     }
 
     #[test]
     fn upstream_messages_rejected() {
         let p = TdmPlanner::new(4, 16);
-        let err = p.plan(&[Message { src: 3, dst: 1, words: 1 }]).unwrap_err();
+        let err = p
+            .plan(&[Message {
+                src: 3,
+                dst: 1,
+                words: 1,
+            }])
+            .unwrap_err();
         assert_eq!(err, PlanError::WrongDirection { index: 0 });
-        let err = p.plan(&[Message { src: 2, dst: 2, words: 1 }]).unwrap_err();
+        let err = p
+            .plan(&[Message {
+                src: 2,
+                dst: 2,
+                words: 1,
+            }])
+            .unwrap_err();
         assert_eq!(err, PlanError::WrongDirection { index: 0 });
     }
 
@@ -229,7 +272,13 @@ mod tests {
     fn overfull_frame_rejected() {
         let mut p = TdmPlanner::new(2, 8);
         p.reserve(0, 0, 6);
-        let err = p.plan(&[Message { src: 0, dst: 1, words: 4 }]).unwrap_err();
+        let err = p
+            .plan(&[Message {
+                src: 0,
+                dst: 1,
+                words: 4,
+            }])
+            .unwrap_err();
         assert_eq!(err, PlanError::FrameFull { deficit: 2 });
     }
 

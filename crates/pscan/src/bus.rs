@@ -71,7 +71,11 @@ pub enum BusError {
 impl std::fmt::Display for BusError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BusError::Collision { slot, first, second } => write!(
+            BusError::Collision {
+                slot,
+                first,
+                second,
+            } => write!(
                 f,
                 "wavefront collision on slot {slot}: node {second} over node {first}"
             ),
@@ -79,7 +83,11 @@ impl std::fmt::Display for BusError {
                 write!(f, "node {node} drives {need} slots but holds {have} words")
             }
             BusError::BadNode { node } => write!(f, "CP references nonexistent node {node}"),
-            BusError::Unreachable { slot, driver, listener } => {
+            BusError::Unreachable {
+                slot,
+                driver,
+                listener,
+            } => {
                 if *driver == usize::MAX {
                     write!(f, "node {listener} listens to dark slot {slot}")
                 } else {
@@ -270,7 +278,14 @@ impl BusSim {
                     let e = (-err) as u64;
                     Time::from_ps(ideal.as_ps().saturating_sub(e))
                 };
-                q.schedule(actual, Ev::Modulate { node, slot: eff, word });
+                q.schedule(
+                    actual,
+                    Ev::Modulate {
+                        node,
+                        slot: eff,
+                        word,
+                    },
+                );
                 max_slot = max_slot.max(eff);
             }
         }
@@ -292,7 +307,11 @@ impl BusSim {
                 Ev::Modulate { node, slot, word } => {
                     let cell = &mut owner[slot as usize];
                     if let Some(first) = *cell {
-                        return Err(BusError::Collision { slot, first, second: node });
+                        return Err(BusError::Collision {
+                            slot,
+                            first,
+                            second: node,
+                        });
                     }
                     *cell = Some(node);
                     received[slot as usize] = Some(word);
@@ -390,7 +409,11 @@ impl BusSim {
                         q.schedule(t, Ev::Deliver { node, slot });
                     }
                     Some(driver) => {
-                        return Err(BusError::Unreachable { slot, driver, listener: node });
+                        return Err(BusError::Unreachable {
+                            slot,
+                            driver,
+                            listener: node,
+                        });
                     }
                     None => {
                         return Err(BusError::Unreachable {
@@ -491,7 +514,10 @@ mod tests {
     use crate::cp::CpEntry;
 
     fn bus(nodes: usize) -> BusSim {
-        BusSim::new(ChipLayout::square(20.0, nodes), WavelengthPlan::paper_320g())
+        BusSim::new(
+            ChipLayout::square(20.0, nodes),
+            WavelengthPlan::paper_320g(),
+        )
     }
 
     #[test]
@@ -529,13 +555,19 @@ mod tests {
     #[test]
     fn collision_is_detected() {
         let b = bus(2);
-        let cp0 = CommProgram::new(vec![CpEntry { start: 0, len: 2, action: CpAction::Drive }])
-            .unwrap();
-        let cp1 = CommProgram::new(vec![CpEntry { start: 1, len: 1, action: CpAction::Drive }])
-            .unwrap();
-        let err = b
-            .gather(&[cp0, cp1], &[vec![1, 2], vec![3]])
-            .unwrap_err();
+        let cp0 = CommProgram::new(vec![CpEntry {
+            start: 0,
+            len: 2,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
+        let cp1 = CommProgram::new(vec![CpEntry {
+            start: 1,
+            len: 1,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
+        let err = b.gather(&[cp0, cp1], &[vec![1, 2], vec![3]]).unwrap_err();
         match err {
             BusError::Collision { slot: 1, .. } => {}
             other => panic!("expected collision on slot 1, got {other:?}"),
@@ -545,12 +577,20 @@ mod tests {
     #[test]
     fn underrun_is_detected() {
         let b = bus(1);
-        let cp = CommProgram::new(vec![CpEntry { start: 0, len: 5, action: CpAction::Drive }])
-            .unwrap();
+        let cp = CommProgram::new(vec![CpEntry {
+            start: 0,
+            len: 5,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
         let err = b.gather(&[cp], &[vec![1, 2]]).unwrap_err();
         assert_eq!(
             err,
-            BusError::DataUnderrun { node: 0, have: 2, need: 5 }
+            BusError::DataUnderrun {
+                node: 0,
+                have: 2,
+                need: 5
+            }
         );
     }
 
@@ -558,10 +598,18 @@ mod tests {
     fn gaps_lower_utilization() {
         let b = bus(2);
         // Drive slots 0 and 2, leave 1 dark.
-        let cp0 = CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Drive }])
-            .unwrap();
-        let cp1 = CommProgram::new(vec![CpEntry { start: 2, len: 1, action: CpAction::Drive }])
-            .unwrap();
+        let cp0 = CommProgram::new(vec![CpEntry {
+            start: 0,
+            len: 1,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
+        let cp1 = CommProgram::new(vec![CpEntry {
+            start: 2,
+            len: 1,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
         let out = b.gather(&[cp0, cp1], &[vec![7], vec![9]]).unwrap();
         assert_eq!(out.received, vec![Some(7), None, Some(9)]);
         assert!((out.utilization - 2.0 / 3.0).abs() < 1e-12);
@@ -589,8 +637,12 @@ mod tests {
         let b = bus(8);
         // Both nodes listen to one early slot each, same index distance.
         let mk = |slot| {
-            CommProgram::new(vec![CpEntry { start: slot, len: 1, action: CpAction::Listen }])
-                .unwrap()
+            CommProgram::new(vec![CpEntry {
+                start: slot,
+                len: 1,
+                action: CpAction::Listen,
+            }])
+            .unwrap()
         };
         let cps = vec![mk(0), mk(0)]; // wait: two nodes listening same slot is legal (multicast)
         let out = b.scatter(&cps, &[42]).unwrap();
@@ -604,8 +656,12 @@ mod tests {
     #[test]
     fn scatter_slot_out_of_range_errors() {
         let b = bus(2);
-        let cp = CommProgram::new(vec![CpEntry { start: 9, len: 1, action: CpAction::Listen }])
-            .unwrap();
+        let cp = CommProgram::new(vec![CpEntry {
+            start: 9,
+            len: 1,
+            action: CpAction::Listen,
+        }])
+        .unwrap();
         assert!(matches!(
             b.scatter(&[cp], &[1, 2, 3]),
             Err(BusError::DataUnderrun { .. })
@@ -623,10 +679,18 @@ mod tests {
         // Node 0 and node 63 are ~half a bus apart; flight between them far
         // exceeds one 100 ps slot. Give node 63 early slots and node 0 late
         // slots so their absolute modulation windows overlap.
-        let cp63 =
-            CommProgram::new(vec![CpEntry { start: 0, len: 8, action: CpAction::Drive }]).unwrap();
-        let cp0 =
-            CommProgram::new(vec![CpEntry { start: 8, len: 8, action: CpAction::Drive }]).unwrap();
+        let cp63 = CommProgram::new(vec![CpEntry {
+            start: 0,
+            len: 8,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
+        let cp0 = CommProgram::new(vec![CpEntry {
+            start: 8,
+            len: 8,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
         let mut cps = vec![CommProgram::empty(); 64];
         cps[63] = cp63;
         cps[0] = cp0;
@@ -650,7 +714,9 @@ mod tests {
         let mut b = bus(3);
         b.set_timing_error(0, 40); // 40 ps on a 100 ps slot
         b.set_timing_error(1, -45);
-        let spec = GatherSpec { slot_source: vec![0, 0, 1, 1, 0, 0] };
+        let spec = GatherSpec {
+            slot_source: vec![0, 0, 1, 1, 0, 0],
+        };
         let cps = CpCompiler.compile_gather(&spec, 3);
         let data = vec![vec![0xA, 0xB, 0xE, 0xF], vec![0xC, 0xD], vec![]];
         let out = b.gather(&cps, &data).unwrap();
@@ -665,7 +731,9 @@ mod tests {
         // wavefront — colliding with its neighbour's share.
         let mut b = bus(3);
         b.set_timing_error(0, 110); // > half of the 100 ps slot
-        let spec = GatherSpec { slot_source: vec![0, 0, 1, 1] };
+        let spec = GatherSpec {
+            slot_source: vec![0, 0, 1, 1],
+        };
         let cps = CpCompiler.compile_gather(&spec, 3);
         let data = vec![vec![0xA, 0xB], vec![0xC, 0xD], vec![]];
         match b.gather(&cps, &data) {
@@ -680,7 +748,9 @@ mod tests {
         // it) but the burst is no longer gap-free.
         let mut b = bus(2);
         b.set_timing_error(1, 120); // rounds to a one-wavefront shift
-        let spec = GatherSpec { slot_source: vec![0, 0, 1, 1] };
+        let spec = GatherSpec {
+            slot_source: vec![0, 0, 1, 1],
+        };
         let cps = CpCompiler.compile_gather(&spec, 2);
         let data = vec![vec![1, 2], vec![3, 4]];
         let out = b.gather(&cps, &data).unwrap();
@@ -697,16 +767,35 @@ mod tests {
         let b = bus(4);
         let mk = |entries: Vec<CpEntry>| CommProgram::new(entries).unwrap();
         let cps = vec![
-            mk(vec![CpEntry { start: 0, len: 2, action: CpAction::Drive }]),
-            mk(vec![CpEntry { start: 2, len: 1, action: CpAction::Drive }]),
-            mk(vec![CpEntry { start: 2, len: 1, action: CpAction::Listen }]),
-            mk(vec![CpEntry { start: 0, len: 2, action: CpAction::Listen }]),
+            mk(vec![CpEntry {
+                start: 0,
+                len: 2,
+                action: CpAction::Drive,
+            }]),
+            mk(vec![CpEntry {
+                start: 2,
+                len: 1,
+                action: CpAction::Drive,
+            }]),
+            mk(vec![CpEntry {
+                start: 2,
+                len: 1,
+                action: CpAction::Listen,
+            }]),
+            mk(vec![CpEntry {
+                start: 0,
+                len: 2,
+                action: CpAction::Listen,
+            }]),
         ];
         let data = vec![vec![10, 11], vec![22], vec![], vec![]];
         let out = b.transact(&cps, &data).unwrap();
         assert_eq!(out.delivered[2], vec![22]);
         assert_eq!(out.delivered[3], vec![10, 11]);
-        assert!(out.completion[3].unwrap() > out.completion[2].unwrap() || true);
+        // Node 2's last listen slot (slot 2) launches after node 3's pair
+        // (slots 0–1), but node 3 sits further down the waveguide and its
+        // tap skew exceeds the slot period, so node 3 completes later.
+        assert!(out.completion[3].unwrap() > out.completion[2].unwrap());
         // The terminus still sees the full coalesced stream.
         assert_eq!(out.gather.received, vec![Some(10), Some(11), Some(22)]);
     }
@@ -718,16 +807,28 @@ mod tests {
         let b = bus(3);
         let cps = vec![
             CommProgram::empty(),
-            CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Listen }])
-                .unwrap(),
-            CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Drive }])
-                .unwrap(),
+            CommProgram::new(vec![CpEntry {
+                start: 0,
+                len: 1,
+                action: CpAction::Listen,
+            }])
+            .unwrap(),
+            CommProgram::new(vec![CpEntry {
+                start: 0,
+                len: 1,
+                action: CpAction::Drive,
+            }])
+            .unwrap(),
         ];
         let data = vec![vec![], vec![], vec![7]];
         let err = b.transact(&cps, &data).unwrap_err();
         assert_eq!(
             err,
-            BusError::Unreachable { slot: 0, driver: 2, listener: 1 }
+            BusError::Unreachable {
+                slot: 0,
+                driver: 2,
+                listener: 1
+            }
         );
     }
 
@@ -735,10 +836,18 @@ mod tests {
     fn transact_rejects_dark_slot_listening() {
         let b = bus(2);
         let cps = vec![
-            CommProgram::new(vec![CpEntry { start: 0, len: 1, action: CpAction::Drive }])
-                .unwrap(),
-            CommProgram::new(vec![CpEntry { start: 5, len: 1, action: CpAction::Listen }])
-                .unwrap(),
+            CommProgram::new(vec![CpEntry {
+                start: 0,
+                len: 1,
+                action: CpAction::Drive,
+            }])
+            .unwrap(),
+            CommProgram::new(vec![CpEntry {
+                start: 5,
+                len: 1,
+                action: CpAction::Listen,
+            }])
+            .unwrap(),
         ];
         let err = b.transact(&cps, &[vec![1], vec![]]).unwrap_err();
         assert!(matches!(err, BusError::Unreachable { slot: 5, .. }));
@@ -748,7 +857,10 @@ mod tests {
     fn empty_gather_is_empty() {
         let b = bus(2);
         let out = b
-            .gather(&[CommProgram::empty(), CommProgram::empty()], &[vec![], vec![]])
+            .gather(
+                &[CommProgram::empty(), CommProgram::empty()],
+                &[vec![], vec![]],
+            )
             .unwrap();
         assert!(out.received.iter().all(|w| w.is_none()) || out.received.is_empty());
         assert_eq!(out.bits, 0);

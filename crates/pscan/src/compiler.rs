@@ -187,13 +187,25 @@ mod tests {
         assert_eq!(
             cps[0].entries(),
             &[
-                CpEntry { start: 0, len: 2, action: CpAction::Drive },
-                CpEntry { start: 4, len: 2, action: CpAction::Drive },
+                CpEntry {
+                    start: 0,
+                    len: 2,
+                    action: CpAction::Drive
+                },
+                CpEntry {
+                    start: 4,
+                    len: 2,
+                    action: CpAction::Drive
+                },
             ]
         );
         assert_eq!(
             cps[1].entries(),
-            &[CpEntry { start: 2, len: 2, action: CpAction::Drive }]
+            &[CpEntry {
+                start: 2,
+                len: 2,
+                action: CpAction::Drive
+            }]
         );
     }
 
@@ -209,10 +221,18 @@ mod tests {
 
     #[test]
     fn audit_catches_overlap() {
-        let a = CommProgram::new(vec![CpEntry { start: 0, len: 4, action: CpAction::Drive }])
-            .unwrap();
-        let b = CommProgram::new(vec![CpEntry { start: 3, len: 2, action: CpAction::Drive }])
-            .unwrap();
+        let a = CommProgram::new(vec![CpEntry {
+            start: 0,
+            len: 4,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
+        let b = CommProgram::new(vec![CpEntry {
+            start: 3,
+            len: 2,
+            action: CpAction::Drive,
+        }])
+        .unwrap();
         assert_eq!(CpCompiler::audit_disjoint(&[a, b]), Err(3));
     }
 

@@ -215,8 +215,16 @@ mod tests {
     #[test]
     fn rejects_overlap() {
         let err = CommProgram::new(vec![
-            CpEntry { start: 0, len: 3, action: CpAction::Drive },
-            CpEntry { start: 2, len: 1, action: CpAction::Drive },
+            CpEntry {
+                start: 0,
+                len: 3,
+                action: CpAction::Drive,
+            },
+            CpEntry {
+                start: 2,
+                len: 1,
+                action: CpAction::Drive,
+            },
         ])
         .unwrap_err();
         assert_eq!(err, CpError::OverlapOrDisorder { index: 1 });
@@ -225,8 +233,16 @@ mod tests {
     #[test]
     fn rejects_disorder() {
         let err = CommProgram::new(vec![
-            CpEntry { start: 5, len: 1, action: CpAction::Drive },
-            CpEntry { start: 0, len: 1, action: CpAction::Drive },
+            CpEntry {
+                start: 5,
+                len: 1,
+                action: CpAction::Drive,
+            },
+            CpEntry {
+                start: 0,
+                len: 1,
+                action: CpAction::Drive,
+            },
         ])
         .unwrap_err();
         assert_eq!(err, CpError::OverlapOrDisorder { index: 1 });

@@ -90,21 +90,13 @@ impl Pscan {
     }
 
     /// Compile and execute a gather in one call.
-    pub fn gather(
-        &self,
-        spec: &GatherSpec,
-        data: &[Vec<u64>],
-    ) -> Result<GatherOutcome, BusError> {
+    pub fn gather(&self, spec: &GatherSpec, data: &[Vec<u64>]) -> Result<GatherOutcome, BusError> {
         let cps = CpCompiler.compile_gather(spec, self.cfg.nodes);
         self.bus.gather(&cps, data)
     }
 
     /// Compile and execute a scatter in one call.
-    pub fn scatter(
-        &self,
-        spec: &ScatterSpec,
-        burst: &[u64],
-    ) -> Result<ScatterOutcome, BusError> {
+    pub fn scatter(&self, spec: &ScatterSpec, burst: &[u64]) -> Result<ScatterOutcome, BusError> {
         let cps = CpCompiler.compile_scatter(spec, self.cfg.nodes);
         self.bus.scatter(&cps, burst)
     }

@@ -179,9 +179,7 @@ mod tests {
     fn run(layout: Layout, perm: Perm) -> Vec<u64> {
         let red = compile(&layout, &perm);
         // Node memories hold their elements' global ids in local order.
-        let local: Vec<Vec<u64>> = (0..layout.procs)
-            .map(|p| layout.elements_of(p))
-            .collect();
+        let local: Vec<Vec<u64>> = (0..layout.procs).map(|p| layout.elements_of(p)).collect();
         let data = arrange_data(&red, &local);
         let pscan = Pscan::new(PscanConfig {
             nodes: layout.procs,
@@ -213,9 +211,7 @@ mod tests {
     #[test]
     fn bit_reversal_matches_fft_permutation() {
         let stream = run(Layout::cyclic(16, 4), Perm::BitReversal);
-        let expect: Vec<u64> = (0..16u64)
-            .map(|k| k.reverse_bits() >> 60)
-            .collect();
+        let expect: Vec<u64> = (0..16u64).map(|k| k.reverse_bits() >> 60).collect();
         assert_eq!(stream, expect);
     }
 
@@ -240,7 +236,11 @@ mod tests {
 
     #[test]
     fn block_cyclic_owner_and_local_index() {
-        let l = Layout { n: 24, procs: 3, block: 2 };
+        let l = Layout {
+            n: 24,
+            procs: 3,
+            block: 2,
+        };
         // Blocks of 2 dealt to P0,P1,P2: elements 0,1->P0; 2,3->P1; ...
         assert_eq!(l.owner(0), 0);
         assert_eq!(l.owner(3), 1);

@@ -79,15 +79,14 @@ impl RepeatedPscan {
     /// repeater/head position, so locals start at 1.
     pub fn locate(&self, node: NodeId) -> (usize, usize) {
         assert!(node < self.nodes(), "node {node} out of range");
-        (node / self.nodes_per_segment, node % self.nodes_per_segment + 1)
+        (
+            node / self.nodes_per_segment,
+            node % self.nodes_per_segment + 1,
+        )
     }
 
     /// Execute a gather across the whole chain.
-    pub fn gather(
-        &self,
-        spec: &GatherSpec,
-        data: &[Vec<u64>],
-    ) -> Result<ChainOutcome, BusError> {
+    pub fn gather(&self, spec: &GatherSpec, data: &[Vec<u64>]) -> Result<ChainOutcome, BusError> {
         assert_eq!(data.len(), self.nodes(), "one data vector per global node");
         let total_slots = spec.total_slots() as usize;
 

@@ -192,10 +192,7 @@ mod tests {
         assert!(vcd.matches("\n1!").count() + vcd.matches("\n0!").count() >= 7);
         // Probe timestamps reflect the skew staircase: x2's first event is
         // later than x0's.
-        let first_ts = vcd
-            .lines()
-            .filter(|l| l.starts_with('#')).next()
-            .unwrap();
+        let first_ts = vcd.lines().find(|l| l.starts_with('#')).unwrap();
         assert_eq!(first_ts, "#0");
     }
 

@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(chain.burst.len(), nodes * (2 + 6));
 
         // Push it through a real simulated bus.
-        let p = Pscan::new(PscanConfig { nodes, ..Default::default() });
+        let p = Pscan::new(PscanConfig {
+            nodes,
+            ..Default::default()
+        });
         let out = p.scatter(&chain.spec, &chain.burst).unwrap();
         for n in 0..nodes {
             let (programs, data) = chain.unpack(n, &out.delivered[n]).unwrap();

@@ -123,12 +123,19 @@ mod tests {
         let app = compile_fft2d_app(8, 64);
         // Delivery CPs are disjoint blocked listens; transpose CPs are
         // disjoint drives covering the whole area.
-        let total_listen: u64 = app.nodes.iter().map(|b| b.cp_deliver.slots_listened()).sum();
-        let total_drive: u64 = app.nodes.iter().map(|b| b.cp_transpose.slots_driven()).sum();
+        let total_listen: u64 = app
+            .nodes
+            .iter()
+            .map(|b| b.cp_deliver.slots_listened())
+            .sum();
+        let total_drive: u64 = app
+            .nodes
+            .iter()
+            .map(|b| b.cp_transpose.slots_driven())
+            .sum();
         assert_eq!(total_listen, 64 * 64);
         assert_eq!(total_drive, 64 * 64);
-        let drives: Vec<CommProgram> =
-            app.nodes.iter().map(|b| b.cp_transpose.clone()).collect();
+        let drives: Vec<CommProgram> = app.nodes.iter().map(|b| b.cp_transpose.clone()).collect();
         assert!(CpCompiler::audit_disjoint(&drives).is_ok());
     }
 
@@ -141,8 +148,13 @@ mod tests {
         let n = 32;
         let app = compile_fft2d_app(procs, n);
         let chain = boot_chain(&app);
-        let pscan = Pscan::new(PscanConfig { nodes: procs, ..Default::default() });
-        let out = pscan.scatter(&chain.spec, &chain.burst).expect("boot scatter");
+        let pscan = Pscan::new(PscanConfig {
+            nodes: procs,
+            ..Default::default()
+        });
+        let out = pscan
+            .scatter(&chain.spec, &chain.burst)
+            .expect("boot scatter");
 
         for p in 0..procs {
             let bundle = unpack_bundle(&chain, p, &out.delivered[p]).expect("decode");

@@ -31,7 +31,10 @@ pub fn run_fft1d(procs: usize, plan: &SixStepPlan, x: &[Complex64]) -> Fft1dRun 
     let (n1, n2) = plan.shape();
     let l = n1 * n2;
     assert_eq!(x.len(), l);
-    assert!(n1 % procs == 0 && n2 % procs == 0, "procs must divide n1 and n2");
+    assert!(
+        n1 % procs == 0 && n2 % procs == 0,
+        "procs must divide n1 and n2"
+    );
 
     let mut m = Machine::new(MachineConfig::new(procs, 2 * l));
     let wire: Vec<u64> = x.iter().map(|&c| encode_sample(c)).collect();
@@ -94,7 +97,9 @@ pub fn run_fft1d(procs: usize, plan: &SixStepPlan, x: &[Complex64]) -> Fft1dRun 
     let addrs_b: Vec<u64> = (0..area).map(|k| area + k).collect();
     m.gather_to_memory(
         "corner_turn_1",
-        &GatherSpec { slot_source: slot_source_c },
+        &GatherSpec {
+            slot_source: slot_source_c,
+        },
         &node_words_c,
         &addrs_b,
     );
@@ -139,7 +144,9 @@ pub fn run_fft1d(procs: usize, plan: &SixStepPlan, x: &[Complex64]) -> Fft1dRun 
     let addrs_out: Vec<u64> = (0..area).collect();
     m.gather_to_memory(
         "corner_turn_2",
-        &GatherSpec { slot_source: slot_source_e },
+        &GatherSpec {
+            slot_source: slot_source_e,
+        },
         &node_words_e,
         &addrs_out,
     );
@@ -185,7 +192,14 @@ mod tests {
         let names: Vec<&str> = run.phases.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(
             names,
-            ["deliver_cols", "col_fft_twiddle", "corner_turn_1", "deliver_rows", "row_fft", "corner_turn_2"]
+            [
+                "deliver_cols",
+                "col_fft_twiddle",
+                "corner_turn_1",
+                "deliver_rows",
+                "row_fft",
+                "corner_turn_2"
+            ]
         );
         assert!(run.total_seconds > 0.0);
     }

@@ -127,7 +127,9 @@ pub fn run_fft2d(procs: usize, input: &Matrix) -> Fft2dRun {
     // Slot k = r·n + c of the natural-orientation result comes from the
     // owner of transposed-row c.
     let final_source: Vec<usize> = (0..area).map(|k| (k % n) / rows_per).collect();
-    let final_spec = GatherSpec { slot_source: final_source };
+    let final_spec = GatherSpec {
+        slot_source: final_source,
+    };
     let final_words: Vec<Vec<u64>> = (0..procs)
         .map(|p| {
             let c0 = p * rows_per;
@@ -186,10 +188,7 @@ mod tests {
             let err = max_error(&run.output.data, &reference.data);
             // Wire format quantizes to f32 at each of 4 transports.
             let scale = n as f64; // spectrum magnitudes grow with n
-            assert!(
-                err < 1e-3 * scale,
-                "n={n} procs={procs}: err {err}"
-            );
+            assert!(err < 1e-3 * scale, "n={n} procs={procs}: err {err}");
         }
     }
 
@@ -208,7 +207,14 @@ mod tests {
         let names: Vec<&str> = run.phases.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["deliver", "row_fft", "transpose", "redeliver", "col_fft", "writeback"]
+            vec![
+                "deliver",
+                "row_fft",
+                "transpose",
+                "redeliver",
+                "col_fft",
+                "writeback"
+            ]
         );
         assert!(run.total_seconds > 0.0);
         assert!(run.compute_fraction > 0.0 && run.compute_fraction < 1.0);
@@ -238,7 +244,11 @@ mod tests {
 
     impl Fft2dRun {
         fn phase_bus_slots(&self, name: &str) -> u64 {
-            self.phases.iter().find(|p| p.name == name).unwrap().bus_slots
+            self.phases
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap()
+                .bus_slots
         }
     }
 }

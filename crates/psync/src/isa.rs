@@ -128,9 +128,7 @@ impl Instr {
                 ((a as u64 & F) << 40) | ((b as u64 & F) << 20) | (w as u64 & F)
             }
             Instr::Swap { i, j } => (1u64 << 62) | ((i as u64 & F) << 40) | ((j as u64 & F) << 20),
-            Instr::TwiddleMul { i, w } => {
-                (2u64 << 62) | ((i as u64 & F) << 40) | (w as u64 & F)
-            }
+            Instr::TwiddleMul { i, w } => (2u64 << 62) | ((i as u64 & F) << 40) | (w as u64 & F),
             Instr::Halt => 3u64 << 62,
         }
     }
@@ -167,7 +165,10 @@ impl CompProgram {
     /// — the precision a real 64-bit-sample machine would have.
     pub fn decode_words(words: &[u64]) -> CompProgram {
         let n_instr = words[0] as usize;
-        let instrs = words[1..1 + n_instr].iter().map(|&w| Instr::decode(w)).collect();
+        let instrs = words[1..1 + n_instr]
+            .iter()
+            .map(|&w| Instr::decode(w))
+            .collect();
         let rom = words[1 + n_instr..]
             .iter()
             .map(|&w| crate::sample::decode_sample(w))
@@ -179,7 +180,10 @@ impl CompProgram {
 /// Compile an in-place N-point radix-2 DIT FFT (including the bit-reversal
 /// prologue) into a [`CompProgram`].
 pub fn compile_fft(n: usize) -> CompProgram {
-    assert!(n.is_power_of_two() && n >= 1, "radix-2 needs a power of two");
+    assert!(
+        n.is_power_of_two() && n >= 1,
+        "radix-2 needs a power of two"
+    );
     let bits = n.trailing_zeros();
     let mut instrs = Vec::new();
 
@@ -188,7 +192,10 @@ pub fn compile_fft(n: usize) -> CompProgram {
         for i in 0..n {
             let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
             if j > i {
-                instrs.push(Instr::Swap { i: i as u32, j: j as u32 });
+                instrs.push(Instr::Swap {
+                    i: i as u32,
+                    j: j as u32,
+                });
             }
         }
     }
@@ -218,7 +225,11 @@ pub fn compile_fft(n: usize) -> CompProgram {
     instrs.push(Instr::Halt);
     CompProgram {
         instrs,
-        rom: if rom.is_empty() { vec![Complex64::ONE] } else { rom },
+        rom: if rom.is_empty() {
+            vec![Complex64::ONE]
+        } else {
+            rom
+        },
     }
 }
 
@@ -263,10 +274,7 @@ mod tests {
             prog.execute(&mut via_isa);
             let mut via_lib = x.clone();
             fft_in_place(&mut via_lib);
-            assert!(
-                max_error(&via_isa, &via_lib) < 1e-12,
-                "n = {n}"
-            );
+            assert!(max_error(&via_isa, &via_lib) < 1e-12, "n = {n}");
         }
     }
 
@@ -320,7 +328,11 @@ mod tests {
     #[test]
     fn instruction_encoding_roundtrips() {
         for ins in [
-            Instr::Butterfly { a: 12, b: 1_000_000 - 1, w: 511 },
+            Instr::Butterfly {
+                a: 12,
+                b: 1_000_000 - 1,
+                w: 511,
+            },
             Instr::Swap { i: 0, j: 1023 },
             Instr::TwiddleMul { i: 7, w: 99 },
             Instr::Halt,

@@ -206,13 +206,14 @@ mod tests {
     #[test]
     fn scatter_then_gather_roundtrip() {
         let mut m = Machine::new(MachineConfig::new(4, 256));
-        m.head.fill(0, &(0..64u64).map(|i| i * 3).collect::<Vec<_>>());
+        m.head
+            .fill(0, &(0..64u64).map(|i| i * 3).collect::<Vec<_>>());
         // Deliver words 0..64 blocked: node i gets 16.
         let spec = ScatterSpec::blocked(4, 16);
         let addrs: Vec<u64> = (0..64).collect();
         let delivered = m.scatter_from_memory("deliver", &addrs, &spec);
         assert_eq!(delivered[1][0], 48); // word 16 -> 16*3
-        // Gather them back, interleaved, to 64..128.
+                                         // Gather them back, interleaved, to 64..128.
         let gspec = GatherSpec::interleaved(4, 4, 4);
         let back_addrs: Vec<u64> = (64..128).collect();
         let words = m.gather_to_memory("writeback", &gspec, &delivered, &back_addrs);

@@ -91,12 +91,10 @@ pub fn run_model2_rows(procs: usize, n: usize, k: usize, rows: &[Vec<Complex64>]
             addrs.extend(idx.iter().map(|&i| (p * n + i) as u64));
         }
         let spec = ScatterSpec::blocked(procs, block_len);
-        let delivered =
-            machine.scatter_from_memory(&format!("deliver_block_{c}"), &addrs, &spec);
+        let delivered = machine.scatter_from_memory(&format!("deliver_block_{c}"), &addrs, &spec);
 
         // Timing: this round's bus occupancy follows the previous round.
-        let round_secs =
-            machine.phases.last().expect("phase logged").bus_slots as f64 * slot;
+        let round_secs = machine.phases.last().expect("phase logged").bus_slots as f64 * slot;
         let round_end = comm_end + round_secs;
         comm_end = round_end;
 
@@ -110,10 +108,7 @@ pub fn run_model2_rows(procs: usize, n: usize, k: usize, rows: &[Vec<Complex64>]
 
     // Final combine phase on every node.
     let spectra: Vec<Vec<Complex64>> = states.into_iter().map(|s| s.finish()).collect();
-    let overlapped = finish
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b))
-        + t_cf;
+    let overlapped = finish.iter().fold(0.0f64, |a, &b| a.max(b)) + t_cf;
 
     // Model I reference: all delivery, then all compute.
     let serialized = comm_end + k as f64 * t_ck + t_cf;

@@ -70,8 +70,11 @@ impl Node {
     /// Run in-place FFTs over the data memory, treating it as consecutive
     /// rows of `row_len`. Returns the compute time in ns for this call.
     pub fn fft_rows(&mut self, row_len: usize) -> f64 {
-        assert!(row_len > 0 && self.data.len().is_multiple_of(row_len),
-            "data memory ({}) must hold whole rows of {row_len}", self.data.len());
+        assert!(
+            row_len > 0 && self.data.len().is_multiple_of(row_len),
+            "data memory ({}) must hold whole rows of {row_len}",
+            self.data.len()
+        );
         let rows = self.data.len() / row_len;
         let plan = Radix2Plan::new(row_len);
         for r in 0..rows {

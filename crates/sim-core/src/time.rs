@@ -88,7 +88,10 @@ impl Duration {
 
     /// Span from a fractional nanosecond count (rounded to the nearest ps).
     pub fn from_ns_f64(ns: f64) -> Self {
-        assert!(ns >= 0.0 && ns.is_finite(), "negative or non-finite duration");
+        assert!(
+            ns >= 0.0 && ns.is_finite(),
+            "negative or non-finite duration"
+        );
         Duration((ns * 1e3).round() as u64)
     }
 

@@ -129,6 +129,8 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
-        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
     }
 }

@@ -10,8 +10,8 @@
 
 use fft::complex::max_error;
 use fft::{fft_in_place, Complex64};
-use psync::codegen::{boot_chain, compile_fft2d_app, unpack_bundle};
 use pscan::network::{Pscan, PscanConfig};
+use psync::codegen::{boot_chain, compile_fft2d_app, unpack_bundle};
 
 fn main() {
     let procs = 8;
@@ -26,8 +26,13 @@ fn main() {
     );
 
     // One SCA⁻¹ carries the whole boot image.
-    let pscan = Pscan::new(PscanConfig { nodes: procs, ..Default::default() });
-    let out = pscan.scatter(&chain.spec, &chain.burst).expect("boot scatter");
+    let pscan = Pscan::new(PscanConfig {
+        nodes: procs,
+        ..Default::default()
+    });
+    let out = pscan
+        .scatter(&chain.spec, &chain.burst)
+        .expect("boot scatter");
     println!(
         "boot burst delivered in {} bus slots ({:.2} us at 320 Gb/s)",
         chain.burst.len(),

@@ -41,8 +41,12 @@ fn main() {
         ..Default::default()
     };
     let pscan_cycles = t3.pscan_cycles();
-    println!("PSCAN : {} bus cycles ({} row transactions x {} cycles, 100% bus utilization)",
-        pscan_cycles, t3.transactions(), t3.cycles_per_transaction());
+    println!(
+        "PSCAN : {} bus cycles ({} row transactions x {} cycles, 100% bus utilization)",
+        pscan_cycles,
+        t3.transactions(),
+        t3.cycles_per_transaction()
+    );
 
     // --- Mesh: 2-flit element packets + t_p reorder staging ---------------
     for t_p in [1u64, 4] {

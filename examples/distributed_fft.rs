@@ -28,7 +28,10 @@ fn main() {
 
     let run = run_fft2d(procs, &input);
 
-    println!("{:<12} {:>14} {:>12} {:>12}", "phase", "bus slots", "DRAM cycles", "time (us)");
+    println!(
+        "{:<12} {:>14} {:>12} {:>12}",
+        "phase", "bus slots", "DRAM cycles", "time (us)"
+    );
     for p in &run.phases {
         println!(
             "{:<12} {:>14} {:>12} {:>12.3}",

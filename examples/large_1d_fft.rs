@@ -47,7 +47,10 @@ fn main() {
     println!("  mesh  : {mesh_turn_tp1:>12} cycles per turn x 2 turns (t_p = 1, measured 2.93x)");
 
     let mults = plan.multiplies();
-    println!("\ncompute: {mults} multiplies = {} us at 2 ns each (single core)", mults * 2 / 1000);
+    println!(
+        "\ncompute: {mults} multiplies = {} us at 2 ns each (single core)",
+        mults * 2 / 1000
+    );
     println!(
         "communication saved by SCA: {} cycles across both turns",
         2 * (mesh_turn_tp1 - pscan_turn)

@@ -25,24 +25,21 @@ fn main() {
     // Compile to per-node Communication Programs and show them.
     let cps = CpCompiler.compile_gather(&spec, 3);
     for (n, cp) in cps.iter().enumerate() {
-        println!(
-            "P{n} CP: {:?} ({} bits)",
-            cp.entries(),
-            cp.encoded_bits()
-        );
+        println!("P{n} CP: {:?} ({} bits)", cp.entries(), cp.encoded_bits());
     }
 
     // P0 holds a,b,e,f; P1 holds c,d.
-    let data = vec![
-        vec![0xA, 0xB, 0xE, 0xF],
-        vec![0xC, 0xD],
-        vec![],
-    ];
-    let out = pscan.gather(&spec, &data).expect("collision-free by construction");
+    let data = vec![vec![0xA, 0xB, 0xE, 0xF], vec![0xC, 0xD], vec![]];
+    let out = pscan
+        .gather(&spec, &data)
+        .expect("collision-free by construction");
 
     let burst: Vec<u64> = out.received.iter().map(|w| w.unwrap()).collect();
     println!("\nreceived burst: {burst:x?}");
-    println!("bus utilization during burst: {:.0}%", out.utilization * 100.0);
+    println!(
+        "bus utilization during burst: {:.0}%",
+        out.utilization * 100.0
+    );
     println!(
         "first wavefront arrived at {:?}, last at {:?}",
         out.first_arrival, out.last_arrival

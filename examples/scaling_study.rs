@@ -11,7 +11,11 @@ use llmore::SystemParams;
 
 fn bar(frac: f64, width: usize) -> String {
     let n = (frac * width as f64).round() as usize;
-    format!("{}{}", "#".repeat(n.min(width)), " ".repeat(width - n.min(width)))
+    format!(
+        "{}{}",
+        "#".repeat(n.min(width)),
+        " ".repeat(width - n.min(width))
+    )
 }
 
 fn main() {

@@ -6,23 +6,38 @@
 //! cargo run --release --example shared_channel
 //! ```
 
-use pscan::arbitration::{Message, TdmPlanner};
-use pscan::bus::BusSim;
 use photonics::waveguide::ChipLayout;
 use photonics::wdm::WavelengthPlan;
+use pscan::arbitration::{Message, TdmPlanner};
+use pscan::bus::BusSim;
 
 fn main() {
     let nodes = 8;
-    let bus = BusSim::new(ChipLayout::square(20.0, nodes), WavelengthPlan::paper_320g());
+    let bus = BusSim::new(
+        ChipLayout::square(20.0, nodes),
+        WavelengthPlan::paper_320g(),
+    );
 
     // Frame: 64 slots. Nodes 2 and 5 hold SCA shares (a partial transpose
     // writeback); three point-to-point messages pack into the gaps.
     let mut planner = TdmPlanner::new(nodes, 64);
     planner.reserve(2, 0, 16).reserve(5, 16, 16);
     let messages = [
-        Message { src: 0, dst: 7, words: 12 }, // code broadcast downstream
-        Message { src: 1, dst: 4, words: 8 },  // halo exchange
-        Message { src: 3, dst: 6, words: 6 },  // reduction partial
+        Message {
+            src: 0,
+            dst: 7,
+            words: 12,
+        }, // code broadcast downstream
+        Message {
+            src: 1,
+            dst: 4,
+            words: 8,
+        }, // halo exchange
+        Message {
+            src: 3,
+            dst: 6,
+            words: 6,
+        }, // reduction partial
     ];
     let plan = planner.plan(&messages).expect("frame fits");
 
@@ -39,7 +54,11 @@ fn main() {
     }
     for (n, cp) in plan.programs.iter().enumerate() {
         if !cp.entries().is_empty() {
-            println!("  P{n} CP: {} entries, {} bits", cp.entries().len(), cp.encoded_bits());
+            println!(
+                "  P{n} CP: {} entries, {} bits",
+                cp.entries().len(),
+                cp.encoded_bits()
+            );
         }
     }
 
@@ -50,7 +69,9 @@ fn main() {
     data[0] = (0..12u64).collect();
     data[1] = (100..108u64).collect();
     data[3] = (300..306u64).collect();
-    let out = bus.transact(&plan.programs, &data).expect("collision-free frame");
+    let out = bus
+        .transact(&plan.programs, &data)
+        .expect("collision-free frame");
 
     println!("\ndelivered:");
     for n in 0..nodes {

@@ -9,10 +9,10 @@
 //! cargo run --release --example timing_margins
 //! ```
 
-use pscan::bus::{BusError, BusSim};
-use pscan::compiler::{CpCompiler, GatherSpec};
 use photonics::waveguide::ChipLayout;
 use photonics::wdm::WavelengthPlan;
+use pscan::bus::{BusError, BusSim};
+use pscan::compiler::{CpCompiler, GatherSpec};
 
 fn main() {
     let nodes = 16;
@@ -21,10 +21,16 @@ fn main() {
     let data: Vec<Vec<u64>> = (0..nodes).map(|n| vec![n as u64; 16]).collect();
     let slot_ps = WavelengthPlan::paper_320g().slot().as_ps() as i64;
     println!("bus slot = {slot_ps} ps; drifting node 7 of {nodes}\n");
-    println!("{:>10} {:>12} {:>14}", "drift (ps)", "outcome", "utilization");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "drift (ps)", "outcome", "utilization"
+    );
 
     for drift in [-120i64, -60, -49, -25, 0, 25, 49, 60, 120, 250] {
-        let mut bus = BusSim::new(ChipLayout::square(20.0, nodes), WavelengthPlan::paper_320g());
+        let mut bus = BusSim::new(
+            ChipLayout::square(20.0, nodes),
+            WavelengthPlan::paper_320g(),
+        );
         bus.set_timing_error(7, drift);
         match bus.gather(&cps, &data) {
             Ok(out) => {
@@ -35,7 +41,11 @@ fn main() {
                     out.utilization * 100.0
                 );
             }
-            Err(BusError::Collision { slot, first, second }) => {
+            Err(BusError::Collision {
+                slot,
+                first,
+                second,
+            }) => {
                 println!(
                     "{drift:>10} {:>12} {:>14}",
                     "COLLISION",
@@ -46,7 +56,10 @@ fn main() {
         }
     }
 
-    println!("\nwithin +/-{} ps (half a slot) the splice is perfect; past it, the drifting", slot_ps / 2);
+    println!(
+        "\nwithin +/-{} ps (half a slot) the splice is perfect; past it, the drifting",
+        slot_ps / 2
+    );
     println!("node lands on a neighbour's wavefront — the open-loop clock must hold its");
     println!("calibration to sub-slot precision, and nothing more.");
 }

@@ -43,15 +43,17 @@ fn pscan_gather_sim_matches_closed_form_cycles() {
     // total equals the Table III closed form.
     let procs = 32;
     let row_len = 32;
-    let pscan = Pscan::new(PscanConfig { nodes: procs, ..Default::default() });
+    let pscan = Pscan::new(PscanConfig {
+        nodes: procs,
+        ..Default::default()
+    });
     let spec = GatherSpec {
         slot_source: (0..procs * row_len).map(|k| k % procs).collect(),
     };
     let data: Vec<Vec<u64>> = (0..procs).map(|p| vec![p as u64; row_len]).collect();
     let out = pscan.gather(&spec, &data).unwrap();
     assert_eq!(out.utilization, 1.0);
-    let span_slots =
-        out.last_arrival.since(out.first_arrival).as_ps() / pscan.slot().as_ps() + 1;
+    let span_slots = out.last_arrival.since(out.first_arrival).as_ps() / pscan.slot().as_ps() + 1;
     assert_eq!(span_slots, (procs * row_len) as u64);
 
     let t3 = Table3Params {
@@ -108,7 +110,10 @@ fn blocked_fft_ops_match_analytic_params() {
 fn photonic_clock_skew_equals_flight_time_on_machine_layout() {
     // The pscan bus's per-tap clock skew must equal the photonics layer's
     // flight time for the same layout (no hidden fudge factors).
-    let pscan = Pscan::new(PscanConfig { nodes: 16, ..Default::default() });
+    let pscan = Pscan::new(PscanConfig {
+        nodes: 16,
+        ..Default::default()
+    });
     let layout = pscan.bus().layout();
     for tap in [0usize, 7, 15] {
         assert_eq!(pscan.bus().clock().skew(tap), layout.flight_to_tap(tap));

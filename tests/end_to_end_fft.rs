@@ -79,7 +79,14 @@ fn phases_in_model_i_order() {
     let names: Vec<&str> = run.phases.iter().map(|p| p.name.as_str()).collect();
     assert_eq!(
         names,
-        ["deliver", "row_fft", "transpose", "redeliver", "col_fft", "writeback"]
+        [
+            "deliver",
+            "row_fft",
+            "transpose",
+            "redeliver",
+            "col_fft",
+            "writeback"
+        ]
     );
     // Communication phases move the whole matrix each.
     let area = 32 * 32;

@@ -3,20 +3,23 @@
 
 use fft::complex::max_error;
 use fft::{fft_in_place, Complex64, SixStepPlan};
+use photonics::waveguide::ChipLayout;
+use photonics::wdm::WavelengthPlan;
 use proptest::prelude::*;
 use pscan::arbitration::{Message, TdmPlanner};
 use pscan::bus::BusSim;
 use pscan::compiler::GatherSpec;
 use pscan::redistribute::{arrange_data, compile, Layout, Perm};
 use pscan::repeater::RepeatedPscan;
-use photonics::waveguide::ChipLayout;
-use photonics::wdm::WavelengthPlan;
 
 fn perm_strategy(n: u64) -> impl Strategy<Value = Perm> {
     prop_oneof![
         Just(Perm::Identity),
         Just(Perm::BitReversal),
-        Just(Perm::Transpose { rows: 8, cols: n / 8 }),
+        Just(Perm::Transpose {
+            rows: 8,
+            cols: n / 8
+        }),
         // Odd strides are coprime with power-of-two n.
         (0u64..n / 2).prop_map(move |s| Perm::Stride { stride: 2 * s + 1 }),
     ]

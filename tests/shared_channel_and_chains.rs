@@ -2,17 +2,20 @@
 //! CP chains, repeater-linked segments, and map optimization — composed
 //! across crates.
 
+use photonics::waveguide::ChipLayout;
+use photonics::wdm::WavelengthPlan;
 use pscan::arbitration::{Message, TdmPlanner};
 use pscan::bus::BusSim;
 use pscan::compiler::GatherSpec;
 use pscan::repeater::RepeatedPscan;
-use photonics::waveguide::ChipLayout;
-use photonics::wdm::WavelengthPlan;
 
 #[test]
 fn sca_share_and_messages_coexist_collision_free() {
     let nodes = 16;
-    let bus = BusSim::new(ChipLayout::square(20.0, nodes), WavelengthPlan::paper_320g());
+    let bus = BusSim::new(
+        ChipLayout::square(20.0, nodes),
+        WavelengthPlan::paper_320g(),
+    );
     let mut planner = TdmPlanner::new(nodes, 256);
     // SCA shares: an interleaved writeback for the first 8 nodes.
     for n in 0..8 {
@@ -20,9 +23,21 @@ fn sca_share_and_messages_coexist_collision_free() {
     }
     // Messages among the rest.
     let msgs = [
-        Message { src: 8, dst: 15, words: 40 },
-        Message { src: 9, dst: 12, words: 30 },
-        Message { src: 10, dst: 11, words: 20 },
+        Message {
+            src: 8,
+            dst: 15,
+            words: 40,
+        },
+        Message {
+            src: 9,
+            dst: 12,
+            words: 30,
+        },
+        Message {
+            src: 10,
+            dst: 11,
+            words: 20,
+        },
     ];
     let plan = planner.plan(&msgs).unwrap();
     let mut data = vec![Vec::new(); nodes];

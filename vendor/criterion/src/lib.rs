@@ -1,0 +1,181 @@
+//! Offline vendored mini-criterion.
+//!
+//! Implements the criterion 0.5 API surface this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter`) with plain wall-clock timing: each
+//! benchmark body runs `sample_size` times and the mean/min are printed.
+//! No statistics, plots, or saved baselines — just enough to keep
+//! `cargo bench` meaningful offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.min(dt);
+            total += dt;
+        }
+        println!(
+            "    {} samples, mean {:.3} ms, best {:.3} ms",
+            self.samples,
+            total / self.samples as f64 * 1e3,
+            best * 1e3
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (criterion's default is 100; ours is lighter).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure given an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {}/{}", self.name, id.id);
+        let mut b = Bencher {
+            samples: self.samples,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: self.samples,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// End the group (no-op; criterion writes reports here).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _c: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {id}");
+        let mut b = Bencher { samples: 10 };
+        f(&mut b);
+        self
+    }
+}
+
+/// Prevent the optimizer from deleting a value (re-export shape).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("x", 1), &1u32, |b, &v| {
+                b.iter(|| {
+                    ran += v;
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 3);
+    }
+}

@@ -1,0 +1,449 @@
+//! Offline vendored mini-proptest.
+//!
+//! Supports the subset of proptest 1.x this workspace's property tests use:
+//! the `proptest!` macro with an optional `#![proptest_config(...)]` line,
+//! range and collection strategies, `Just`, `prop_oneof!`, `prop_map`,
+//! `prop::bool::ANY`, and the `prop_assert!` family. Cases are sampled from
+//! a deterministic per-test RNG (seeded from the test name), so failures
+//! reproduce exactly. There is no shrinking: a failing case reports its
+//! inputs via the panic message instead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic test RNG (xoshiro-style mix over SplitMix64 expansion).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, for deriving per-test seeds from test names.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<R, F: Fn(Self::Value) -> R>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, R, F: Fn(S::Value) -> R> Strategy for Map<S, F> {
+    type Value = R;
+    fn sample(&self, rng: &mut TestRng) -> R {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// A boxed sampling function, as stored by [`OneOf`].
+pub type Sampler<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Heterogeneous uniform choice; built by [`prop_oneof!`].
+pub struct OneOf<V>(pub Vec<Sampler<V>>);
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let k = rng.below(self.0.len() as u64) as usize;
+        (self.0[k])(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification: an exact `usize` or a `Range<usize>`.
+    pub struct SizeRange {
+        lo: u64,
+        hi: u64, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n as u64,
+                hi: n as u64 + 1,
+            }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start as u64,
+                hi: r.end as u64,
+            }
+        }
+    }
+
+    /// `Vec` strategy: `len` draws of `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Random-length vector of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + if span > 1 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn sample(&self, rng: &mut TestRng) -> ::core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Per-run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property within a case (from `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build from a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The everything-you-need import, as in real proptest.
+pub mod prelude {
+    pub use crate::collection as _collection_impl;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+
+    /// `prop::...` namespace.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a proptest body; failure aborts only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {{
+        let mut choices: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $(
+            {
+                let s = $strat;
+                choices.push(::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::sample(&s, rng)
+                }));
+            }
+        )+
+        $crate::OneOf(choices)
+    }};
+}
+
+/// The proptest entry macro: expands each `fn name(arg in strategy, ...)`
+/// into a `#[test]` that samples and runs `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::TestRng::seed(
+                        $crate::fnv1a(stringify!($name)) ^ (0x9E37_79B9u64.wrapping_mul(case as u64 + 1)),
+                    );
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name),
+                            case,
+                            cfg.cases,
+                            e,
+                            concat!($(stringify!($arg), " "),*),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $( $arg in $strat ),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::seed(1);
+        for _ in 0..500 {
+            let v = Strategy::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::sample(&(-49i64..=49), &mut rng);
+            assert!((-49..=49).contains(&w));
+            let f = Strategy::sample(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::seed(2);
+        let s = prop::collection::vec(0u64..10, 1..5);
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+        let exact = prop::collection::vec(0u64..10, 7usize);
+        assert_eq!(Strategy::sample(&exact, &mut rng).len(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_expands_and_runs(x in 0u64..100, ys in prop::collection::vec(0u32..4, 3)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), 3, "len {}", ys.len());
+        }
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![
+            Just(1u64),
+            (10u64..20).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 1 || (20..40).contains(&v));
+        }
+
+        #[test]
+        fn bool_any_samples(b in prop::bool::ANY) {
+            // Exercise the bool strategy; either value is acceptable.
+            let _ = b;
+            prop_assert!(true);
+        }
+    }
+}

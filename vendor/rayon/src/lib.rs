@@ -1,0 +1,179 @@
+//! Offline vendored mini-rayon.
+//!
+//! Provides `par_iter()` / `into_par_iter()` with `map`, `for_each`, and
+//! `collect` over real OS threads (`std::thread::scope`), preserving input
+//! order. Unlike real rayon there is no work-stealing pool: each adaptor
+//! call evaluates eagerly, splitting the items into one contiguous chunk
+//! per available core. That is exactly the right shape for this workspace's
+//! use — embarrassingly parallel sweeps of a few dozen heavy, similar-cost
+//! simulations.
+
+use std::num::NonZeroUsize;
+
+/// `use rayon::prelude::*` brings the conversion traits into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// An eagerly evaluated "parallel iterator": a materialized item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion by value (`Vec`, ranges).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range!(u32, u64, usize);
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Conversion by reference (slices).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Materialize the parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    cores.min(items).max(1)
+}
+
+/// Order-preserving parallel map: one contiguous chunk per worker.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .chunks_mut(chunk)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|slot| f(slot.take().expect("slot filled once")))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &f);
+    }
+
+    /// Collect the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slices_yields_refs() {
+        let xs = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn map_actually_uses_threads() {
+        // Thread ids seen by workers; > 1 distinct on multicore machines.
+        let main = std::thread::current().id();
+        let ids: Vec<_> = (0usize..64)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            assert!(ids.iter().any(|&id| id != main));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let e: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(e.is_empty());
+        let s: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(s, vec![8]);
+    }
+}
