@@ -8,7 +8,7 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
 use rayon::prelude::*;
@@ -21,7 +21,7 @@ struct Point {
     multiplier: f64,
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let (procs, row_len) = if quick_mode() { (64, 64) } else { (256, 256) };
     let pscan = Table3Params {
         n: row_len as u64,
@@ -70,5 +70,6 @@ fn main() {
         "32x deeper buffers buy {:.1}% — the ejection port, not buffering, is the wall.",
         (first - last) / first * 100.0
     );
-    write_json("ablate_buffers", &points);
+    write_json("ablate_buffers", &points)?;
+    Ok(())
 }

@@ -8,7 +8,7 @@
 //! cargo run --release -p bench --bin ablate_cp_granularity
 //! ```
 
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use pscan::compiler::{CpCompiler, GatherSpec};
 use pscan::network::{Pscan, PscanConfig};
 use serde::Serialize;
@@ -22,7 +22,7 @@ struct Point {
     gather_slots: u64,
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let nodes = 64;
     let words_per_node = 256;
     let pscan = Pscan::new(PscanConfig {
@@ -76,5 +76,6 @@ fn main() {
         "finest interleave costs {}x the CP storage of the coarsest — and zero bus cycles.",
         points.first().unwrap().cp_entries_per_node / points.last().unwrap().cp_entries_per_node
     );
-    write_json("ablate_cp_granularity", &points);
+    write_json("ablate_cp_granularity", &points)?;
+    Ok(())
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin ablate_fig13_model2
 //! ```
 
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use llmore::phases::{phase_breakdown_with, DeliveryModel};
 use llmore::sweep::paper_core_counts;
 use llmore::{ArchKind, SystemParams};
@@ -26,7 +26,7 @@ fn gflops(kind: ArchKind, s: &SystemParams, p: u64, m: DeliveryModel) -> f64 {
     (2 * s.mults_per_pass()) as f64 / t / 1e9
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let s = SystemParams::default();
     let m2 = DeliveryModel::ModelII { k: 8 };
     let mut points = Vec::new();
@@ -69,5 +69,6 @@ fn main() {
         .map(|r| r.psync_model2_gflops / r.psync_model1_gflops)
         .fold(0.0f64, f64::max);
     println!("largest P-sync Model II gain: {best:.2}x — confirming the paper's conjecture.");
-    write_json("ablate_fig13_model2", &points);
+    write_json("ablate_fig13_model2", &points)?;
+    Ok(())
 }

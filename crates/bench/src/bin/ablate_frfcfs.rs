@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin ablate_frfcfs
 //! ```
 
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use memory::{DramConfig, FrFcfsConfig, FrFcfsController};
 use serde::Serialize;
 use sim_core::rng::permutation;
@@ -22,7 +22,7 @@ struct Point {
     vs_ordered: f64,
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let n = 1usize << 18; // 256k elements
                           // The SCA's stream: linear order, in-order controller.
     let ordered = {
@@ -82,5 +82,6 @@ fn main() {
         "even a {}-deep window stays {:.2}x behind the ordered stream the SCA delivers for free.",
         best.window, best.vs_ordered
     );
-    write_json("ablate_frfcfs", &points);
+    write_json("ablate_frfcfs", &points)?;
+    Ok(())
 }

@@ -8,7 +8,7 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::flit::Packet;
 use emesh::mesh::{Mesh, MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
@@ -49,7 +49,7 @@ fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement) -> u6
     mesh.run().expect("deadlock").cycles
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let (procs, row_len) = if quick_mode() { (64, 64) } else { (256, 256) };
     let t3 = Table3Params {
         n: row_len as u64,
@@ -101,5 +101,6 @@ fn main() {
         "the trend holds with more ports: both sides speed up ~{}x, the SCA keeps its edge.",
         4
     );
-    write_json("ablate_memports", &points);
+    write_json("ablate_memports", &points)?;
+    Ok(())
 }

@@ -7,11 +7,11 @@
 //! cargo run --release -p bench --bin ablate_model2 [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use fft::Complex64;
 use psync::model2::run_model2_rows;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let (procs, n) = if quick_mode() {
         (8usize, 256usize)
     } else {
@@ -69,5 +69,6 @@ fn main() {
         best.efficiency * 100.0,
         best.k
     );
-    write_json("ablate_model2", &summaries);
+    write_json("ablate_model2", &summaries)?;
+    Ok(())
 }

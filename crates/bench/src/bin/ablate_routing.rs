@@ -5,7 +5,7 @@
 //! cargo run --release -p bench --bin ablate_routing [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::workloads::load_transpose;
 use rayon::prelude::*;
@@ -20,7 +20,7 @@ struct Point {
     p99_latency: Option<u64>,
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let sizes: &[usize] = if quick_mode() { &[64] } else { &[64, 256] };
     let combos: Vec<(usize, &str, RoutingPolicy)> = sizes
         .iter()
@@ -134,5 +134,6 @@ fn main() {
             &cells4
         )
     );
-    write_json("ablate_routing", &points);
+    write_json("ablate_routing", &points)?;
+    Ok(())
 }

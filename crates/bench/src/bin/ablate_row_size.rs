@@ -12,7 +12,7 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use memory::{AccessKind, DramConfig, DramController};
 use serde::Serialize;
 use sim_core::rng::permutation;
@@ -41,7 +41,7 @@ fn dram_cost(row_bits: u64, scrambled: bool) -> u64 {
     }
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mut points = Vec::new();
     let mut cells = Vec::new();
     for s_r in [512u64, 1024, 2048, 4096, 8192] {
@@ -87,5 +87,6 @@ fn main() {
     );
     println!("wider rows shrink header overhead but punish out-of-order arrival harder —");
     println!("which is exactly why the SCA's in-flight ordering matters.");
-    write_json("ablate_row_size", &points);
+    write_json("ablate_row_size", &points)?;
+    Ok(())
 }

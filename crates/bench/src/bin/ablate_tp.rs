@@ -6,7 +6,7 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
 use rayon::prelude::*;
@@ -19,7 +19,7 @@ struct Point {
     multiplier: f64,
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let (procs, row_len) = if quick_mode() { (64, 64) } else { (256, 256) };
     let pscan = Table3Params {
         n: row_len as u64,
@@ -68,5 +68,6 @@ fn main() {
         procs * row_len,
         slope / (procs * row_len) as f64
     );
-    write_json("ablate_tp", &points);
+    write_json("ablate_tp", &points)?;
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use analytic::model::FftParams;
 use analytic::table1::TABLE1_K;
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -19,7 +19,7 @@ struct Row {
     eta_at_k64_pct: f64,
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     // Each t_r point is an independent curve evaluation: sweep in parallel.
     let rows: Vec<Row> = [0u64, 1, 2, 4, 8]
         .into_par_iter()
@@ -66,5 +66,6 @@ fn main() {
     println!("t_r = 0 removes the routing tax entirely (peak slides to k = 64, the ideal");
     println!("curve); every added cycle pushes the knee to coarser blocking and lower peaks —");
     println!("P-sync's pre-scheduled delivery has no equivalent term at all.");
-    write_json("ablate_tr", &rows);
+    write_json("ablate_tr", &rows)?;
+    Ok(())
 }

@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin crosscheck_fig13 [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
 use fft::fft2d::Matrix;
@@ -24,7 +24,7 @@ struct Point {
     llmore_reorg_ratio: f64,
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let sizes: &[usize] = if quick_mode() {
         &[16, 64]
     } else {
@@ -89,5 +89,6 @@ fn main() {
     println!("both derivations agree the mesh pays a ~3x multiple for reorganization at");
     println!("these scales — Fig. 13/14's driving effect — and land within ~30% of each");
     println!("other despite being built from entirely different machinery.");
-    write_json("crosscheck_fig13", &points);
+    write_json("crosscheck_fig13", &points)?;
+    Ok(())
 }

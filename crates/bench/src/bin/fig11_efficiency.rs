@@ -6,9 +6,9 @@
 //! ```
 
 use analytic::fig11::fig11_curves;
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let pts = fig11_curves();
     let cells: Vec<Vec<String>> = pts
         .iter()
@@ -38,5 +38,6 @@ fn main() {
         "mesh peaks at k = {} ({:.1}%); P-sync reaches {:.1}% at k = {}",
         mesh_peak.k, mesh_peak.mesh_pct, last.psync_pct, last.k
     );
-    write_json("fig11", &pts);
+    write_json("fig11", &pts)?;
+    Ok(())
 }

@@ -6,11 +6,11 @@
 //! cargo run --release -p bench --bin fig13_scaling
 //! ```
 
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use llmore::sweep::{paper_core_counts, sweep_cores};
 use llmore::SystemParams;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let pts = sweep_cores(&SystemParams::default(), &paper_core_counts());
     let cells: Vec<Vec<String>> = pts
         .iter()
@@ -47,5 +47,6 @@ fn main() {
         mesh_peak.cores,
         pts.last().unwrap().psync_gflops / pts.last().unwrap().ideal_gflops
     );
-    write_json("fig13", &pts);
+    write_json("fig13", &pts)?;
+    Ok(())
 }

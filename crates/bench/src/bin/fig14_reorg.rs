@@ -5,11 +5,11 @@
 //! cargo run --release -p bench --bin fig14_reorg
 //! ```
 
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use llmore::sweep::{paper_core_counts, sweep_cores};
 use llmore::SystemParams;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let pts = sweep_cores(&SystemParams::default(), &paper_core_counts());
     let cells: Vec<Vec<String>> = pts
         .iter()
@@ -35,5 +35,6 @@ fn main() {
         last.mesh_reorg_frac * 100.0,
         last.psync_reorg_frac * 100.0
     );
-    write_json("fig14", &pts);
+    write_json("fig14", &pts)?;
+    Ok(())
 }

@@ -11,7 +11,7 @@
 //! cargo run --release -p bench --bin fig5_energy [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::energy::OrionParams;
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
@@ -42,7 +42,7 @@ fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize) -> f64 {
     OrionParams::default().pj_per_payload_bit(&res.energy, nodes, payload_bits)
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let sizes: &[usize] = if quick_mode() {
         &[16, 64, 256]
     } else {
@@ -76,5 +76,6 @@ fn main() {
     );
     let min_ratio = points.iter().map(|p| p.ratio).fold(f64::INFINITY, f64::min);
     println!("minimum PSCAN advantage: {min_ratio:.1}x (paper: at least 5.2x)");
-    write_json("fig5_energy", &points);
+    write_json("fig5_energy", &points)?;
+    Ok(())
 }

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::workloads::load_transpose;
 use serde::Serialize;
@@ -74,7 +74,7 @@ fn run_one(procs: usize, row_len: usize, policy: RoutingPolicy, t_p: u64) -> Per
     }
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let quick = bench::quick_mode();
     let (procs, row_len) = if quick { (256, 256) } else { (1024, 1024) };
 
@@ -114,5 +114,6 @@ fn main() {
         )
     );
 
-    write_json("perf_mesh", &rows);
+    write_json("perf_mesh", &rows)?;
+    Ok(())
 }

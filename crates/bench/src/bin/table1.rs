@@ -5,9 +5,9 @@
 //! ```
 
 use analytic::table1::{table1, PAPER_TABLE1};
-use bench::{f, render_table, write_json};
+use bench::{f, render_table, write_json, BenchError};
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let rows = table1();
     let cells: Vec<Vec<String>> = rows
         .iter()
@@ -40,7 +40,7 @@ fn main() {
             &cells
         )
     );
-    write_json("table1", &rows);
+    write_json("table1", &rows)?;
 
     // Exact-match audit against the printed paper values.
     let mut mismatches = 0;
@@ -50,4 +50,5 @@ fn main() {
         }
     }
     println!("paper-value mismatches: {mismatches} (expect 0)");
+    Ok(())
 }

@@ -8,7 +8,7 @@
 
 use analytic::model::FftParams;
 use analytic::table2::{table2, PAPER_TABLE2};
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
 use emesh::workloads::load_scatter;
@@ -42,7 +42,7 @@ fn simulated_delivery_efficiency(p: usize, block_words: usize) -> f64 {
     ideal / res.cycles as f64
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let params = FftParams::default();
     let rows = table2();
     // Simulating the delivery on a real 256-node mesh is meaningful but
@@ -87,5 +87,6 @@ fn main() {
         "peak efficiency: {:.2}% at k = {} (paper: 81.74% at k = 8)",
         peak.eta_pct, peak.k
     );
-    write_json("table2", &out_rows);
+    write_json("table2", &out_rows)?;
+    Ok(())
 }

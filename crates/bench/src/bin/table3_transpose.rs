@@ -16,7 +16,7 @@
 use analytic::table3::{
     table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
 };
-use bench::{f, quick_mode, render_table, write_json};
+use bench::{f, quick_mode, render_table, write_json, BenchError};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
 use rayon::prelude::*;
@@ -44,7 +44,7 @@ fn mesh_transpose_cycles(procs: usize, row_len: usize, t_p: u64) -> u64 {
     res.cycles
 }
 
-fn main() {
+fn main() -> std::result::Result<(), BenchError> {
     let (procs, row_len) = if quick_mode() {
         (256, 256)
     } else {
@@ -128,5 +128,6 @@ fn main() {
             result.pscan_cycles
         );
     }
-    write_json("table3", &result);
+    write_json("table3", &result)?;
+    Ok(())
 }

@@ -8,6 +8,48 @@
 use serde::Serialize;
 use std::path::PathBuf;
 
+/// Harness plumbing failure: the experiment ran, but its rows could not be
+/// recorded. Binaries propagate this out of `main` for a nonzero exit.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Creating or writing a file under `results/` failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// Serializing the result rows failed.
+    Serialize {
+        /// The experiment name.
+        name: String,
+        /// The underlying serializer error.
+        source: serde_json::Error,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io { path, source } => {
+                write!(f, "result file {}: {source}", path.display())
+            }
+            BenchError::Serialize { name, source } => {
+                write!(f, "serialize {name} rows: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Serialize { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Render an aligned text table.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -55,28 +97,29 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(dir)
 }
 
-/// Serialize experiment rows to `results/<name>.json` (best-effort: a
-/// read-only checkout just skips the write).
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+/// Serialize experiment rows to `results/<name>.json`. Failures propagate —
+/// the harness must exit nonzero rather than silently publish a table whose
+/// backing JSON was never written. `--no-json` skips the write entirely.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Result<(), BenchError> {
     if std::env::args().any(|a| a == "--no-json") {
-        return;
+        return Ok(());
     }
     let dir = results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: could not create {}: {e}", dir.display());
-        return;
-    }
+    std::fs::create_dir_all(&dir).map_err(|source| BenchError::Io {
+        path: dir.clone(),
+        source,
+    })?;
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                eprintln!("wrote {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: serialize {name}: {e}"),
-    }
+    let s = serde_json::to_string_pretty(value).map_err(|source| BenchError::Serialize {
+        name: name.to_string(),
+        source,
+    })?;
+    std::fs::write(&path, s).map_err(|source| BenchError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 /// `--quick` flag: harnesses shrink the expensive experiments.

@@ -37,6 +37,9 @@ impl FlitKind {
 pub struct Flit {
     /// Destination node index.
     pub dest: u32,
+    /// Source node index (stamped by the mesh at injection; the NACK path
+    /// retransmits to it).
+    pub src: u32,
     /// Payload: for transpose traffic, the linear DRAM word address of the
     /// element; for delivery traffic, a data word.
     pub payload: u64,
@@ -47,6 +50,9 @@ pub struct Flit {
     /// Earliest cycle this flit may next be forwarded (set on arrival:
     /// `cycle + 1` for body/tail, `cycle + 1 + t_r` for heads).
     pub ready_at: u64,
+    /// Poisoned by fault injection (a failed-ECC flag; the payload word is
+    /// retained so a retransmission carries clean data).
+    pub corrupted: bool,
 }
 
 /// A whole packet, pre-flitted.
@@ -115,10 +121,12 @@ impl Packet {
             };
             out.push(Flit {
                 dest: self.dest,
+                src: 0,
                 payload,
                 kind,
                 packet: self.id,
                 ready_at: 0,
+                corrupted: false,
             });
         }
         out

@@ -22,12 +22,16 @@
 //! * [`workloads`] — the paper's traffic patterns: transpose gather
 //!   (Table III), blocked scatter delivery (Tables I/II context, Fig. 11),
 //!   and an SCA-equivalent gather for the Fig. 5 energy comparison.
+//! * [`faults`] — deterministic fault injection and resilience: transient
+//!   corruption with NACK/retransmit at the memory interface, transient
+//!   link outages, hard router kills, and a no-progress watchdog.
 //! * [`energy`] — ORION-style per-flit router/link energy on a fixed
 //!   2 cm × 2 cm die where the link-repeater count is inversely related to
 //!   the number of network nodes (§III-C).
 
 pub mod ebus;
 pub mod energy;
+pub mod faults;
 pub mod flit;
 pub mod memif;
 pub mod mesh;
@@ -37,6 +41,7 @@ pub mod workloads;
 
 pub use ebus::EbusParams;
 pub use energy::{EnergyCounters, OrionParams};
+pub use faults::{MeshDiagnostic, MeshFaultConfig, MeshFaultStats, RouterKill};
 pub use flit::{Flit, FlitKind, Packet};
-pub use mesh::{Mesh, MeshConfig, RoutingPolicy};
+pub use mesh::{Mesh, MeshConfig, MeshError, RoutingPolicy};
 pub use topology::{MemifPlacement, NodeCoord, Topology};

@@ -51,6 +51,8 @@ pub struct MemifStats {
     pub dram_done: u64,
     /// Cycle the last flit was accepted.
     pub last_accept: u64,
+    /// Poisoned flits detected and refused staging (NACKed upstream).
+    pub nacked: u64,
 }
 
 /// One memory interface instance.
@@ -103,6 +105,21 @@ impl MemIf {
         }
         if flit.kind.is_tail() {
             // Reorder/staging occupancy blocks the next ejection.
+            self.free_at = cycle + 1 + self.cfg.t_p;
+        }
+    }
+
+    /// Accept a *poisoned* flit at `cycle`: it occupies the ejection port
+    /// and reorder unit exactly like a clean flit (the corruption is only
+    /// detected once the element reaches the interface) but is refused
+    /// staging — the caller NACKs the source instead.
+    pub fn accept_nack(&mut self, cycle: u64, flit: &Flit) {
+        debug_assert!(self.can_accept(cycle));
+        self.stats.flits_accepted += 1;
+        self.stats.last_accept = cycle;
+        self.stats.nacked += 1;
+        self.free_at = cycle + 1;
+        if flit.kind.is_tail() {
             self.free_at = cycle + 1 + self.cfg.t_p;
         }
     }

@@ -37,7 +37,10 @@ use serde::{Deserialize, Serialize};
 use sim_core::stats::Histogram;
 
 use crate::energy::EnergyCounters;
-use crate::flit::{Flit, FlitKind};
+use crate::faults::{
+    FaultLayer, MeshDiagnostic, MeshFaultConfig, MeshFaultStats, Retransmit, PROBE_INTERVAL,
+};
+use crate::flit::{Flit, FlitKind, Packet};
 use crate::memif::{MemIf, MemifConfig, MemifStats};
 use crate::router::{Port, Router, NUM_PORTS};
 use crate::topology::Topology;
@@ -103,6 +106,30 @@ pub enum MeshError {
         /// The limit.
         limit: u64,
     },
+    /// Traffic is pending and wakeups keep firing, but no flit has moved
+    /// for the fault layer's watchdog window: a livelock (e.g. senders
+    /// probing a hard-killed router forever). Carries a structured dump of
+    /// where everything is stuck instead of hanging.
+    NoProgress {
+        /// Cycle at which the watchdog gave up.
+        at_cycle: u64,
+        /// The diagnostic dump.
+        report: Box<MeshDiagnostic>,
+    },
+    /// A packet was injected at a node id outside the topology.
+    BadInjection {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the mesh.
+        nodes: usize,
+    },
+    /// A packet was injected at a hard-killed router.
+    DeadNode {
+        /// The offending node id.
+        node: u32,
+        /// Cycle the router died.
+        killed_at: u64,
+    },
 }
 
 impl std::fmt::Display for MeshError {
@@ -118,6 +145,25 @@ impl std::fmt::Display for MeshError {
                 )
             }
             MeshError::CycleLimit { limit } => write!(f, "mesh exceeded {limit} cycles"),
+            MeshError::NoProgress { at_cycle, report } => write!(
+                f,
+                "mesh livelocked (no flit movement) at cycle {at_cycle}: \
+                 {} in flight, {} pending injection, {} pending retransmits, \
+                 killed routers {:?}",
+                report.in_flight,
+                report.pending_inject,
+                report.pending_retransmits,
+                report.killed_routers,
+            ),
+            MeshError::BadInjection { node, nodes } => {
+                write!(f, "injection at node {node} outside the {nodes}-node mesh")
+            }
+            MeshError::DeadNode { node, killed_at } => {
+                write!(
+                    f,
+                    "injection at node {node}, which was hard-killed at cycle {killed_at}"
+                )
+            }
         }
     }
 }
@@ -144,6 +190,8 @@ pub struct MeshRunResult {
     /// (§V-C: "an unavoidable bottleneck at the memory interface") shows up
     /// as the maximum, at the memory-interface router.
     pub router_forwards: Vec<u64>,
+    /// Fault-layer counters, if a fault layer was attached.
+    pub faults: Option<MeshFaultStats>,
 }
 
 #[derive(PartialEq, Eq)]
@@ -294,6 +342,13 @@ pub struct Mesh {
     energy: EnergyCounters,
     router_forwards: Vec<u64>,
     now: u64,
+    /// Fault-injection layer; `None` (the default) leaves every hot path
+    /// untouched and the simulation bit-identical to the fault-free build.
+    faults: Option<FaultLayer>,
+    /// Watchdog: flit-movement odometer at the last observed change, and
+    /// the cycle it changed.
+    progress_metric: u64,
+    progress_cycle: u64,
 }
 
 const NEVER: u64 = u64::MAX;
@@ -330,7 +385,21 @@ impl Mesh {
             energy: EnergyCounters::default(),
             router_forwards: vec![0; n],
             now: 0,
+            faults: None,
+            progress_metric: 0,
+            progress_cycle: 0,
         }
+    }
+
+    /// Attach (or replace) the fault-injection layer. With all rates zero
+    /// and no kills the attached layer never perturbs the simulation.
+    pub fn enable_faults(&mut self, cfg: MeshFaultConfig) {
+        self.faults = Some(FaultLayer::new(cfg, self.cfg.topology.nodes()));
+    }
+
+    /// The fault layer, if attached.
+    pub fn faults(&self) -> Option<&FaultLayer> {
+        self.faults.as_ref()
     }
 
     /// Retain delivered payload words at processor sinks (for tests /
@@ -349,11 +418,42 @@ impl Mesh {
     /// Queue `packet` for injection at `node` (flits leave in FIFO order,
     /// one per cycle at best).
     ///
+    /// # Panics
+    /// Panics on an out-of-range or hard-killed node id; use
+    /// [`Mesh::try_inject_packet`] for a structured error instead.
+    pub fn inject_packet(&mut self, node: u32, packet: &Packet) {
+        if let Err(e) = self.try_inject_packet(node, packet) {
+            panic!("inject_packet: {e}");
+        }
+    }
+
+    /// Queue `packet` for injection at `node`, rejecting invalid targets.
+    ///
     /// Injection may happen between [`Mesh::run`] calls: the node wakes at
     /// the *current* cycle, or the next one if it was already serviced this
     /// cycle (a same-cycle wake would pop as already-processed and the new
     /// traffic would falsely deadlock).
-    pub fn inject_packet(&mut self, node: u32, packet: &crate::flit::Packet) {
+    ///
+    /// # Errors
+    /// [`MeshError::BadInjection`] if `node` is outside the topology;
+    /// [`MeshError::DeadNode`] if `node` is a router already hard-killed
+    /// (its injector will never run, so the packet would silently wedge
+    /// the mesh).
+    pub fn try_inject_packet(&mut self, node: u32, packet: &Packet) -> Result<(), MeshError> {
+        let nodes = self.cfg.topology.nodes();
+        if node as usize >= nodes {
+            return Err(MeshError::BadInjection { node, nodes });
+        }
+        if let Some(fl) = &self.faults {
+            if let Some(at) = fl.killed_at[node as usize] {
+                if at <= self.now {
+                    return Err(MeshError::DeadNode {
+                        node,
+                        killed_at: at,
+                    });
+                }
+            }
+        }
         let flits = packet.flits();
         self.pending_inject += flits.len() as u64;
         self.inject[node as usize].extend(flits);
@@ -363,6 +463,7 @@ impl Mesh {
             self.now
         };
         self.wake(node, at);
+        Ok(())
     }
 
     /// The configuration.
@@ -457,6 +558,9 @@ impl Mesh {
 
     /// Process router `r` at cycle `c`: injection then port service.
     fn process(&mut self, r: u32, c: u64) {
+        if self.faults.as_ref().is_some_and(|fl| fl.is_dead(r, c)) {
+            return; // a hard-killed router does nothing, forever
+        }
         self.try_inject(r, c);
         for k in 0..NUM_PORTS {
             let p = (k + c as usize) % NUM_PORTS;
@@ -478,6 +582,7 @@ impl Mesh {
             return;
         }
         let mut flit = self.inject[ri].pop_front().expect("non-empty");
+        flit.src = r;
         flit.ready_at = c + 1 + if flit.kind.is_head() { self.cfg.t_r } else { 0 };
         let ready = flit.ready_at;
         if flit.kind.is_head() {
@@ -539,14 +644,49 @@ impl Mesh {
 
         let n = self.neighbor(r, out);
         let q = out.opposite() as usize;
+        if self.faults.is_some() {
+            if self.faults.as_ref().is_some_and(|fl| fl.is_dead(n, c)) {
+                // Dead neighbour: hold the flit and re-probe. Nothing will
+                // ever answer, so this is a livelock by design — the
+                // watchdog converts it into a structured diagnostic.
+                self.faults.as_mut().expect("checked").stats.probes += 1;
+                self.wake(r, c + PROBE_INTERVAL);
+                return;
+            }
+            let until = self.faults.as_ref().expect("checked").down_until[ri][o];
+            if until > c {
+                // Link still down from an earlier outage; resume then.
+                self.wake(r, until);
+                return;
+            }
+        }
         if !self.routers[n as usize].has_space_depth(q, self.cfg.buffer_depth) {
             // Woken when (n, q) pops.
             return;
+        }
+        if let Some(fl) = self.faults.as_mut() {
+            // One outage trial per committed traversal of link (r, out).
+            if fl.link_down.fire() {
+                let until = c + fl.cfg.link_down_cycles;
+                fl.down_until[ri][o] = until;
+                fl.stats.link_down_events += 1;
+                self.wake(r, until);
+                return;
+            }
         }
 
         // Commit the move.
         let mut flit = self.routers[ri].inputs[p].buf.pop_front().expect("head");
         self.after_pop(r, p, c);
+        if let Some(fl) = self.faults.as_mut() {
+            // Payload corruption in flight, modelled as a failed-ECC flag
+            // (header flits are protected: corrupting routing state would
+            // misdeliver rather than degrade).
+            if !matches!(flit.kind, FlitKind::Head) && fl.corrupt.fire() {
+                flit.corrupted = true;
+                fl.stats.corrupted_flits += 1;
+            }
+        }
         flit.ready_at = c + 1 + if flit.kind.is_head() { self.cfg.t_r } else { 0 };
         let ready = flit.ready_at;
         self.update_channel_state(ri, p, o, &flit, c);
@@ -583,8 +723,12 @@ impl Mesh {
             let flit = self.routers[ri].inputs[p].buf.pop_front().expect("head");
             self.after_pop(r, p, c);
             self.update_channel_state(ri, p, Port::Local as usize, &flit, c);
-            let m = &mut self.memifs[slot as usize];
-            m.accept(c, &flit);
+            if flit.corrupted {
+                self.nack(slot, r, c, &flit);
+            } else {
+                let m = &mut self.memifs[slot as usize];
+                m.accept(c, &flit);
+            }
             self.record_latency(&flit, c);
             self.in_flight -= 1;
             self.energy.router_traversals += 1;
@@ -598,7 +742,12 @@ impl Mesh {
             self.after_pop(r, p, c);
             self.update_channel_state(ri, p, Port::Local as usize, &flit, c);
             let is_payload = !matches!(flit.kind, FlitKind::Head);
-            if is_payload {
+            if is_payload && flit.corrupted {
+                // Sinks detect but do not NACK (the paper's retransmit sits
+                // at the memory interface); the word is lost.
+                let fl = self.faults.as_mut().expect("corrupted implies faults");
+                fl.stats.dropped_elements += 1;
+            } else if is_payload {
                 self.sink_delivered[ri] += 1;
                 self.sink_last_cycle[ri] = c;
                 if self.collect_sink_words {
@@ -610,6 +759,92 @@ impl Mesh {
             self.energy.router_traversals += 1;
             self.energy.ejections += 1;
             self.router_forwards[ri] += 1;
+        }
+    }
+
+    /// A poisoned flit reached memory interface `slot` at router `r`: charge
+    /// its port timing, refuse staging, and (if enabled and within budget)
+    /// schedule the source to retransmit the element after the NACK
+    /// turnaround.
+    fn nack(&mut self, slot: u32, r: u32, c: u64, flit: &Flit) {
+        self.memifs[slot as usize].accept_nack(c, flit);
+        let fl = self.faults.as_mut().expect("corrupted implies faults");
+        fl.stats.nacks += 1;
+        if !fl.cfg.retransmit {
+            fl.stats.dropped_elements += 1;
+            return;
+        }
+        let attempts = fl.attempts.entry((flit.src, flit.packet)).or_insert(0);
+        if *attempts >= fl.cfg.max_retransmits {
+            fl.stats.dropped_elements += 1;
+            return;
+        }
+        *attempts += 1;
+        fl.stats.retransmits += 1;
+        fl.retx.push_back(Retransmit {
+            due: c + fl.cfg.nack_delay,
+            src: flit.src,
+            packet: Packet::with_header(r, flit.packet, vec![flit.payload]),
+        });
+    }
+
+    /// Re-inject every NACKed element whose turnaround has elapsed by `c`.
+    fn drain_due_retransmits(&mut self, c: u64) {
+        loop {
+            let Some(fl) = self.faults.as_mut() else {
+                return;
+            };
+            if fl.retx.front().is_none_or(|rt| rt.due > c) {
+                return;
+            }
+            let rt = fl.retx.pop_front().expect("checked");
+            if fl.is_dead(rt.src, c) {
+                // The source died while the NACK was in flight.
+                fl.stats.dropped_elements += 1;
+                continue;
+            }
+            self.try_inject_packet(rt.src, &rt.packet)
+                .expect("liveness just checked");
+        }
+    }
+
+    /// Watchdog: with traffic pending and no flit movement for the
+    /// configured window, abort with a structured diagnostic. Only called
+    /// when a fault layer is attached.
+    fn watchdog_check(&mut self, c: u64) -> Result<(), MeshError> {
+        let metric = self.energy.injections + self.energy.router_traversals + self.energy.ejections;
+        if metric != self.progress_metric {
+            self.progress_metric = metric;
+            self.progress_cycle = c;
+            return Ok(());
+        }
+        let fl = self.faults.as_ref().expect("gated on faults");
+        let pending = self.pending_inject + self.in_flight + fl.retx.len() as u64;
+        if pending > 0 && c - self.progress_cycle >= fl.cfg.watchdog_cycles {
+            return Err(MeshError::NoProgress {
+                at_cycle: c,
+                report: Box::new(self.diagnostic(c)),
+            });
+        }
+        Ok(())
+    }
+
+    /// Structured dump of where traffic is stuck.
+    fn diagnostic(&self, c: u64) -> MeshDiagnostic {
+        let fl = self.faults.as_ref().expect("fault layer attached");
+        MeshDiagnostic {
+            killed_routers: fl.dead_routers(c),
+            in_flight: self.in_flight,
+            pending_inject: self.pending_inject,
+            pending_retransmits: fl.retx.len() as u64,
+            stuck_routers: self
+                .routers
+                .iter()
+                .enumerate()
+                .filter(|(_, router)| !router.is_empty())
+                .map(|(i, router)| (i as u32, router.occupancy() as u32))
+                .collect(),
+            stats: fl.stats,
         }
     }
 
@@ -652,7 +887,14 @@ impl Mesh {
     /// Drive the simulation until all traffic drains. Returns completion
     /// cycle and statistics.
     pub fn run(&mut self) -> Result<MeshRunResult, MeshError> {
-        while let Some(c) = self.wheel.next_cycle() {
+        loop {
+            // Next service cycle: earliest wheel wakeup or NACK-retransmit
+            // turnaround, whichever comes first.
+            let mut next = self.wheel.next_cycle();
+            if let Some(due) = self.faults.as_ref().and_then(|fl| fl.next_retx_due()) {
+                next = Some(next.map_or(due, |n| n.min(due)));
+            }
+            let Some(c) = next else { break };
             if c > self.cfg.max_cycles {
                 return Err(MeshError::CycleLimit {
                     limit: self.cfg.max_cycles,
@@ -661,6 +903,7 @@ impl Mesh {
             debug_assert!(c >= self.now, "wakeup in the past");
             self.now = c;
             self.wheel.advance_to(c);
+            self.drain_due_retransmits(c);
             // Drain the bucket for cycle `c` in insertion order. Every wake
             // pushed while processing cycle `c` targets a cycle ≥ c + 1, so
             // the bucket cannot grow (or be reused — c + WINDOW is spilled
@@ -690,11 +933,15 @@ impl Mesh {
                 "same-cycle wake pushed while draining"
             );
             self.wheel.buckets[b] = ids;
+            if self.faults.is_some() {
+                self.watchdog_check(c)?;
+            }
         }
-        if self.pending_inject > 0 || self.in_flight > 0 {
+        let pending_retx = self.faults.as_ref().map_or(0, |fl| fl.retx.len() as u64);
+        if self.pending_inject > 0 || self.in_flight > 0 || pending_retx > 0 {
             return Err(MeshError::Deadlock {
                 at_cycle: self.now,
-                in_flight: self.in_flight + self.pending_inject,
+                in_flight: self.in_flight + self.pending_inject + pending_retx,
             });
         }
         // Account DRAM drain beyond the last network event.
@@ -711,6 +958,7 @@ impl Mesh {
             sink_last_cycle: self.sink_last_cycle.clone(),
             latency: self.latency.clone(),
             router_forwards: self.router_forwards.clone(),
+            faults: self.faults.as_ref().map(|fl| fl.stats),
         })
     }
 

@@ -76,10 +76,12 @@ impl Default for FlitRing {
     fn default() -> Self {
         const EMPTY: Flit = Flit {
             dest: 0,
+            src: 0,
             payload: 0,
             kind: FlitKind::HeadTail,
             packet: 0,
             ready_at: 0,
+            corrupted: false,
         };
         FlitRing {
             slots: [EMPTY; Self::MAX_DEPTH],

@@ -1,0 +1,84 @@
+//! CRC-32 over bus words — the gather integrity check.
+//!
+//! A real PSCAN terminus cannot trust the photodiode bit-for-bit: the link
+//! budget engineers the BER down to ~10⁻¹², not zero, and thermal drift
+//! erodes the margin further. The head node therefore checksums each
+//! coalesced burst and compares against the CRC the communication programs
+//! commit to, exactly as the Photonic Fabric–class interconnects ship
+//! link-level CRC with retry. This module is the (software-modelled)
+//! polynomial: CRC-32/IEEE (reflected, poly 0xEDB88320), applied to each
+//! 64-bit bus word in little-endian byte order.
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte slice, seedable for streaming.
+fn crc32_bytes(mut crc: u32, bytes: &[u8]) -> u32 {
+    crc = !crc;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// CRC-32 of a sequence of 64-bit bus words (little-endian byte order),
+/// continuing from a previous checksum (`0` to start).
+pub fn crc32_words_update(crc: u32, words: &[u64]) -> u32 {
+    let mut c = crc;
+    for w in words {
+        c = crc32_bytes(c, &w.to_le_bytes());
+    }
+    c
+}
+
+/// CRC-32 of a sequence of 64-bit bus words.
+pub fn crc32_words(words: &[u64]) -> u32 {
+    crc32_words_update(0, words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_check_vector() {
+        // CRC-32/IEEE("123456789") = 0xCBF43926.
+        assert_eq!(crc32_bytes(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc32_words(&[]), 0);
+        assert_eq!(crc32_bytes(0, b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let words: Vec<u64> = (0..37).map(|i| i * 0x9E37_79B9).collect();
+        let full = crc32_words(&words);
+        let (a, b) = words.split_at(13);
+        assert_eq!(crc32_words_update(crc32_words(a), b), full);
+        let _ = a;
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        // CRC-32 detects all single-bit errors by construction; exercise a
+        // spread of positions.
+        let words: Vec<u64> = (0..16).map(|i| 0xDEAD_BEEF ^ (i << 40)).collect();
+        let clean = crc32_words(&words);
+        for word in [0usize, 7, 15] {
+            for bit in [0u32, 1, 31, 32, 63] {
+                let mut w = words.clone();
+                w[word] ^= 1u64 << bit;
+                assert_ne!(crc32_words(&w), clean, "word {word} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_matters() {
+        assert_ne!(crc32_words(&[1, 2]), crc32_words(&[2, 1]));
+    }
+}

@@ -25,11 +25,16 @@
 //!   "multi-purpose physical channel"), respecting bus directionality.
 //! * [`repeater`] — repeater-linked segment chains (§III-B: "individual
 //!   PSCAN segments can be linked via repeaters to form larger networks").
+//! * [`crc`] / [`faults`] — the resilience layer: CRC-32 burst integrity,
+//!   BER/thermal-derived deterministic word corruption, and the bounded
+//!   retry-with-backoff protocol exposed as `Pscan::gather_reliable`.
 
 pub mod arbitration;
 pub mod bus;
 pub mod compiler;
 pub mod cp;
+pub mod crc;
+pub mod faults;
 pub mod fifo;
 pub mod network;
 pub mod redistribute;
@@ -40,6 +45,8 @@ pub use arbitration::{Message, TdmPlanner};
 pub use bus::{BusError, BusSim, GatherOutcome, ScatterOutcome, TransactOutcome};
 pub use compiler::{CpCompiler, GatherSpec, ScatterSpec};
 pub use cp::{CommProgram, CpAction, CpEntry};
+pub use crc::{crc32_words, crc32_words_update};
+pub use faults::{PscanError, PscanFaultConfig, PscanFaultState, ReliableGatherOutcome};
 pub use fifo::DualClockFifo;
 pub use network::{Pscan, PscanConfig};
 pub use redistribute::{compile as compile_redistribution, Layout, Perm};

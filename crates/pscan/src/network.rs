@@ -22,6 +22,8 @@ use sim_core::time::Duration;
 
 use crate::bus::{BusError, BusSim, GatherOutcome, ScatterOutcome};
 use crate::compiler::{CpCompiler, GatherSpec, ScatterSpec};
+use crate::crc::crc32_words_update;
+use crate::faults::{PscanError, PscanFaultConfig, PscanFaultState, ReliableGatherOutcome};
 
 /// Configuration of a PSCAN instance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,12 +56,14 @@ impl PscanConfig {
     }
 }
 
-/// A configured PSCAN: compiler + bus simulator + energy model.
+/// A configured PSCAN: compiler + bus simulator + energy model, plus an
+/// optional fault layer (off by default; zero-cost when absent).
 #[derive(Debug, Clone)]
 pub struct Pscan {
     cfg: PscanConfig,
     bus: BusSim,
     energy: PhotonicEnergyModel,
+    faults: Option<PscanFaultState>,
 }
 
 impl Pscan {
@@ -71,7 +75,23 @@ impl Pscan {
             plan: cfg.plan.clone(),
             ..Default::default()
         };
-        Pscan { cfg, bus, energy }
+        Pscan {
+            cfg,
+            bus,
+            energy,
+            faults: None,
+        }
+    }
+
+    /// Attach (or replace) the fault layer. The ideal [`Pscan::gather`] path
+    /// is untouched; only [`Pscan::gather_reliable`] consults it.
+    pub fn set_faults(&mut self, cfg: PscanFaultConfig) {
+        self.faults = Some(PscanFaultState::new(cfg));
+    }
+
+    /// The fault layer, if attached.
+    pub fn faults(&self) -> Option<&PscanFaultState> {
+        self.faults.as_ref()
     }
 
     /// The configuration.
@@ -93,6 +113,95 @@ impl Pscan {
     pub fn gather(&self, spec: &GatherSpec, data: &[Vec<u64>]) -> Result<GatherOutcome, BusError> {
         let cps = CpCompiler.compile_gather(spec, self.cfg.nodes);
         self.bus.gather(&cps, data)
+    }
+
+    /// A CRC-checked gather with bounded retry — the fault-aware sibling of
+    /// [`Pscan::gather`].
+    ///
+    /// Each attempt replays the SCA burst; the terminus corrupts received
+    /// words according to the attached fault layer, checksums the burst
+    /// ([`crate::crc`]) against the CRC the communication programs committed
+    /// to, and on mismatch backs off exponentially (in bus slots, bounded by
+    /// the config cap) before retrying. Corrupted words are attributed to the
+    /// node whose CP drove the slot, giving per-CP error counters. With no
+    /// fault layer (or at word error rate 0) this is exactly one clean pass
+    /// and consumes no randomness.
+    pub fn gather_reliable(
+        &mut self,
+        spec: &GatherSpec,
+        data: &[Vec<u64>],
+    ) -> Result<ReliableGatherOutcome, PscanError> {
+        let cps = CpCompiler.compile_gather(spec, self.cfg.nodes);
+        let clean = self.bus.gather(&cps, data)?;
+        // The CRC the senders commit to: over the words they spliced, in
+        // wavefront order (gap slots carry no word and are skipped).
+        let committed_crc = clean
+            .received
+            .iter()
+            .flatten()
+            .fold(0u32, |c, &w| crc32_words_update(c, &[w]));
+        let burst_slots = clean.received.len() as u64;
+
+        let fcfg = self.faults.as_ref().map(|f| f.cfg);
+        let max_attempts = fcfg.map_or(1, |c| c.max_retries + 1);
+        let mut errors_by_node = vec![0u64; self.cfg.nodes];
+        let mut corrupted_total = 0u64;
+        let mut backoff_total = 0u64;
+        let mut slots_on_bus = 0u64;
+
+        for attempt in 1..=max_attempts {
+            slots_on_bus += burst_slots;
+            let mut received = clean.received.clone();
+            let mut corrupted_this_pass = 0u64;
+            if let Some(state) = self.faults.as_mut() {
+                for (slot, word) in received.iter_mut().enumerate() {
+                    if let Some(w) = word.as_mut() {
+                        if state.corrupt(w) {
+                            corrupted_this_pass += 1;
+                            if let Some(&node) = spec.slot_source.get(slot) {
+                                if node < errors_by_node.len() {
+                                    errors_by_node[node] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            corrupted_total += corrupted_this_pass;
+            let observed_crc = received
+                .iter()
+                .flatten()
+                .fold(0u32, |c, &w| crc32_words_update(c, &[w]));
+            if observed_crc == committed_crc {
+                let mut outcome = clean;
+                outcome.received = received;
+                return Ok(ReliableGatherOutcome {
+                    outcome,
+                    attempts: attempt,
+                    retries: attempt - 1,
+                    corrupted_words: corrupted_total,
+                    backoff_slots: backoff_total,
+                    slots_on_bus,
+                    errors_by_node,
+                    crc: observed_crc,
+                });
+            }
+            if let Some(state) = self.faults.as_mut() {
+                state.stats.detected += corrupted_this_pass;
+                if attempt < max_attempts {
+                    state.stats.retries += 1;
+                    let wait = state.cfg.backoff_slots(attempt);
+                    backoff_total += wait;
+                    slots_on_bus += wait;
+                } else {
+                    state.stats.giveups += 1;
+                }
+            }
+        }
+        Err(PscanError::RetriesExhausted {
+            attempts: max_attempts,
+            corrupted_words: corrupted_total,
+        })
     }
 
     /// Compile and execute a scatter in one call.
@@ -156,6 +265,133 @@ mod tests {
         let p = Pscan::new(PscanConfig::default());
         // 2048-bit row + 64-bit header over a 32-bit bus word = 66 slots.
         assert_eq!(p.cycles_for_bits(2048 + 64), 66);
+    }
+
+    #[test]
+    fn gather_reliable_without_faults_is_one_clean_pass() {
+        let mut p = Pscan::new(PscanConfig {
+            nodes: 4,
+            ..Default::default()
+        });
+        let spec = GatherSpec {
+            slot_source: vec![0, 1, 2, 3],
+        };
+        let data: Vec<Vec<u64>> = (0..4).map(|n| vec![n * 10]).collect();
+        let clean = p.gather(&spec, &data).unwrap();
+        let out = p.gather_reliable(&spec, &data).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.corrupted_words, 0);
+        assert_eq!(out.backoff_slots, 0);
+        assert_eq!(out.outcome.received, clean.received);
+        assert_eq!(out.slots_on_bus, clean.received.len() as u64);
+        assert!(out.errors_by_node.iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn gather_reliable_zero_rate_matches_clean_and_draws_nothing() {
+        let mut p = Pscan::new(PscanConfig {
+            nodes: 4,
+            ..Default::default()
+        });
+        p.set_faults(PscanFaultConfig {
+            seed: 5,
+            word_error_rate: 0.0,
+            ..Default::default()
+        });
+        let spec = GatherSpec {
+            slot_source: vec![0, 1, 2, 3],
+        };
+        let data: Vec<Vec<u64>> = (0..4).map(|n| vec![n + 7]).collect();
+        let clean = p.gather(&spec, &data).unwrap();
+        let out = p.gather_reliable(&spec, &data).unwrap();
+        assert_eq!(out.outcome.received, clean.received);
+        assert_eq!(out.retries, 0);
+        assert_eq!(p.faults().unwrap().stats.injected, 0);
+    }
+
+    #[test]
+    fn gather_reliable_retries_and_recovers_under_noise() {
+        let mut p = Pscan::new(PscanConfig {
+            nodes: 8,
+            ..Default::default()
+        });
+        p.set_faults(PscanFaultConfig {
+            seed: 2,
+            word_error_rate: 0.05,
+            max_retries: 64,
+            ..Default::default()
+        });
+        let spec = GatherSpec::interleaved(8, 2, 2);
+        let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 4]).collect();
+        let clean = p.gather(&spec, &data).unwrap();
+        let out = p.gather_reliable(&spec, &data).unwrap();
+        // At 5% per word over a 32-word burst, a pass fails with p ≈ 0.8, so
+        // the 64-retry budget recovers with near certainty (and this seed is
+        // deterministic); the accepted burst is clean.
+        assert!(out.retries > 0, "expected at least one retry");
+        assert_eq!(out.outcome.received, clean.received);
+        assert!(out.corrupted_words > 0);
+        assert!(out.backoff_slots > 0);
+        assert!(out.slots_on_bus > clean.received.len() as u64);
+        assert_eq!(
+            out.errors_by_node.iter().sum::<u64>(),
+            out.corrupted_words,
+            "every corrupted word is attributed to a driving CP"
+        );
+        let stats = p.faults().unwrap().stats;
+        assert_eq!(stats.retries, u64::from(out.retries));
+        assert_eq!(stats.giveups, 0);
+    }
+
+    #[test]
+    fn gather_reliable_exhausts_retries_at_rate_one() {
+        let mut p = Pscan::new(PscanConfig {
+            nodes: 4,
+            ..Default::default()
+        });
+        p.set_faults(PscanFaultConfig {
+            seed: 3,
+            word_error_rate: 1.0,
+            max_retries: 3,
+            ..Default::default()
+        });
+        let spec = GatherSpec {
+            slot_source: vec![0, 1, 2, 3],
+        };
+        let data: Vec<Vec<u64>> = (0..4).map(|n| vec![n]).collect();
+        match p.gather_reliable(&spec, &data) {
+            Err(PscanError::RetriesExhausted {
+                attempts,
+                corrupted_words,
+            }) => {
+                assert_eq!(attempts, 4);
+                assert!(corrupted_words >= 4);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(p.faults().unwrap().stats.giveups, 1);
+    }
+
+    #[test]
+    fn gather_reliable_is_deterministic() {
+        let run = || {
+            let mut p = Pscan::new(PscanConfig {
+                nodes: 8,
+                ..Default::default()
+            });
+            p.set_faults(PscanFaultConfig {
+                seed: 77,
+                word_error_rate: 0.02,
+                max_retries: 64,
+                ..Default::default()
+            });
+            let spec = GatherSpec::interleaved(8, 4, 4);
+            let data: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 16]).collect();
+            let out = p.gather_reliable(&spec, &data).unwrap();
+            (out.attempts, out.corrupted_words, out.slots_on_bus, out.crc)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   noted improvement over the Model I runs of §VI.
 //! * [`machine`] — the whole machine: PSCAN + nodes + head node + DRAM;
 //!   runs SCA/SCA⁻¹ phases and accounts bus cycles and wall-clock time.
+//!   With a fault layer attached, gathers are CRC-checked with link-layer
+//!   retry and whole-pass SCA re-issue; protocol failures surface as
+//!   structured [`machine::MachineError`]s instead of panics.
 //! * [`fft_app`] — the end-to-end distributed 2-D FFT of §V-B: deliver →
 //!   row FFTs → SCA transpose → redeliver → column FFTs → writeback, with
 //!   *real data* moving through the simulated photonic bus and numerics
@@ -43,7 +46,7 @@ pub mod sample;
 
 pub use fft1d_app::{run_fft1d, Fft1dRun};
 pub use fft_app::{run_fft2d, Fft2dRun};
-pub use machine::{Machine, MachineConfig, PhaseTiming};
+pub use machine::{Machine, MachineConfig, MachineError, PhaseTiming};
 pub use model2::{run_model2_rows, Model2Run};
 pub use node::Node;
 pub use sample::{decode_sample, encode_sample};

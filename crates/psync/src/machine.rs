@@ -15,11 +15,76 @@
 use memory::DramConfig;
 use photonics::wdm::WavelengthPlan;
 use pscan::compiler::{GatherSpec, ScatterSpec};
+use pscan::faults::{PscanError, PscanFaultConfig};
 use pscan::network::{Pscan, PscanConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::head::HeadNode;
 use crate::node::{ExecParams, Node};
+
+/// Structured errors from the machine's protocol paths (replacing the
+/// panics that used to sit on the hot scatter/gather code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The PSCAN rejected or could not recover a transaction.
+    Pscan(PscanError),
+    /// A gather burst arrived with an empty wavefront slot — a CP/schedule
+    /// bug, since SCA writebacks must be gap-free.
+    GatherUnderrun {
+        /// First empty slot index.
+        slot: usize,
+        /// Observed utilization.
+        utilization_ppm: u64,
+    },
+    /// The link layer exhausted its retries and every protocol-level
+    /// re-issue of the SCA pass failed too.
+    ScaReissueExhausted {
+        /// SCA passes attempted (1 + re-issues).
+        passes: u32,
+        /// Corrupted words observed on the final pass.
+        last_corrupted: u64,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Pscan(e) => write!(f, "pscan: {e}"),
+            MachineError::GatherUnderrun {
+                slot,
+                utilization_ppm,
+            } => write!(
+                f,
+                "SCA gather underrun at slot {slot} (utilization {} ppm); \
+                 writebacks must be gap-free",
+                utilization_ppm
+            ),
+            MachineError::ScaReissueExhausted {
+                passes,
+                last_corrupted,
+            } => write!(
+                f,
+                "SCA pass failed {passes} times (link-layer retries exhausted each \
+                 time; {last_corrupted} corrupted words on the final pass)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Pscan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PscanError> for MachineError {
+    fn from(e: PscanError) -> Self {
+        MachineError::Pscan(e)
+    }
+}
 
 /// Machine configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +133,9 @@ pub struct PhaseTiming {
     /// slower of the two (plus compute, which does not overlap within a
     /// phase under Model I) sets the pace.
     pub seconds: f64,
+    /// Recovery retries absorbed by this phase (link-layer CRC retries plus
+    /// whole-pass SCA re-issues); 0 on clean runs.
+    pub retries: u64,
 }
 
 /// The machine.
@@ -81,6 +149,9 @@ pub struct Machine {
     pub nodes: Vec<Node>,
     /// Executed phase log.
     pub phases: Vec<PhaseTiming>,
+    /// Whole-pass SCA re-issues allowed per gather when the link layer's own
+    /// retry budget is spent.
+    pub sca_reissue_limit: u32,
 }
 
 impl Machine {
@@ -99,7 +170,20 @@ impl Machine {
             head,
             nodes,
             phases: Vec::new(),
+            sca_reissue_limit: 3,
         }
+    }
+
+    /// Attach the photonic fault layer (BER-derived word corruption with
+    /// CRC/retry recovery) to the machine's PSCAN. Zero-rate configs leave
+    /// every timing bit-identical to an un-faulted machine.
+    pub fn enable_faults(&mut self, cfg: PscanFaultConfig) {
+        self.pscan.set_faults(cfg);
+    }
+
+    /// Aggregate fault statistics from the PSCAN, if the layer is attached.
+    pub fn fault_stats(&self) -> Option<sim_core::faults::FaultStats> {
+        self.pscan.faults().map(|f| f.stats)
     }
 
     /// The configured slot period in seconds.
@@ -122,26 +206,40 @@ impl Machine {
 
     /// SCA⁻¹: stream DRAM words at `addrs` (slot order) onto the bus and
     /// deliver per `spec`; each node's captured words are returned.
-    /// Records a phase.
+    /// Records a phase. Panics on protocol failure; see
+    /// [`Machine::try_scatter_from_memory`] for the fallible path.
     pub fn scatter_from_memory(
         &mut self,
         name: &str,
         addrs: &[u64],
         spec: &ScatterSpec,
     ) -> Vec<Vec<u64>> {
+        self.try_scatter_from_memory(name, addrs, spec)
+            .unwrap_or_else(|e| panic!("scatter {name}: {e}"))
+    }
+
+    /// Fallible [`Machine::scatter_from_memory`]: bus rejections surface as
+    /// [`MachineError::Pscan`] instead of a panic.
+    pub fn try_scatter_from_memory(
+        &mut self,
+        name: &str,
+        addrs: &[u64],
+        spec: &ScatterSpec,
+    ) -> Result<Vec<Vec<u64>>, MachineError> {
         assert_eq!(addrs.len() as u64, spec.total_slots());
         let (burst, dram_cycles) = self.head.stream_out(addrs.iter().copied());
-        let out = self.pscan.scatter(spec, &burst).expect("scatter failed");
+        let out = self.pscan.scatter(spec, &burst).map_err(PscanError::from)?;
         let payload = spec.total_slots();
         let headers = self.header_slots(payload);
         let bus_slots = payload + headers;
-        self.log_phase(name, bus_slots, dram_cycles, 0.0);
-        out.delivered
+        self.log_phase(name, bus_slots, dram_cycles, 0.0, 0);
+        Ok(out.delivered)
     }
 
     /// SCA: gather per-node words (in each node's CP slot order) into a
     /// monolithic burst and write it to DRAM at `addrs[k]` for slot `k`.
-    /// Records a phase and returns the coalesced words.
+    /// Records a phase and returns the coalesced words. Panics on protocol
+    /// failure; see [`Machine::try_gather_to_memory`] for the fallible path.
     pub fn gather_to_memory(
         &mut self,
         name: &str,
@@ -149,21 +247,86 @@ impl Machine {
         node_words: &[Vec<u64>],
         addrs: &[u64],
     ) -> Vec<u64> {
+        self.try_gather_to_memory(name, spec, node_words, addrs)
+            .unwrap_or_else(|e| panic!("gather {name}: {e}"))
+    }
+
+    /// Fallible [`Machine::gather_to_memory`]. With a fault layer attached
+    /// ([`Machine::enable_faults`]) the gather runs CRC-checked: link-layer
+    /// retries are absorbed into the phase's bus-slot bill, and if the link
+    /// layer exhausts its budget the whole SCA pass is re-issued up to
+    /// [`Machine::sca_reissue_limit`] times before surfacing
+    /// [`MachineError::ScaReissueExhausted`]. Gap-containing bursts surface
+    /// as [`MachineError::GatherUnderrun`] instead of an assert.
+    pub fn try_gather_to_memory(
+        &mut self,
+        name: &str,
+        spec: &GatherSpec,
+        node_words: &[Vec<u64>],
+        addrs: &[u64],
+    ) -> Result<Vec<u64>, MachineError> {
         assert_eq!(addrs.len() as u64, spec.total_slots());
-        let out = self.pscan.gather(spec, node_words).expect("gather failed");
-        assert_eq!(
-            out.utilization, 1.0,
-            "SCA writeback must be gap-free (got {})",
-            out.utilization
-        );
-        let words: Vec<u64> = out.received.iter().map(|w| w.expect("gap")).collect();
+        let burst = spec.total_slots();
+        let mut passes = 0u32;
+        let mut retries_total = 0u64;
+        let mut extra_slots = 0u64;
+        let out = loop {
+            passes += 1;
+            if self.pscan.faults().is_none() {
+                break self
+                    .pscan
+                    .gather(spec, node_words)
+                    .map_err(PscanError::from)
+                    .map_err(MachineError::from)?;
+            }
+            match self.pscan.gather_reliable(spec, node_words) {
+                Ok(rel) => {
+                    retries_total += u64::from(rel.retries);
+                    extra_slots += rel.slots_on_bus - burst;
+                    break rel.outcome;
+                }
+                Err(PscanError::RetriesExhausted {
+                    attempts,
+                    corrupted_words,
+                }) => {
+                    // The failed pass still burned the bus: every attempt's
+                    // burst plus the backoffs between them. Bill it, then
+                    // re-issue the pass or give up.
+                    let fcfg = self.pscan.faults().expect("checked above").cfg;
+                    let backoffs: u64 = (1..attempts).map(|a| fcfg.backoff_slots(a)).sum();
+                    extra_slots += u64::from(attempts) * burst + backoffs;
+                    // attempts − 1 link retries, plus this pass's re-issue.
+                    retries_total += u64::from(attempts);
+                    if passes > self.sca_reissue_limit {
+                        return Err(MachineError::ScaReissueExhausted {
+                            passes,
+                            last_corrupted: corrupted_words,
+                        });
+                    }
+                }
+                Err(e @ PscanError::Bus(_)) => return Err(e.into()),
+            }
+        };
+        if let Some(slot) = out.received.iter().position(|w| w.is_none()) {
+            return Err(MachineError::GatherUnderrun {
+                slot,
+                utilization_ppm: (out.utilization * 1e6).round() as u64,
+            });
+        }
+        let words: Vec<u64> = out.received.iter().map(|w| w.unwrap()).collect();
         let dram_cycles = self
             .head
             .stream_in(addrs.iter().copied().zip(words.iter().copied()));
         let payload = spec.total_slots();
         let headers = self.header_slots(payload);
-        self.log_phase(name, payload + headers, dram_cycles, 0.0);
-        words
+        self.log_phase(
+            name,
+            payload + headers + extra_slots,
+            dram_cycles,
+            0.0,
+            retries_total,
+        );
+        Ok(words)
     }
 
     /// Run a compute step on every node: `f(node) -> ns`. The phase time is
@@ -173,10 +336,17 @@ impl Machine {
         for n in &mut self.nodes {
             max_ns = max_ns.max(f(n));
         }
-        self.log_phase(name, 0, 0, max_ns);
+        self.log_phase(name, 0, 0, max_ns, 0);
     }
 
-    fn log_phase(&mut self, name: &str, bus_slots: u64, dram_cycles: u64, compute_ns: f64) {
+    fn log_phase(
+        &mut self,
+        name: &str,
+        bus_slots: u64,
+        dram_cycles: u64,
+        compute_ns: f64,
+        retries: u64,
+    ) {
         let slot = self.slot_secs();
         let comm = (bus_slots.max(dram_cycles)) as f64 * slot;
         self.phases.push(PhaseTiming {
@@ -185,6 +355,7 @@ impl Machine {
             dram_cycles,
             compute_ns,
             seconds: comm + compute_ns * 1e-9,
+            retries,
         });
     }
 
@@ -260,6 +431,83 @@ mod tests {
         let p = m.phase("c").unwrap();
         assert!((p.compute_ns - 300.0).abs() < 1e-12);
         assert!((p.seconds - 300e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn faulty_gather_recovers_and_bills_retries() {
+        let run = |rate: f64, seed: u64| {
+            let mut m = Machine::new(MachineConfig::new(4, 256));
+            m.enable_faults(PscanFaultConfig {
+                seed,
+                word_error_rate: rate,
+                max_retries: 64,
+                ..Default::default()
+            });
+            let words: Vec<Vec<u64>> = (0..4).map(|n| vec![n as u64; 8]).collect();
+            let spec = GatherSpec::interleaved(4, 4, 2);
+            let addrs: Vec<u64> = (0..32).collect();
+            let got = m
+                .try_gather_to_memory("wb", &spec, &words, &addrs)
+                .expect("recovers");
+            (got, m.phases[0].clone())
+        };
+        // Clean run: no retries, baseline slot bill.
+        let (clean_words, clean) = run(0.0, 1);
+        assert_eq!(clean.retries, 0);
+        // Faulty run: same data lands, retries recorded, bus bill grows.
+        let (noisy_words, noisy) = run(0.05, 2);
+        assert_eq!(noisy_words, clean_words, "retransmits carry clean data");
+        assert!(noisy.retries > 0, "5% over 32 words must trip the CRC");
+        assert!(noisy.bus_slots > clean.bus_slots);
+        assert!(noisy.seconds > clean.seconds);
+    }
+
+    #[test]
+    fn hopeless_channel_exhausts_sca_reissues() {
+        let mut m = Machine::new(MachineConfig::new(2, 64));
+        m.sca_reissue_limit = 2;
+        m.enable_faults(PscanFaultConfig {
+            seed: 5,
+            word_error_rate: 1.0,
+            max_retries: 2,
+            ..Default::default()
+        });
+        let words: Vec<Vec<u64>> = (0..2).map(|n| vec![n as u64; 4]).collect();
+        let spec = GatherSpec::interleaved(2, 2, 2);
+        let addrs: Vec<u64> = (0..8).collect();
+        match m.try_gather_to_memory("wb", &spec, &words, &addrs) {
+            Err(MachineError::ScaReissueExhausted {
+                passes,
+                last_corrupted,
+            }) => {
+                assert_eq!(passes, 3, "initial pass + 2 re-issues");
+                assert!(last_corrupted > 0);
+            }
+            other => panic!("expected ScaReissueExhausted, got {other:?}"),
+        }
+        // The failed gather logged no phase and wrote nothing to DRAM.
+        assert!(m.phases.is_empty());
+    }
+
+    #[test]
+    fn faulty_machine_runs_are_deterministic() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::new(4, 256));
+            m.enable_faults(PscanFaultConfig {
+                seed: 9,
+                word_error_rate: 0.03,
+                max_retries: 64,
+                ..Default::default()
+            });
+            let words: Vec<Vec<u64>> = (0..4).map(|n| vec![n as u64 * 7; 8]).collect();
+            let spec = GatherSpec::interleaved(4, 4, 2);
+            let addrs: Vec<u64> = (0..32).collect();
+            m.try_gather_to_memory("wb", &spec, &words, &addrs)
+                .expect("recovers");
+            let p = &m.phases[0];
+            (p.bus_slots, p.retries, m.fault_stats().unwrap().injected)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`stats`] — counters, histograms and time-weighted averages used to
 //!   report utilization, latency and energy.
 //! * [`rng`] — seeded, reproducible random-number helpers.
+//! * [`faults`] — deterministic fault injection: seeded per-component fault
+//!   sites and pre-generated fault schedules, zero-cost when disabled.
 //!
 //! All simulators in this workspace are **deterministic**: identical inputs
 //! (including RNG seeds) produce identical event orders and results. This is
@@ -23,6 +25,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -30,6 +33,7 @@ pub mod vcd;
 
 pub use engine::CycleEngine;
 pub use event::{EventQueue, EventScheduled};
+pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::{Duration, Time};
 pub use vcd::VcdWriter;

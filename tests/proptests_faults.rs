@@ -1,0 +1,128 @@
+//! Property tests over the fault-injection layer: schedule determinism,
+//! the zero-rate bit-identity invariant, CRC error detection on PSCAN
+//! words, and end-to-end recovery on the CRC-checked gather path.
+
+use proptest::prelude::*;
+use pscan::compiler::GatherSpec;
+use pscan::faults::{PscanFaultConfig, PscanFaultState};
+use pscan::network::{Pscan, PscanConfig};
+use pscan::{crc32_words, crc32_words_update};
+use sim_core::faults::{FaultSchedule, FaultSite};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Identical seeds reproduce the identical fault schedule, in the same
+    /// `(at, site)` injection order; a different seed gives a different one.
+    #[test]
+    fn schedule_generation_is_deterministic(
+        seed in 0u64..1_000_000,
+        horizon in 100u64..2_000,
+        sites in 1u32..12,
+    ) {
+        let a = FaultSchedule::generate(seed, 0.02, horizon, sites);
+        let b = FaultSchedule::generate(seed, 0.02, horizon, sites);
+        prop_assert_eq!(a.events(), b.events());
+        prop_assert!(a
+            .events()
+            .windows(2)
+            .all(|w| (w[0].at, w[0].site) <= (w[1].at, w[1].site)));
+        // Consuming via pop_due yields exactly the sorted event list.
+        let mut c = FaultSchedule::generate(seed, 0.02, horizon, sites);
+        let mut popped = Vec::new();
+        while let Some(e) = c.pop_due(horizon) {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.as_slice(), a.events());
+    }
+
+    /// Rate 0 injects nothing, at any seed/horizon/site count, and a
+    /// zero-rate site never fires no matter how often it is consulted.
+    #[test]
+    fn zero_rate_injects_nothing(
+        seed in 0u64..u64::MAX,
+        horizon in 0u64..10_000,
+        sites in 0u32..64,
+        trials in 0usize..2_000,
+    ) {
+        let s = FaultSchedule::generate(seed, 0.0, horizon, sites);
+        prop_assert!(s.events().is_empty());
+        let mut site = FaultSite::new(seed, 3, 0.0);
+        prop_assert!((0..trials).all(|_| !site.fire()));
+        prop_assert_eq!(site.fired, 0);
+    }
+
+    /// CRC-32 detects every corruption the photonic fault model can inject
+    /// (single-bit flips across any subset of burst words).
+    #[test]
+    fn crc_detects_corrupted_pscan_words(
+        words in prop::collection::vec(0u64..u64::MAX, 1..128),
+        seed in 0u64..1_000_000,
+    ) {
+        let committed = crc32_words(&words);
+        // Incremental update over any split agrees with the one-shot CRC.
+        let split = words.len() / 2;
+        let inc = crc32_words_update(crc32_words_update(0, &words[..split]), &words[split..]);
+        prop_assert_eq!(inc, committed);
+
+        // Corrupt at a rate high enough that some word almost always flips;
+        // whenever at least one does, the CRC must differ.
+        let mut st = PscanFaultState::new(PscanFaultConfig {
+            seed,
+            word_error_rate: 0.3,
+            ..Default::default()
+        });
+        let mut noisy = words.clone();
+        let hits: u64 = noisy.iter_mut().map(|w| u64::from(st.corrupt(w))).sum();
+        if hits > 0 {
+            prop_assert!(crc32_words(&noisy) != committed);
+        } else {
+            prop_assert_eq!(crc32_words(&noisy), committed);
+        }
+    }
+
+    /// The CRC-checked gather either delivers exactly the clean burst or
+    /// surfaces a structured error — never silently corrupted data.
+    #[test]
+    fn reliable_gather_never_delivers_corrupt_data(
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.2,
+    ) {
+        let nodes = 4usize;
+        let spec = GatherSpec::interleaved(nodes, 2, 2);
+        let data: Vec<Vec<u64>> = (0..nodes).map(|n| vec![n as u64 * 3 + 1; 4]).collect();
+        let clean = Pscan::new(PscanConfig {
+            nodes,
+            die_mm: 20.0,
+            plan: photonics::wdm::WavelengthPlan::paper_320g(),
+        });
+        let want = clean.gather(&spec, &data).expect("clean gather");
+        let mut noisy = Pscan::new(PscanConfig {
+            nodes,
+            die_mm: 20.0,
+            plan: photonics::wdm::WavelengthPlan::paper_320g(),
+        });
+        noisy.set_faults(PscanFaultConfig {
+            seed,
+            word_error_rate: rate,
+            max_retries: 200,
+            ..Default::default()
+        });
+        match noisy.gather_reliable(&spec, &data) {
+            Ok(rel) => {
+                prop_assert_eq!(&rel.outcome.received, &want.received);
+                prop_assert_eq!(rel.retries as u64 + 1, u64::from(rel.attempts));
+            }
+            Err(e) => {
+                // Only the structured exhaustion error is acceptable, and
+                // only if corruption actually happened.
+                match e {
+                    pscan::PscanError::RetriesExhausted { corrupted_words, .. } => {
+                        prop_assert!(corrupted_words > 0);
+                    }
+                    other => prop_assert!(false, "unexpected error: {other}"),
+                }
+            }
+        }
+    }
+}
