@@ -14,9 +14,9 @@
 //! * [`model`] — the generalized performance model: Model I (all data
 //!   before compute, Fig. 8) and Model II (k-way blocked delivery, Fig. 9),
 //!   Eqs. (4)–(16), including the balance condition `P·t_dk = t_ck`.
-//! * [`table1`] — Table I: blocked-FFT compute efficiency at zero latency,
+//! * [`mod@table1`] — Table I: blocked-FFT compute efficiency at zero latency,
 //!   with the required-bandwidth column of Eq. (20).
-//! * [`table2`] — Table II: mesh delivery efficiency (Eq. 22) and the
+//! * [`mod@table2`] — Table II: mesh delivery efficiency (Eq. 22) and the
 //!   resulting compute efficiency; the 81.74 % peak at k = 8.
 //! * [`table3`] — Table III: the PSCAN transpose writeback arithmetic
 //!   (Eqs. 23–24; exactly 1,081,344 bus cycles for the 2²⁰-sample case)

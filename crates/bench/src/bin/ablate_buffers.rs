@@ -8,7 +8,7 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
 use rayon::prelude::*;
@@ -22,7 +22,8 @@ struct Point {
 }
 
 fn main() -> Result<(), BenchError> {
-    let (procs, row_len) = if quick_mode() { (64, 64) } else { (256, 256) };
+    let ex = Experiment::new("ablate_buffers");
+    let (procs, row_len) = if ex.quick() { (64, 64) } else { (256, 256) };
     let pscan = Table3Params {
         n: row_len as u64,
         p: procs as u64,
@@ -35,8 +36,7 @@ fn main() -> Result<(), BenchError> {
         .into_par_iter()
         .map(|depth| {
             eprintln!("buffer depth {depth}...");
-            let mut cfg = MeshConfig::table3(procs, 1);
-            cfg.buffer_depth = depth;
+            let cfg = MeshConfig::table3(procs, 1).with_buffers(depth);
             let mut mesh = load_transpose(cfg, procs, row_len);
             let cycles = mesh.run().expect("deadlock").cycles;
             Point {
@@ -56,20 +56,19 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            &format!("Ablation: buffer depth, transpose P = {procs}, N = {row_len}, t_p = 1 (PSCAN = {pscan})"),
-            &["buffer depth", "mesh cycles", "multiplier"],
-            &cells
-        )
-    );
     let first = points.first().unwrap().mesh_cycles as f64;
     let last = points.last().unwrap().mesh_cycles as f64;
-    println!(
+    ex.table(
+        &format!(
+            "Ablation: buffer depth, transpose P = {procs}, N = {row_len}, t_p = 1 (PSCAN = {pscan})"
+        ),
+        &["buffer depth", "mesh cycles", "multiplier"],
+        &cells,
+    )
+    .note(format!(
         "32x deeper buffers buy {:.1}% — the ejection port, not buffering, is the wall.",
         (first - last) / first * 100.0
-    );
-    write_json("ablate_buffers", &points)?;
-    Ok(())
+    ))
+    .rows(&points)
+    .run()
 }

@@ -8,7 +8,7 @@
 //! cargo run --release -p bench --bin ablate_cp_granularity
 //! ```
 
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use pscan::compiler::{CpCompiler, GatherSpec};
 use pscan::network::{Pscan, PscanConfig};
 use serde::Serialize;
@@ -23,12 +23,10 @@ struct Point {
 }
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("ablate_cp_granularity");
     let nodes = 64;
     let words_per_node = 256;
-    let pscan = Pscan::new(PscanConfig {
-        nodes,
-        ..Default::default()
-    });
+    let pscan = Pscan::new(PscanConfig::paper_default().with_nodes(nodes));
 
     let mut points = Vec::new();
     let mut cells = Vec::new();
@@ -58,24 +56,21 @@ fn main() -> Result<(), BenchError> {
         ]);
         block *= 4;
     }
-    println!(
-        "{}",
-        render_table(
-            &format!("Ablation: CP granularity ({nodes} nodes x {words_per_node} words)"),
-            &[
-                "interleave block",
-                "CP entries/node",
-                "CP bits/node",
-                "bus util (%)",
-                "slots"
-            ],
-            &cells
-        )
-    );
-    println!(
+    ex.table(
+        &format!("Ablation: CP granularity ({nodes} nodes x {words_per_node} words)"),
+        &[
+            "interleave block",
+            "CP entries/node",
+            "CP bits/node",
+            "bus util (%)",
+            "slots",
+        ],
+        &cells,
+    )
+    .note(format!(
         "finest interleave costs {}x the CP storage of the coarsest — and zero bus cycles.",
         points.first().unwrap().cp_entries_per_node / points.last().unwrap().cp_entries_per_node
-    );
-    write_json("ablate_cp_granularity", &points)?;
-    Ok(())
+    ))
+    .rows(&points)
+    .run()
 }

@@ -12,7 +12,7 @@
 //! cargo run --release -p bench --bin ablate_faults [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::energy::OrionParams;
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
@@ -70,7 +70,7 @@ fn machine_point(rate: f64, gathers: usize) -> (u64, u64, u64, u64) {
     const NODES: usize = 8;
     let spec = GatherSpec::interleaved(NODES, 4, 2); // 64 slots
     let burst = spec.total_slots() as usize;
-    let mut m = Machine::new(MachineConfig::new(NODES, gathers * burst));
+    let mut m = Machine::new(MachineConfig::paper_default(NODES, gathers * burst));
     m.enable_faults(PscanFaultConfig {
         seed: 0xFA_u64,
         word_error_rate: rate,
@@ -92,11 +92,9 @@ fn machine_point(rate: f64, gathers: usize) -> (u64, u64, u64, u64) {
 }
 
 fn main() -> Result<(), BenchError> {
-    let (procs, row_len, gathers) = if quick_mode() {
-        (16, 16, 4)
-    } else {
-        (64, 64, 16)
-    };
+    let ex = Experiment::new("ablate_faults");
+    let quick = ex.quick();
+    let (procs, row_len, gathers) = if quick { (16, 16, 4) } else { (64, 64, 16) };
     let points: Vec<Point> = RATES
         .par_iter()
         .map(|&rate| {
@@ -136,29 +134,6 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            &format!(
-                "Degradation sweep: fault rate vs completion/energy/retries \
-                 (P = {procs} transpose; {gathers} × 64-slot SCA writebacks)"
-            ),
-            &[
-                "rate",
-                "mesh cycles",
-                "mesh energy (uJ)",
-                "retransmits",
-                "link outages",
-                "pscan bus slots",
-                "pscan retries",
-                "total retries",
-            ],
-            &cells
-        )
-    );
-    println!("rate 0 rows are the golden baseline: the fault layer at rate 0 is");
-    println!("bit-identical to no fault layer at all (enforced by tests).\n");
-
     // Self-checks the CI smoke job relies on: no data loss anywhere in the
     // sweep, and the harshest rate visibly exercised the recovery paths.
     for p in &points {
@@ -173,7 +148,7 @@ fn main() -> Result<(), BenchError> {
         last.total_retries > 0,
         "top rate produced no retries — fault layer inert?"
     );
-    if !quick_mode() {
+    if !quick {
         // The committed full-size sweep must show a monotone degradation
         // curve; the quick CI workload is too small to guarantee separation
         // at the low-rate end.
@@ -187,6 +162,27 @@ fn main() -> Result<(), BenchError> {
         }
     }
 
-    write_json("ablate_faults", &points)?;
-    Ok(())
+    ex.table(
+        &format!(
+            "Degradation sweep: fault rate vs completion/energy/retries \
+             (P = {procs} transpose; {gathers} × 64-slot SCA writebacks)"
+        ),
+        &[
+            "rate",
+            "mesh cycles",
+            "mesh energy (uJ)",
+            "retransmits",
+            "link outages",
+            "pscan bus slots",
+            "pscan retries",
+            "total retries",
+        ],
+        &cells,
+    )
+    .note(
+        "rate 0 rows are the golden baseline: the fault layer at rate 0 is\n\
+         bit-identical to no fault layer at all (enforced by tests).\n",
+    )
+    .rows(&points)
+    .run()
 }

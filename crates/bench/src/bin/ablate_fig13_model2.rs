@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin ablate_fig13_model2
 //! ```
 
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use llmore::phases::{phase_breakdown_with, DeliveryModel};
 use llmore::sweep::paper_core_counts;
 use llmore::{ArchKind, SystemParams};
@@ -27,6 +27,7 @@ fn gflops(kind: ArchKind, s: &SystemParams, p: u64, m: DeliveryModel) -> f64 {
 }
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("ablate_fig13_model2");
     let s = SystemParams::default();
     let m2 = DeliveryModel::ModelII { k: 8 };
     let mut points = Vec::new();
@@ -49,26 +50,25 @@ fn main() -> Result<(), BenchError> {
         ]);
         points.push(row);
     }
-    println!(
-        "{}",
-        render_table(
-            "Ablation: Fig. 13 under Model II delivery (k = 8)",
-            &[
-                "cores",
-                "P-sync MI",
-                "P-sync MII",
-                "gain",
-                "mesh MI",
-                "mesh MII"
-            ],
-            &cells
-        )
-    );
     let best = points
         .iter()
         .map(|r| r.psync_model2_gflops / r.psync_model1_gflops)
         .fold(0.0f64, f64::max);
-    println!("largest P-sync Model II gain: {best:.2}x — confirming the paper's conjecture.");
-    write_json("ablate_fig13_model2", &points)?;
-    Ok(())
+    ex.table(
+        "Ablation: Fig. 13 under Model II delivery (k = 8)",
+        &[
+            "cores",
+            "P-sync MI",
+            "P-sync MII",
+            "gain",
+            "mesh MI",
+            "mesh MII",
+        ],
+        &cells,
+    )
+    .note(format!(
+        "largest P-sync Model II gain: {best:.2}x — confirming the paper's conjecture."
+    ))
+    .rows(&points)
+    .run()
 }

@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin ablate_frfcfs
 //! ```
 
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use memory::{DramConfig, FrFcfsConfig, FrFcfsController};
 use serde::Serialize;
 use sim_core::rng::permutation;
@@ -23,6 +23,7 @@ struct Point {
 }
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("ablate_frfcfs");
     let n = 1usize << 18; // 256k elements
                           // The SCA's stream: linear order, in-order controller.
     let ordered = {
@@ -69,19 +70,19 @@ fn main() -> Result<(), BenchError> {
             f(done as f64 / ordered as f64, 2),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &format!("Ablation: FR-FCFS window vs scrambled transpose stream ({n} words; ordered = {ordered} cycles)"),
-            &["window", "scrambled cycles", "row hit %", "vs ordered stream"],
-            &cells
-        )
-    );
     let best = points.last().unwrap();
-    println!(
+    let summary = format!(
         "even a {}-deep window stays {:.2}x behind the ordered stream the SCA delivers for free.",
         best.window, best.vs_ordered
     );
-    write_json("ablate_frfcfs", &points)?;
-    Ok(())
+    ex.table(
+        &format!(
+            "Ablation: FR-FCFS window vs scrambled transpose stream ({n} words; ordered = {ordered} cycles)"
+        ),
+        &["window", "scrambled cycles", "row hit %", "vs ordered stream"],
+        &cells,
+    )
+    .note(summary)
+    .rows(&points)
+    .run()
 }

@@ -8,9 +8,9 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::flit::Packet;
-use emesh::mesh::{Mesh, MeshConfig, RoutingPolicy};
+use emesh::mesh::{Mesh, MeshConfig};
 use emesh::topology::{MemifPlacement, Topology};
 use rayon::prelude::*;
 use serde::Serialize;
@@ -26,14 +26,9 @@ struct Point {
 /// Transpose with elements routed to the *nearest* interface; each
 /// interface absorbs the rows its quadrant owns.
 fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement) -> u64 {
-    let cfg = MeshConfig {
-        topology: Topology::square(procs, placement),
-        t_r: 1,
-        policy: RoutingPolicy::MinimalAdaptive,
-        memif: Default::default(),
-        buffer_depth: 2,
-        max_cycles: 1 << 34,
-    };
+    let cfg = MeshConfig::paper_default()
+        .with_topology(Topology::square(procs, placement))
+        .with_max_cycles(1 << 34);
     let mut mesh = Mesh::new(cfg);
     let mut id = 0u32;
     for r in 0..procs as u32 {
@@ -50,7 +45,8 @@ fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement) -> u6
 }
 
 fn main() -> Result<(), BenchError> {
-    let (procs, row_len) = if quick_mode() { (64, 64) } else { (256, 256) };
+    let ex = Experiment::new("ablate_memports");
+    let (procs, row_len) = if ex.quick() { (64, 64) } else { (256, 256) };
     let t3 = Table3Params {
         n: row_len as u64,
         p: procs as u64,
@@ -89,18 +85,15 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            &format!("Ablation: memory ports, transpose P = {procs}, N = {row_len}, t_p = 1"),
-            &["ports", "mesh cycles", "PSCAN cycles", "multiplier"],
-            &cells
-        )
-    );
-    println!(
+    ex.table(
+        &format!("Ablation: memory ports, transpose P = {procs}, N = {row_len}, t_p = 1"),
+        &["ports", "mesh cycles", "PSCAN cycles", "multiplier"],
+        &cells,
+    )
+    .note(format!(
         "the trend holds with more ports: both sides speed up ~{}x, the SCA keeps its edge.",
         4
-    );
-    write_json("ablate_memports", &points)?;
-    Ok(())
+    ))
+    .rows(&points)
+    .run()
 }

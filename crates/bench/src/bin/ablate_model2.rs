@@ -7,12 +7,14 @@
 //! cargo run --release -p bench --bin ablate_model2 [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use fft::Complex64;
 use psync::model2::run_model2_rows;
 
 fn main() -> Result<(), BenchError> {
-    let (procs, n) = if quick_mode() {
+    let ex = Experiment::new("ablate_model2");
+    let quick = ex.quick();
+    let (procs, n) = if quick {
         (8usize, 256usize)
     } else {
         (16, 1024)
@@ -30,7 +32,7 @@ fn main() -> Result<(), BenchError> {
     let mut summaries = Vec::new();
     let mut cells = Vec::new();
     let mut k = 1usize;
-    let k_cap = if quick_mode() { 64 } else { 512 };
+    let k_cap = if quick { 64 } else { 512 };
     while k <= k_cap.min(n) {
         eprintln!("k = {k}...");
         let run = run_model2_rows(procs, n, k, &rows);
@@ -45,30 +47,28 @@ fn main() -> Result<(), BenchError> {
         summaries.push(s);
         k *= 2;
     }
-    println!(
-        "{}",
-        render_table(
-            &format!("Ablation: Model I vs Model II on P-sync ({procs} procs, {n}-pt rows)"),
-            &[
-                "k",
-                "Model I (us)",
-                "Model II (us)",
-                "speedup",
-                "Model II eta (%)"
-            ],
-            &cells
-        )
-    );
     let best = summaries
         .iter()
         .max_by(|a, b| a.efficiency.partial_cmp(&b.efficiency).unwrap())
         .unwrap();
-    println!(
+    let summary = format!(
         "best efficiency {:.2}% at k = {} — past the knee, finer blocks add start-up\n\
          rounds faster than they shave the bubble (the Table I curve bends the same way).",
         best.efficiency * 100.0,
         best.k
     );
-    write_json("ablate_model2", &summaries)?;
-    Ok(())
+    ex.table(
+        &format!("Ablation: Model I vs Model II on P-sync ({procs} procs, {n}-pt rows)"),
+        &[
+            "k",
+            "Model I (us)",
+            "Model II (us)",
+            "speedup",
+            "Model II eta (%)",
+        ],
+        &cells,
+    )
+    .note(summary)
+    .rows(&summaries)
+    .run()
 }

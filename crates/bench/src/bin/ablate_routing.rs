@@ -5,7 +5,7 @@
 //! cargo run --release -p bench --bin ablate_routing [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::workloads::load_transpose;
 use rayon::prelude::*;
@@ -21,7 +21,8 @@ struct Point {
 }
 
 fn main() -> Result<(), BenchError> {
-    let sizes: &[usize] = if quick_mode() { &[64] } else { &[64, 256] };
+    let ex = Experiment::new("ablate_routing");
+    let sizes: &[usize] = if ex.quick() { &[64] } else { &[64, 256] };
     let combos: Vec<(usize, &str, RoutingPolicy)> = sizes
         .iter()
         .flat_map(|&procs| {
@@ -38,8 +39,7 @@ fn main() -> Result<(), BenchError> {
         .map(|(procs, name, policy)| {
             eprintln!("P = {procs}, {name}...");
             let row_len = procs;
-            let mut cfg = MeshConfig::table3(procs, 1);
-            cfg.policy = policy;
+            let cfg = MeshConfig::table3(procs, 1).with_policy(policy);
             let mut mesh = load_transpose(cfg, procs, row_len);
             mesh.track_latency(64, 4096);
             let res = mesh.run().expect("deadlock");
@@ -65,22 +65,6 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Ablation: routing policy on the transpose hotspot (t_p = 1)",
-            &[
-                "P",
-                "policy",
-                "completion (cycles)",
-                "mean pkt latency",
-                "p99 pkt latency"
-            ],
-            &cells
-        )
-    );
-    println!("single-corner traffic is all-west/north, where west-first adaptivity");
-    println!("degenerates to XY: the ejection port bounds completion either way.\n");
 
     // Second workload: four-corner gather, where eastbound packets really
     // do choose between E and N/S by congestion. Same parallel sweep shape.
@@ -96,17 +80,12 @@ fn main() -> Result<(), BenchError> {
     let cells4: Vec<Vec<String>> = combos4
         .into_par_iter()
         .map(|(procs, name, policy)| {
-            let cfg = emesh::mesh::MeshConfig {
-                topology: emesh::topology::Topology::square(
+            let cfg = MeshConfig::paper_default()
+                .with_topology(emesh::topology::Topology::square(
                     procs,
                     emesh::topology::MemifPlacement::FourCorners,
-                ),
-                t_r: 1,
-                policy,
-                memif: Default::default(),
-                buffer_depth: 2,
-                max_cycles: 1 << 32,
-            };
+                ))
+                .with_policy(policy);
             let mut mesh = emesh::workloads::load_gather_energy(cfg, 64);
             mesh.track_latency(64, 4096);
             let res = mesh.run().expect("deadlock");
@@ -120,20 +99,33 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Ablation: routing policy, four-corner gather (adaptivity active)",
-            &[
-                "P",
-                "policy",
-                "completion (cycles)",
-                "mean pkt latency",
-                "p99 pkt latency"
-            ],
-            &cells4
-        )
-    );
-    write_json("ablate_routing", &points)?;
-    Ok(())
+
+    ex.table(
+        "Ablation: routing policy on the transpose hotspot (t_p = 1)",
+        &[
+            "P",
+            "policy",
+            "completion (cycles)",
+            "mean pkt latency",
+            "p99 pkt latency",
+        ],
+        &cells,
+    )
+    .note(
+        "single-corner traffic is all-west/north, where west-first adaptivity\n\
+         degenerates to XY: the ejection port bounds completion either way.\n",
+    )
+    .table(
+        "Ablation: routing policy, four-corner gather (adaptivity active)",
+        &[
+            "P",
+            "policy",
+            "completion (cycles)",
+            "mean pkt latency",
+            "p99 pkt latency",
+        ],
+        &cells4,
+    )
+    .rows(&points)
+    .run()
 }

@@ -12,7 +12,7 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use memory::{AccessKind, DramConfig, DramController};
 use serde::Serialize;
 use sim_core::rng::permutation;
@@ -27,10 +27,7 @@ struct Point {
 }
 
 fn dram_cost(row_bits: u64, scrambled: bool) -> u64 {
-    let cfg = DramConfig {
-        row_bits,
-        ..DramConfig::default()
-    };
+    let cfg = DramConfig::default().with_row_bits(row_bits);
     let mut c = DramController::new(cfg, 64);
     let n = 1u64 << 16;
     if scrambled {
@@ -42,6 +39,7 @@ fn dram_cost(row_bits: u64, scrambled: bool) -> u64 {
 }
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("ablate_row_size");
     let mut points = Vec::new();
     let mut cells = Vec::new();
     for s_r in [512u64, 1024, 2048, 4096, 8192] {
@@ -70,23 +68,22 @@ fn main() -> Result<(), BenchError> {
             f(scr as f64 / lin as f64, 2),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            "Ablation: DRAM row size S_r (2^20-sample transpose; DRAM columns: 2^16-word write stream)",
-            &[
-                "S_r (bits)",
-                "PSCAN cycles",
-                "header %",
-                "DRAM linear",
-                "DRAM scrambled",
-                "scramble penalty"
-            ],
-            &cells
-        )
-    );
-    println!("wider rows shrink header overhead but punish out-of-order arrival harder —");
-    println!("which is exactly why the SCA's in-flight ordering matters.");
-    write_json("ablate_row_size", &points)?;
-    Ok(())
+    ex.table(
+        "Ablation: DRAM row size S_r (2^20-sample transpose; DRAM columns: 2^16-word write stream)",
+        &[
+            "S_r (bits)",
+            "PSCAN cycles",
+            "header %",
+            "DRAM linear",
+            "DRAM scrambled",
+            "scramble penalty",
+        ],
+        &cells,
+    )
+    .note(
+        "wider rows shrink header overhead but punish out-of-order arrival harder —\n\
+         which is exactly why the SCA's in-flight ordering matters.",
+    )
+    .rows(&points)
+    .run()
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use analytic::table3::Table3Params;
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
 use rayon::prelude::*;
@@ -20,7 +20,8 @@ struct Point {
 }
 
 fn main() -> Result<(), BenchError> {
-    let (procs, row_len) = if quick_mode() { (64, 64) } else { (256, 256) };
+    let ex = Experiment::new("ablate_tp");
+    let (procs, row_len) = if ex.quick() { (64, 64) } else { (256, 256) };
     let pscan = Table3Params {
         n: row_len as u64,
         p: procs as u64,
@@ -52,22 +53,21 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            &format!("Ablation: t_p sweep, transpose P = {procs}, N = {row_len} (PSCAN = {pscan} cycles)"),
-            &["t_p", "mesh cycles", "multiplier vs PSCAN"],
-            &cells
-        )
-    );
     // The port-bound model predicts ~linear growth: (2 + t_p) per element.
     let slope = (points[7].mesh_cycles - points[0].mesh_cycles) as f64 / 7.0;
-    println!(
+    ex.table(
+        &format!(
+            "Ablation: t_p sweep, transpose P = {procs}, N = {row_len} (PSCAN = {pscan} cycles)"
+        ),
+        &["t_p", "mesh cycles", "multiplier vs PSCAN"],
+        &cells,
+    )
+    .note(format!(
         "marginal cost per unit t_p: {:.0} cycles (elements = {}): {:.2} cycles/element",
         slope,
         procs * row_len,
         slope / (procs * row_len) as f64
-    );
-    write_json("ablate_tp", &points)?;
-    Ok(())
+    ))
+    .rows(&points)
+    .run()
 }

@@ -7,7 +7,7 @@
 
 use analytic::model::FftParams;
 use analytic::table1::TABLE1_K;
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -20,6 +20,7 @@ struct Row {
 }
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("ablate_tr");
     // Each t_r point is an independent curve evaluation: sweep in parallel.
     let rows: Vec<Row> = [0u64, 1, 2, 4, 8]
         .into_par_iter()
@@ -55,17 +56,16 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Ablation: mesh header routing delay t_r (P = 256, 1024-pt rows)",
-            &["t_r", "peak k", "peak eta (%)", "eta at k=64 (%)"],
-            &cells
-        )
-    );
-    println!("t_r = 0 removes the routing tax entirely (peak slides to k = 64, the ideal");
-    println!("curve); every added cycle pushes the knee to coarser blocking and lower peaks —");
-    println!("P-sync's pre-scheduled delivery has no equivalent term at all.");
-    write_json("ablate_tr", &rows)?;
-    Ok(())
+    ex.table(
+        "Ablation: mesh header routing delay t_r (P = 256, 1024-pt rows)",
+        &["t_r", "peak k", "peak eta (%)", "eta at k=64 (%)"],
+        &cells,
+    )
+    .note(
+        "t_r = 0 removes the routing tax entirely (peak slides to k = 64, the ideal\n\
+         curve); every added cycle pushes the knee to coarser blocking and lower peaks —\n\
+         P-sync's pre-scheduled delivery has no equivalent term at all.",
+    )
+    .rows(&rows)
+    .run()
 }

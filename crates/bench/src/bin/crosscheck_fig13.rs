@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin crosscheck_fig13 [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
 use fft::fft2d::Matrix;
@@ -25,7 +25,8 @@ struct Point {
 }
 
 fn main() -> Result<(), BenchError> {
-    let sizes: &[usize] = if quick_mode() {
+    let ex = Experiment::new("crosscheck_fig13");
+    let sizes: &[usize] = if ex.quick() {
         &[16, 64]
     } else {
         &[16, 64, 256]
@@ -78,17 +79,16 @@ fn main() -> Result<(), BenchError> {
             f(llmore_ratio, 2),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            "Cross-check: mesh/P-sync reorganization ratio — event-level vs LLMORE model",
-            &["P", "event-level ratio", "LLMORE-model ratio"],
-            &cells
-        )
-    );
-    println!("both derivations agree the mesh pays a ~3x multiple for reorganization at");
-    println!("these scales — Fig. 13/14's driving effect — and land within ~30% of each");
-    println!("other despite being built from entirely different machinery.");
-    write_json("crosscheck_fig13", &points)?;
-    Ok(())
+    ex.table(
+        "Cross-check: mesh/P-sync reorganization ratio — event-level vs LLMORE model",
+        &["P", "event-level ratio", "LLMORE-model ratio"],
+        &cells,
+    )
+    .note(
+        "both derivations agree the mesh pays a ~3x multiple for reorganization at\n\
+         these scales — Fig. 13/14's driving effect — and land within ~30% of each\n\
+         other despite being built from entirely different machinery.",
+    )
+    .rows(&points)
+    .run()
 }

@@ -6,9 +6,10 @@
 //! ```
 
 use analytic::fig11::fig11_curves;
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("fig11");
     let pts = fig11_curves();
     let cells: Vec<Vec<String>> = pts
         .iter()
@@ -21,23 +22,20 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Fig. 11: FFT compute efficiency vs k (1024-pt rows, P = 256)",
-            &["k", "ideal (%)", "P-sync (%)", "mesh (%)"],
-            &cells
-        )
-    );
     let mesh_peak = pts
         .iter()
         .max_by(|a, b| a.mesh_pct.partial_cmp(&b.mesh_pct).unwrap())
         .unwrap();
     let last = pts.last().unwrap();
-    println!(
+    ex.table(
+        "Fig. 11: FFT compute efficiency vs k (1024-pt rows, P = 256)",
+        &["k", "ideal (%)", "P-sync (%)", "mesh (%)"],
+        &cells,
+    )
+    .note(format!(
         "mesh peaks at k = {} ({:.1}%); P-sync reaches {:.1}% at k = {}",
         mesh_peak.k, mesh_peak.mesh_pct, last.psync_pct, last.k
-    );
-    write_json("fig11", &pts)?;
-    Ok(())
+    ))
+    .rows(&pts)
+    .run()
 }

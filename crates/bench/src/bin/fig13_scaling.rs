@@ -6,11 +6,12 @@
 //! cargo run --release -p bench --bin fig13_scaling
 //! ```
 
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use llmore::sweep::{paper_core_counts, sweep_cores};
 use llmore::SystemParams;
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("fig13");
     let pts = sweep_cores(&SystemParams::default(), &paper_core_counts());
     let cells: Vec<Vec<String>> = pts
         .iter()
@@ -24,29 +25,26 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Fig. 13: 2-D FFT performance vs cores (1024x1024, 4 memory controllers)",
-            &[
-                "cores",
-                "ideal GFLOPS",
-                "P-sync GFLOPS",
-                "mesh GFLOPS",
-                "P-sync/mesh"
-            ],
-            &cells
-        )
-    );
     let mesh_peak = pts
         .iter()
         .max_by(|a, b| a.mesh_gflops.partial_cmp(&b.mesh_gflops).unwrap())
         .unwrap();
-    println!(
+    ex.table(
+        "Fig. 13: 2-D FFT performance vs cores (1024x1024, 4 memory controllers)",
+        &[
+            "cores",
+            "ideal GFLOPS",
+            "P-sync GFLOPS",
+            "mesh GFLOPS",
+            "P-sync/mesh",
+        ],
+        &cells,
+    )
+    .note(format!(
         "mesh peaks at {} cores; P-sync/ideal at 4096 cores = {:.3}",
         mesh_peak.cores,
         pts.last().unwrap().psync_gflops / pts.last().unwrap().ideal_gflops
-    );
-    write_json("fig13", &pts)?;
-    Ok(())
+    ))
+    .rows(&pts)
+    .run()
 }

@@ -5,11 +5,12 @@
 //! cargo run --release -p bench --bin fig14_reorg
 //! ```
 
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use llmore::sweep::{paper_core_counts, sweep_cores};
 use llmore::SystemParams;
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("fig14");
     let pts = sweep_cores(&SystemParams::default(), &paper_core_counts());
     let cells: Vec<Vec<String>> = pts
         .iter()
@@ -21,20 +22,17 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Fig. 14: % of runtime in data reorganization (2-D FFT)",
-            &["cores", "mesh (%)", "P-sync (%)"],
-            &cells
-        )
-    );
     let last = pts.last().unwrap();
-    println!(
+    ex.table(
+        "Fig. 14: % of runtime in data reorganization (2-D FFT)",
+        &["cores", "mesh (%)", "P-sync (%)"],
+        &cells,
+    )
+    .note(format!(
         "at 4096 cores: mesh {:.1}% vs P-sync {:.1}% (paper: mesh keeps growing, P-sync levels off)",
         last.mesh_reorg_frac * 100.0,
         last.psync_reorg_frac * 100.0
-    );
-    write_json("fig14", &pts)?;
-    Ok(())
+    ))
+    .rows(&pts)
+    .run()
 }

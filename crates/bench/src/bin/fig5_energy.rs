@@ -11,7 +11,7 @@
 //! cargo run --release -p bench --bin fig5_energy [--quick]
 //! ```
 
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::energy::OrionParams;
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
@@ -28,14 +28,10 @@ struct Point {
 }
 
 fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize) -> f64 {
-    let cfg = MeshConfig {
-        topology: Topology::square(nodes, MemifPlacement::FourCorners),
-        t_r: 1,
-        policy: RoutingPolicy::Xy,
-        memif: Default::default(),
-        buffer_depth: 2,
-        max_cycles: 1 << 34,
-    };
+    let cfg = MeshConfig::paper_default()
+        .with_topology(Topology::square(nodes, MemifPlacement::FourCorners))
+        .with_policy(RoutingPolicy::Xy)
+        .with_max_cycles(1 << 34);
     let mut mesh = load_gather_energy(cfg, words_per_node);
     let res = mesh.run().expect("gather deadlocked");
     let payload_bits = (nodes * words_per_node) as u64 * 64;
@@ -43,12 +39,14 @@ fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize) -> f64 {
 }
 
 fn main() -> Result<(), BenchError> {
-    let sizes: &[usize] = if quick_mode() {
+    let ex = Experiment::new("fig5_energy");
+    let quick = ex.quick();
+    let sizes: &[usize] = if quick {
         &[16, 64, 256]
     } else {
         &[16, 64, 256, 1024]
     };
-    let words = if quick_mode() { 64 } else { 256 };
+    let words = if quick { 64 } else { 256 };
 
     let photonic = PhotonicEnergyModel::default();
     let mut points = Vec::new();
@@ -66,16 +64,15 @@ fn main() -> Result<(), BenchError> {
         });
         cells.push(vec![n.to_string(), f(mesh, 2), f(pscan, 3), f(ratio, 1)]);
     }
-    println!(
-        "{}",
-        render_table(
-            "Fig. 5: network energy per bit, SCA-equivalent gather (2 cm x 2 cm die)",
-            &["nodes", "mesh (pJ/bit)", "PSCAN (pJ/bit)", "mesh/PSCAN"],
-            &cells
-        )
-    );
     let min_ratio = points.iter().map(|p| p.ratio).fold(f64::INFINITY, f64::min);
-    println!("minimum PSCAN advantage: {min_ratio:.1}x (paper: at least 5.2x)");
-    write_json("fig5_energy", &points)?;
-    Ok(())
+    ex.table(
+        "Fig. 5: network energy per bit, SCA-equivalent gather (2 cm x 2 cm die)",
+        &["nodes", "mesh (pJ/bit)", "PSCAN (pJ/bit)", "mesh/PSCAN"],
+        &cells,
+    )
+    .note(format!(
+        "minimum PSCAN advantage: {min_ratio:.1}x (paper: at least 5.2x)"
+    ))
+    .rows(&points)
+    .run()
 }

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::workloads::load_transpose;
 use serde::Serialize;
@@ -42,8 +42,7 @@ struct PerfRow {
 }
 
 fn run_one(procs: usize, row_len: usize, policy: RoutingPolicy, t_p: u64) -> PerfRow {
-    let mut cfg = MeshConfig::table3(procs, t_p);
-    cfg.policy = policy;
+    let cfg = MeshConfig::table3(procs, t_p).with_policy(policy);
     let mut mesh = load_transpose(cfg, procs, row_len);
     let t0 = Instant::now();
     let res = mesh.run().expect("transpose completes");
@@ -75,8 +74,8 @@ fn run_one(procs: usize, row_len: usize, policy: RoutingPolicy, t_p: u64) -> Per
 }
 
 fn main() -> Result<(), BenchError> {
-    let quick = bench::quick_mode();
-    let (procs, row_len) = if quick { (256, 256) } else { (1024, 1024) };
+    let ex = Experiment::new("perf_mesh");
+    let (procs, row_len) = if ex.quick() { (256, 256) } else { (1024, 1024) };
 
     let mut rows = Vec::new();
     for policy in [RoutingPolicy::MinimalAdaptive, RoutingPolicy::Xy] {
@@ -98,22 +97,18 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Simulator performance (Table III transpose)",
-            &[
-                "transpose",
-                "policy",
-                "cycles",
-                "wall s",
-                "Mflit/s",
-                "vs seed"
-            ],
-            &table
-        )
-    );
-
-    write_json("perf_mesh", &rows)?;
-    Ok(())
+    ex.table(
+        "Simulator performance (Table III transpose)",
+        &[
+            "transpose",
+            "policy",
+            "cycles",
+            "wall s",
+            "Mflit/s",
+            "vs seed",
+        ],
+        &table,
+    )
+    .rows(&rows)
+    .run()
 }

@@ -5,9 +5,10 @@
 //! ```
 
 use analytic::table1::{table1, PAPER_TABLE1};
-use bench::{f, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("table1");
     let rows = table1();
     let cells: Vec<Vec<String>> = rows
         .iter()
@@ -24,23 +25,6 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            "Table I: compute efficiency for zero latency (1024-pt FFT, P = 256)",
-            &[
-                "k",
-                "S_b",
-                "t_ck (ns)",
-                "t_cf (ns)",
-                "W_p (Gb/s)",
-                "eta (%)",
-                "paper eta (%)"
-            ],
-            &cells
-        )
-    );
-    write_json("table1", &rows)?;
 
     // Exact-match audit against the printed paper values.
     let mut mismatches = 0;
@@ -49,6 +33,21 @@ fn main() -> Result<(), BenchError> {
             mismatches += 1;
         }
     }
-    println!("paper-value mismatches: {mismatches} (expect 0)");
-    Ok(())
+
+    ex.table(
+        "Table I: compute efficiency for zero latency (1024-pt FFT, P = 256)",
+        &[
+            "k",
+            "S_b",
+            "t_ck (ns)",
+            "t_cf (ns)",
+            "W_p (Gb/s)",
+            "eta (%)",
+            "paper eta (%)",
+        ],
+        &cells,
+    )
+    .note(format!("paper-value mismatches: {mismatches} (expect 0)"))
+    .rows(&rows)
+    .run()
 }

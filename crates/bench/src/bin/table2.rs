@@ -8,7 +8,7 @@
 
 use analytic::model::FftParams;
 use analytic::table2::{table2, PAPER_TABLE2};
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
 use emesh::workloads::load_scatter;
@@ -26,14 +26,9 @@ struct Row {
 /// Measure delivery efficiency by simulating one round of blocked scatter
 /// on a real mesh and comparing to the zero-latency injection bound.
 fn simulated_delivery_efficiency(p: usize, block_words: usize) -> f64 {
-    let cfg = MeshConfig {
-        topology: Topology::square(p, MemifPlacement::SingleCorner),
-        t_r: 1,
-        policy: RoutingPolicy::Xy,
-        memif: Default::default(),
-        buffer_depth: 2,
-        max_cycles: 1 << 32,
-    };
+    let cfg = MeshConfig::paper_default()
+        .with_topology(Topology::square(p, MemifPlacement::SingleCorner))
+        .with_policy(RoutingPolicy::Xy);
     let mut mesh = load_scatter(cfg, block_words, 1);
     let res = mesh.run().expect("scatter deadlocked");
     // Zero-latency bound: (P-1) packets x (block + header) flits injected
@@ -43,11 +38,12 @@ fn simulated_delivery_efficiency(p: usize, block_words: usize) -> f64 {
 }
 
 fn main() -> Result<(), BenchError> {
+    let ex = Experiment::new("table2");
     let params = FftParams::default();
     let rows = table2();
     // Simulating the delivery on a real 256-node mesh is meaningful but
     // slower; --quick uses a 64-node mesh.
-    let sim_p = if quick_mode() { 64 } else { 256 };
+    let sim_p = if ex.quick() { 64 } else { 256 };
 
     let mut out_rows = Vec::new();
     let mut cells = Vec::new();
@@ -69,24 +65,22 @@ fn main() -> Result<(), BenchError> {
             f(sim * 100.0, 1),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &format!(
-                "Table II: mesh compute efficiency with latency (analytic P = 256; sim on {sim_p}-node mesh)"
-            ),
-            &["k", "eta_d (%)", "eta (%)", "paper eta (%)", "sim eta_d (%)"],
-            &cells
-        )
-    );
     let peak = out_rows
         .iter()
         .max_by(|a, b| a.eta_pct.partial_cmp(&b.eta_pct).unwrap())
         .unwrap();
-    println!(
+    let peak_note = format!(
         "peak efficiency: {:.2}% at k = {} (paper: 81.74% at k = 8)",
         peak.eta_pct, peak.k
     );
-    write_json("table2", &out_rows)?;
-    Ok(())
+    ex.table(
+        &format!(
+            "Table II: mesh compute efficiency with latency (analytic P = 256; sim on {sim_p}-node mesh)"
+        ),
+        &["k", "eta_d (%)", "eta (%)", "paper eta (%)", "sim eta_d (%)"],
+        &cells,
+    )
+    .note(peak_note)
+    .rows(&out_rows)
+    .run()
 }

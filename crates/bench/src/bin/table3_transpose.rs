@@ -6,21 +6,28 @@
 //! `t_p = 4`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin table3_transpose [--quick]
+//! cargo run --release -p bench --bin table3_transpose [--quick] \
+//!     [--trace-out trace.json] [--metrics-out metrics.json]
 //! ```
 //!
 //! `--quick` runs a 256-processor / 256-sample-row configuration (the full
 //! paper configuration is P = 1024, N = 1024 → 2²⁰ elements and takes a
-//! couple of minutes of simulation).
+//! couple of minutes of simulation). With `--trace-out`/`--metrics-out`
+//! the mesh runs instrumented (per-router spans, memif/DRAM series) and a
+//! small P-sync machine executes the SCA writeback for real so the trace
+//! also carries per-CP drive and per-phase spans.
 
 use analytic::table3::{
     table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
 };
-use bench::{f, quick_mode, render_table, write_json, BenchError};
+use bench::{f, BenchError, Experiment};
 use emesh::mesh::MeshConfig;
 use emesh::workloads::load_transpose;
+use pscan::compiler::{GatherSpec, ScatterSpec};
+use psync::machine::{Machine, MachineConfig};
 use rayon::prelude::*;
 use serde::Serialize;
+use sim_core::telemetry::Registry;
 
 #[derive(Serialize)]
 struct Result {
@@ -35,21 +42,51 @@ struct Result {
     paper_multiplier_tp4: f64,
 }
 
-fn mesh_transpose_cycles(procs: usize, row_len: usize, t_p: u64) -> u64 {
+fn mesh_transpose_cycles(
+    procs: usize,
+    row_len: usize,
+    t_p: u64,
+    tracing: bool,
+) -> (u64, Option<Registry>) {
     let cfg = MeshConfig::table3(procs, t_p);
     let mut mesh = load_transpose(cfg, procs, row_len);
+    if tracing {
+        mesh.enable_telemetry();
+    }
     let res = mesh.run().expect("transpose deadlocked");
     let s = res.memif_stats[0];
     assert_eq!(s.elements as usize, procs * row_len, "lost elements");
-    res.cycles
+    (res.cycles, mesh.take_telemetry())
+}
+
+/// Trace-mode companion: the default PSCAN number is closed-form
+/// arithmetic, so to get per-CP drive and per-phase spans into the trace
+/// we execute a small SCA delivery → compute → writeback on the simulated
+/// machine and harvest its registry.
+fn traced_machine_writeback() -> Registry {
+    const NODES: usize = 8;
+    const BLOCK: usize = 8;
+    let words = NODES * BLOCK;
+    let mut m = Machine::new(MachineConfig::paper_default(NODES, 2 * words));
+    m.enable_telemetry();
+    m.head.fill(0, &(0..words as u64).collect::<Vec<_>>());
+    let addrs: Vec<u64> = (0..words as u64).collect();
+    let delivered = m.scatter_from_memory("deliver", &addrs, &ScatterSpec::blocked(NODES, BLOCK));
+    m.compute_phase("compute", |_| 100.0);
+    let back: Vec<u64> = (words as u64..2 * words as u64).collect();
+    m.gather_to_memory(
+        "writeback",
+        &GatherSpec::interleaved(NODES, BLOCK, 1),
+        &delivered,
+        &back,
+    );
+    m.take_telemetry().expect("telemetry enabled")
 }
 
 fn main() -> std::result::Result<(), BenchError> {
-    let (procs, row_len) = if quick_mode() {
-        (256, 256)
-    } else {
-        (1024, 1024)
-    };
+    let mut ex = Experiment::new("table3");
+    let (procs, row_len) = if ex.quick() { (256, 256) } else { (1024, 1024) };
+    let tracing = ex.tracing();
 
     // PSCAN closed form, scaled to this configuration.
     let params = Table3Params {
@@ -60,14 +97,14 @@ fn main() -> std::result::Result<(), BenchError> {
     let pscan = params.pscan_cycles();
 
     // The two t_p points are independent simulations: run them in parallel.
-    let mesh_cycles: Vec<u64> = [1u64, 4]
+    let mesh_runs: Vec<(u64, Option<Registry>)> = [1u64, 4]
         .into_par_iter()
         .map(|t_p| {
             eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = {t_p})...");
-            mesh_transpose_cycles(procs, row_len, t_p)
+            mesh_transpose_cycles(procs, row_len, t_p, tracing && t_p == 1)
         })
         .collect();
-    let (mesh1, mesh4) = (mesh_cycles[0], mesh_cycles[1]);
+    let (mesh1, mesh4) = (mesh_runs[0].0, mesh_runs[1].0);
 
     let result = Result {
         procs,
@@ -104,30 +141,34 @@ fn main() -> std::result::Result<(), BenchError> {
             f(result.paper_multiplier_tp4, 2),
         ],
     ];
-    println!(
-        "{}",
-        render_table(
-            &format!(
-                "Table III: transpose writeback, P = {procs}, N = {row_len} ({} samples)",
-                procs * row_len
-            ),
-            &[
-                "network",
-                "t_p",
-                "writeback (cycles)",
-                "multiplier",
-                "paper multiplier"
-            ],
-            &cells
-        )
+    ex = ex.table(
+        &format!(
+            "Table III: transpose writeback, P = {procs}, N = {row_len} ({} samples)",
+            procs * row_len
+        ),
+        &[
+            "network",
+            "t_p",
+            "writeback (cycles)",
+            "multiplier",
+            "paper multiplier",
+        ],
+        &cells,
     );
-    if !quick_mode() {
-        println!(
+    if !ex.quick() {
+        ex = ex.note(format!(
             "paper PSCAN cycles: {} (ours: {})",
             table3_pscan_cycles(),
             result.pscan_cycles
-        );
+        ));
     }
-    write_json("table3", &result)?;
-    Ok(())
+    for (_, reg) in mesh_runs {
+        if let Some(reg) = reg {
+            ex = ex.telemetry(reg);
+        }
+    }
+    if tracing {
+        ex = ex.telemetry(traced_machine_writeback());
+    }
+    ex.rows(&result).run()
 }

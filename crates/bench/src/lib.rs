@@ -1,12 +1,37 @@
 //! Shared plumbing for the experiment harness binaries.
 //!
-//! Every binary regenerates one table or figure of the paper, prints it as
-//! an aligned text table, and (unless `--no-json`) writes the raw rows to
-//! `results/<name>.json` so EXPERIMENTS.md numbers are reproducible and
-//! diffable.
+//! Every binary regenerates one table or figure of the paper through a
+//! single [`Experiment`] runner: it declares its name, pushes rendered
+//! tables/notes, attaches its result rows and (optionally) a telemetry
+//! [`Registry`], and calls [`Experiment::run`]. The runner owns the whole
+//! CLI surface —
+//!
+//! * `--quick` — shrink the expensive configurations,
+//! * `--no-json` — skip the `results/<name>.json` write,
+//! * `--trace-out <path>` — write the attached telemetry as Chrome
+//!   trace-event JSON (`chrome://tracing` / Perfetto loadable),
+//! * `--metrics-out <path>` — write the attached telemetry's metric
+//!   series as flat JSON,
+//!
+//! — so no binary parses arguments or writes JSON on its own.
+//!
+//! ```no_run
+//! use bench::{BenchError, Experiment};
+//!
+//! fn main() -> Result<(), BenchError> {
+//!     let ex = Experiment::new("demo");
+//!     let n = if ex.quick() { 4 } else { 1024 };
+//!     let rows = vec![n];
+//!     ex.table("Demo", &["n"], &[vec![n.to_string()]])
+//!         .rows(&rows)
+//!         .run()
+//! }
+//! ```
 
 use serde::Serialize;
 use std::path::PathBuf;
+
+use sim_core::telemetry::Registry;
 
 /// Harness plumbing failure: the experiment ran, but its rows could not be
 /// recorded. Binaries propagate this out of `main` for a nonzero exit.
@@ -50,8 +75,149 @@ impl std::error::Error for BenchError {
     }
 }
 
+/// Parsed harness command line. All binaries share this surface; unknown
+/// arguments are ignored (they may belong to the cargo invocation).
+#[derive(Debug, Clone, Default)]
+struct Cli {
+    quick: bool,
+    no_json: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl Cli {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => cli.quick = true,
+                "--no-json" => cli.no_json = true,
+                "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
+                "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
+                _ => {
+                    if let Some(p) = a.strip_prefix("--trace-out=") {
+                        cli.trace_out = Some(PathBuf::from(p));
+                    } else if let Some(p) = a.strip_prefix("--metrics-out=") {
+                        cli.metrics_out = Some(PathBuf::from(p));
+                    }
+                }
+            }
+        }
+        cli
+    }
+
+    fn from_env() -> Self {
+        Cli::parse(std::env::args().skip(1))
+    }
+}
+
+/// One experiment run: the single entry point for every harness binary.
+///
+/// Build it first (`Experiment::new` parses the process arguments), size
+/// the workload off [`Experiment::quick`], then chain output sections and
+/// result rows and finish with [`Experiment::run`].
+#[derive(Debug)]
+#[must_use = "an Experiment does nothing until .run() is called"]
+pub struct Experiment {
+    name: String,
+    cli: Cli,
+    /// Pre-rendered stdout blocks, printed in order by `run()`.
+    sections: Vec<String>,
+    /// Result rows, serialized eagerly at `.rows()` time.
+    json: Option<Result<String, BenchError>>,
+    /// Merged telemetry from instrumented fabrics.
+    registry: Registry,
+}
+
+impl Experiment {
+    /// Start the experiment named `name` (results land in
+    /// `results/<name>.json`), parsing the process command line.
+    pub fn new(name: &str) -> Self {
+        Experiment {
+            name: name.to_string(),
+            cli: Cli::from_env(),
+            sections: Vec::new(),
+            json: None,
+            registry: Registry::new(),
+        }
+    }
+
+    /// Whether `--quick` was passed: harnesses shrink the expensive
+    /// configurations.
+    pub fn quick(&self) -> bool {
+        self.cli.quick
+    }
+
+    /// Whether `--trace-out` or `--metrics-out` was passed — i.e. whether
+    /// this run wants fabrics instrumented. Binaries use this to call
+    /// `enable_telemetry()` on their simulators (and, where the default
+    /// workload is pure closed-form arithmetic, to run a small simulated
+    /// workload that actually produces spans).
+    pub fn tracing(&self) -> bool {
+        self.cli.trace_out.is_some() || self.cli.metrics_out.is_some()
+    }
+
+    /// The experiment-wide telemetry registry, for binaries that record
+    /// their own series or spans directly.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Append an aligned text table to the printed output.
+    pub fn table(mut self, title: &str, header: &[&str], rows: &[Vec<String>]) -> Self {
+        self.sections.push(render(title, header, rows));
+        self
+    }
+
+    /// Append a free-form commentary line to the printed output.
+    pub fn note(mut self, line: impl Into<String>) -> Self {
+        self.sections.push(line.into());
+        self
+    }
+
+    /// Attach the result rows recorded to `results/<name>.json`
+    /// (serialized immediately; failures surface from [`Experiment::run`]).
+    pub fn rows<T: Serialize>(mut self, value: &T) -> Self {
+        let name = self.name.clone();
+        self.json = Some(
+            serde_json::to_string_pretty(value)
+                .map_err(|source| BenchError::Serialize { name, source }),
+        );
+        self
+    }
+
+    /// Merge a fabric's telemetry registry (e.g. `mesh.take_telemetry()`)
+    /// into the experiment-wide registry.
+    pub fn telemetry(self, reg: Registry) -> Self {
+        self.registry.merge(reg);
+        self
+    }
+
+    /// Print every section, write the result rows (unless `--no-json`),
+    /// and write the trace/metrics files if requested.
+    pub fn run(self) -> Result<(), BenchError> {
+        for s in &self.sections {
+            println!("{s}");
+        }
+        if let Some(json) = self.json {
+            let json = json?;
+            if !self.cli.no_json {
+                write_results_file(&self.name, &json)?;
+            }
+        }
+        if let Some(path) = &self.cli.trace_out {
+            write_file(path, &self.registry.chrome_trace_json())?;
+        }
+        if let Some(path) = &self.cli.metrics_out {
+            write_file(path, &self.registry.metrics_json())?;
+        }
+        Ok(())
+    }
+}
+
 /// Render an aligned text table.
-pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -90,39 +256,74 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
     out
 }
 
-/// Where result JSON lands (workspace `results/`).
-pub fn results_dir() -> PathBuf {
+/// Where result JSON lands (workspace `results/`, or `PSYNC_RESULTS_DIR`).
+fn results_dir_path() -> PathBuf {
     // The harness binaries run from the workspace root via `cargo run`.
     let dir = std::env::var("PSYNC_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
     PathBuf::from(dir)
 }
 
-/// Serialize experiment rows to `results/<name>.json`. Failures propagate —
+/// Write pre-serialized rows to `results/<name>.json`. Failures propagate —
 /// the harness must exit nonzero rather than silently publish a table whose
-/// backing JSON was never written. `--no-json` skips the write entirely.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> Result<(), BenchError> {
-    if std::env::args().any(|a| a == "--no-json") {
-        return Ok(());
-    }
-    let dir = results_dir();
+/// backing JSON was never written.
+fn write_results_file(name: &str, json: &str) -> Result<(), BenchError> {
+    let dir = results_dir_path();
     std::fs::create_dir_all(&dir).map_err(|source| BenchError::Io {
         path: dir.clone(),
         source,
     })?;
     let path = dir.join(format!("{name}.json"));
-    let s = serde_json::to_string_pretty(value).map_err(|source| BenchError::Serialize {
-        name: name.to_string(),
-        source,
-    })?;
-    std::fs::write(&path, s).map_err(|source| BenchError::Io {
-        path: path.clone(),
+    write_file(&path, json)
+}
+
+/// Write `contents` to `path` (creating parent directories) and log it.
+fn write_file(path: &std::path::Path, contents: &str) -> Result<(), BenchError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|source| BenchError::Io {
+                path: parent.to_path_buf(),
+                source,
+            })?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|source| BenchError::Io {
+        path: path.to_path_buf(),
         source,
     })?;
     eprintln!("wrote {}", path.display());
     Ok(())
 }
 
+/// Render an aligned text table.
+#[deprecated(since = "0.1.0", note = "use Experiment::table instead")]
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    render(title, header, rows)
+}
+
+/// Where result JSON lands (workspace `results/`).
+#[deprecated(since = "0.1.0", note = "Experiment owns the results path now")]
+pub fn results_dir() -> PathBuf {
+    results_dir_path()
+}
+
+/// Serialize experiment rows to `results/<name>.json`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Experiment::rows + Experiment::run instead"
+)]
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Result<(), BenchError> {
+    if std::env::args().any(|a| a == "--no-json") {
+        return Ok(());
+    }
+    let s = serde_json::to_string_pretty(value).map_err(|source| BenchError::Serialize {
+        name: name.to_string(),
+        source,
+    })?;
+    write_results_file(name, &s)
+}
+
 /// `--quick` flag: harnesses shrink the expensive experiments.
+#[deprecated(since = "0.1.0", note = "use Experiment::quick instead")]
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
@@ -132,13 +333,18 @@ pub fn f(v: f64, d: usize) -> String {
     format!("{v:.d$}")
 }
 
+/// Canonical harness surface for glob import: `use bench::prelude::*;`.
+pub mod prelude {
+    pub use crate::{f, BenchError, Experiment};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn table_alignment() {
-        let t = render_table(
+        let t = render(
             "T",
             &["k", "eta"],
             &[
@@ -158,5 +364,26 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(409.6, 1), "409.6");
+    }
+
+    #[test]
+    fn cli_parses_harness_flags() {
+        let cli = Cli::parse(
+            ["--quick", "--trace-out", "t.json", "--metrics-out=m.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(cli.quick);
+        assert!(!cli.no_json);
+        assert_eq!(
+            cli.trace_out.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
+        assert_eq!(
+            cli.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        let cli = Cli::parse(["--no-json", "--unknown"].iter().map(|s| s.to_string()));
+        assert!(cli.no_json && !cli.quick);
     }
 }

@@ -1,0 +1,50 @@
+//! The `Experiment` writer path must stay byte-identical to the seed's
+//! `write_json` (pretty serde_json straight to `results/<name>.json`): the
+//! committed goldens are diffed byte-for-byte by CI, so any drift in
+//! formatting or routing here shows up as a spurious golden churn.
+
+use bench::Experiment;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    k: u64,
+    eta: f64,
+    label: String,
+}
+
+/// Single test so the process-global results-dir override can't race a
+/// sibling test.
+#[test]
+fn results_file_is_byte_identical_to_pretty_serde_json() {
+    let dir = std::env::temp_dir().join(format!("bench_io_{}", std::process::id()));
+    std::env::set_var("PSYNC_RESULTS_DIR", &dir);
+
+    let rows = vec![
+        Row {
+            k: 64,
+            eta: 0.875,
+            label: "peak".into(),
+        },
+        Row {
+            k: 128,
+            eta: 0.5,
+            label: "past the knee".into(),
+        },
+    ];
+    Experiment::new("experiment_io_test")
+        .note("byte-identity check")
+        .rows(&rows)
+        .run()
+        .expect("run succeeds");
+
+    let written = std::fs::read_to_string(dir.join("experiment_io_test.json")).expect("file");
+    let expected = serde_json::to_string_pretty(&rows).expect("serializable");
+    assert_eq!(
+        written, expected,
+        "results writer drifted from the seed format"
+    );
+
+    std::env::remove_var("PSYNC_RESULTS_DIR");
+    let _ = std::fs::remove_dir_all(&dir);
+}

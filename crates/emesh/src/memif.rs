@@ -11,8 +11,13 @@ use std::collections::HashMap;
 
 use memory::{AccessKind, DramConfig, DramController, DramStats};
 use serde::{Deserialize, Serialize};
+use sim_core::telemetry::SeriesHistogram;
 
 use crate::flit::Flit;
+
+/// Cap on retained row-write spans per interface: trace mode targets small
+/// runs, and an unbounded log would dominate memory on the 2^20 sweeps.
+const MAX_ROW_SPANS: usize = 4096;
 
 /// Memory-interface configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -39,7 +44,7 @@ impl Default for MemifConfig {
 }
 
 /// Statistics from one memory interface.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemifStats {
     /// Flits ejected into this interface.
     pub flits_accepted: u64,
@@ -68,6 +73,22 @@ pub struct MemIf {
     /// DRAM bus timeline (cycle the bus frees).
     dram_free_at: u64,
     stats: MemifStats,
+    /// Telemetry (None = no per-event work): staging-buffer depth sampled
+    /// at each staged element, and `(start, done, row)` spans of row
+    /// writebacks (capped at [`MAX_ROW_SPANS`]).
+    telemetry: Option<MemifTelemetry>,
+}
+
+/// Raw telemetry accumulated by one interface; flushed into a
+/// [`sim_core::telemetry::Registry`] by the owning mesh after a run.
+#[derive(Debug, Clone, Default)]
+pub struct MemifTelemetry {
+    /// Staging-buffer depth (distinct partial rows) at each staged element.
+    pub staging_depth: SeriesHistogram,
+    /// Row writeback spans `(start_cycle, done_cycle, row)`.
+    pub row_spans: Vec<(u64, u64, u64)>,
+    /// Row spans dropped once the per-memif span cap was reached.
+    pub row_spans_dropped: u64,
 }
 
 impl MemIf {
@@ -82,7 +103,18 @@ impl MemIf {
             dram: DramController::new(cfg.dram, cfg.element_bits),
             dram_free_at: 0,
             stats: MemifStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Start accumulating staging-depth samples and row-write spans.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry = Some(MemifTelemetry::default());
+    }
+
+    /// The accumulated telemetry, if enabled.
+    pub fn telemetry(&self) -> Option<&MemifTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Whether the ejection port can take a flit at `cycle`.
@@ -135,7 +167,11 @@ impl MemIf {
         let row = addr / self.words_per_row;
         let count = self.staging.entry(row).or_insert(0);
         *count += 1;
-        if u64::from(*count) == self.words_per_row {
+        let full = u64::from(*count) == self.words_per_row;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.staging_depth.record(self.staging.len() as u64);
+        }
+        if full {
             self.staging.remove(&row);
             self.write_row(cycle, row);
         }
@@ -151,6 +187,13 @@ impl MemIf {
         self.dram_free_at = done;
         self.stats.rows_written += 1;
         self.stats.dram_done = self.stats.dram_done.max(done);
+        if let Some(tel) = self.telemetry.as_mut() {
+            if tel.row_spans.len() < MAX_ROW_SPANS {
+                tel.row_spans.push((start, done, row));
+            } else {
+                tel.row_spans_dropped += 1;
+            }
+        }
     }
 
     /// Force out any incomplete rows (end of workload). Returns the number

@@ -19,7 +19,7 @@
 //! in (cycle, insertion) order and port service order rotates with the
 //! cycle number.
 //!
-//! Wakeups live in a bucketed timing wheel ([`WakeWheel`]): near-future
+//! Wakeups live in a bucketed timing wheel (`WakeWheel`): near-future
 //! cycles map to a ring of per-cycle vectors (push/pop are O(1) appends in
 //! insertion order), far-future cycles spill to a small overflow heap.
 //! Redundant wakeups are suppressed at *push* time via a per-router
@@ -35,6 +35,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 use sim_core::stats::Histogram;
+use sim_core::telemetry::{Registry, SeriesHistogram};
 
 use crate::energy::EnergyCounters;
 use crate::faults::{
@@ -74,20 +75,82 @@ pub struct MeshConfig {
 }
 
 impl MeshConfig {
-    /// The paper's Table III setup for `n` processors: minimal adaptive,
-    /// `t_r = 1`, single memory port, ideal DRAM, given `t_p`.
-    pub fn table3(n: usize, t_p: u64) -> Self {
+    /// The paper's baseline mesh parameters over a 64-node single-corner
+    /// square: `t_r = 1`, XY-capable minimal adaptive routing, 2-flit
+    /// buffers, ideal DRAM. Refine with the `with_*` builders:
+    ///
+    /// ```
+    /// use emesh::mesh::{MeshConfig, RoutingPolicy};
+    /// let cfg = MeshConfig::paper_default()
+    ///     .with_buffers(4)
+    ///     .with_policy(RoutingPolicy::Xy);
+    /// assert_eq!(cfg.buffer_depth, 4);
+    /// ```
+    pub fn paper_default() -> Self {
         MeshConfig {
-            topology: Topology::square(n, crate::topology::MemifPlacement::SingleCorner),
+            topology: Topology::square(64, crate::topology::MemifPlacement::SingleCorner),
             t_r: 1,
             policy: RoutingPolicy::MinimalAdaptive,
-            memif: MemifConfig {
-                t_p,
-                ..Default::default()
-            },
+            memif: MemifConfig::default(),
             buffer_depth: crate::router::Router::BUFFER_DEPTH,
             max_cycles: 1 << 36,
         }
+    }
+
+    /// The paper's Table III setup for `n` processors: minimal adaptive,
+    /// `t_r = 1`, single memory port, ideal DRAM, given `t_p`.
+    pub fn table3(n: usize, t_p: u64) -> Self {
+        MeshConfig::paper_default()
+            .with_topology(Topology::square(
+                n,
+                crate::topology::MemifPlacement::SingleCorner,
+            ))
+            .with_memif(MemifConfig {
+                t_p,
+                ..Default::default()
+            })
+    }
+
+    /// Replace the topology (and memory-interface placement).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Set the per-router header routing latency `t_r`.
+    #[must_use]
+    pub fn with_t_r(mut self, t_r: u64) -> Self {
+        self.t_r = t_r;
+        self
+    }
+
+    /// Set the routing policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the memory-interface configuration.
+    #[must_use]
+    pub fn with_memif(mut self, memif: MemifConfig) -> Self {
+        self.memif = memif;
+        self
+    }
+
+    /// Set the input buffer depth in flits.
+    #[must_use]
+    pub fn with_buffers(mut self, buffer_depth: usize) -> Self {
+        self.buffer_depth = buffer_depth;
+        self
+    }
+
+    /// Set the watchdog cycle limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
     }
 }
 
@@ -345,6 +408,10 @@ pub struct Mesh {
     /// Fault-injection layer; `None` (the default) leaves every hot path
     /// untouched and the simulation bit-identical to the fault-free build.
     faults: Option<FaultLayer>,
+    /// Telemetry layer; `None` (the default) costs one hoisted `is_some()`
+    /// per service batch and nothing per flit. Boxed so the hot struct
+    /// stays small and the mesh stays `Send` for rayon'd sweeps.
+    telemetry: Option<Box<MeshTelemetry>>,
     /// Watchdog: flit-movement odometer at the last observed change, and
     /// the cycle it changed.
     progress_metric: u64,
@@ -352,6 +419,22 @@ pub struct Mesh {
 }
 
 const NEVER: u64 = u64::MAX;
+
+/// Telemetry scratch carried by an instrumented mesh: the registry plus
+/// raw per-router accumulators flushed into it at the end of each run.
+///
+/// Timebase: trace timestamps render one mesh cycle as one microsecond.
+#[derive(Debug)]
+struct MeshTelemetry {
+    registry: Registry,
+    /// First cycle each router was serviced ([`NEVER`] = never).
+    first_active: Vec<u64>,
+    /// Last cycle each router was serviced.
+    last_active: Vec<u64>,
+    /// Input-buffer occupancy (flits across all ports) sampled at each
+    /// router service.
+    occupancy: SeriesHistogram,
+}
 
 impl Mesh {
     /// Build an idle mesh.
@@ -386,9 +469,39 @@ impl Mesh {
             router_forwards: vec![0; n],
             now: 0,
             faults: None,
+            telemetry: None,
             progress_metric: 0,
             progress_cycle: 0,
         }
+    }
+
+    /// Attach (or replace) a telemetry registry. Costs nothing on the hot
+    /// path beyond one `is_some()` per service batch; all series and spans
+    /// are flushed into the registry when [`Mesh::run`] completes. Metric
+    /// names follow `emesh.component.metric`; trace timestamps map one
+    /// cycle to one microsecond.
+    pub fn enable_telemetry(&mut self) {
+        let n = self.cfg.topology.nodes();
+        self.telemetry = Some(Box::new(MeshTelemetry {
+            registry: Registry::new(),
+            first_active: vec![NEVER; n],
+            last_active: vec![0; n],
+            occupancy: SeriesHistogram::default(),
+        }));
+        for m in &mut self.memifs {
+            m.enable_telemetry();
+        }
+    }
+
+    /// The telemetry registry, if attached (populated after [`Mesh::run`]).
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// Detach and return the telemetry registry (e.g. to merge it into an
+    /// experiment-wide registry).
+    pub fn take_telemetry(&mut self) -> Option<Registry> {
+        self.telemetry.take().map(|t| t.registry)
     }
 
     /// Attach (or replace) the fault-injection layer. With all rates zero
@@ -418,13 +531,14 @@ impl Mesh {
     /// Queue `packet` for injection at `node` (flits leave in FIFO order,
     /// one per cycle at best).
     ///
+    /// Asserting wrapper over [`Mesh::try_inject_packet`].
+    ///
     /// # Panics
     /// Panics on an out-of-range or hard-killed node id; use
     /// [`Mesh::try_inject_packet`] for a structured error instead.
     pub fn inject_packet(&mut self, node: u32, packet: &Packet) {
-        if let Err(e) = self.try_inject_packet(node, packet) {
-            panic!("inject_packet: {e}");
-        }
+        self.try_inject_packet(node, packet)
+            .expect("inject_packet: invalid or dead node");
     }
 
     /// Queue `packet` for injection at `node`, rejecting invalid targets.
@@ -887,6 +1001,9 @@ impl Mesh {
     /// Drive the simulation until all traffic drains. Returns completion
     /// cycle and statistics.
     pub fn run(&mut self) -> Result<MeshRunResult, MeshError> {
+        // Hoisted telemetry check: the attached/absent state cannot change
+        // mid-run, so the per-router fast path pays a single bool test.
+        let tel_on = self.telemetry.is_some();
         loop {
             // Next service cycle: earliest wheel wakeup or NACK-retransmit
             // turnaround, whichever comes first.
@@ -925,6 +1042,9 @@ impl Mesh {
                     continue; // redundant wakeup for a cycle already serviced
                 }
                 self.processed_at[ri] = c;
+                if tel_on {
+                    self.tel_note_service(ri, c);
+                }
                 self.process(r, c);
             }
             ids.clear();
@@ -950,6 +1070,9 @@ impl Mesh {
         for s in &memif_stats {
             done = done.max(s.dram_done);
         }
+        if self.telemetry.is_some() {
+            self.flush_telemetry(done);
+        }
         Ok(MeshRunResult {
             cycles: done,
             energy: self.energy,
@@ -960,6 +1083,105 @@ impl Mesh {
             router_forwards: self.router_forwards.clone(),
             faults: self.faults.as_ref().map(|fl| fl.stats),
         })
+    }
+
+    /// Telemetry tap on the service path (called only when a registry is
+    /// attached): track per-router activity bounds and buffer occupancy.
+    fn tel_note_service(&mut self, ri: usize, c: u64) {
+        let occ = self.routers[ri].occupancy() as u64;
+        let tel = self.telemetry.as_mut().expect("checked by caller");
+        if tel.first_active[ri] == NEVER {
+            tel.first_active[ri] = c;
+        }
+        tel.last_active[ri] = c;
+        tel.occupancy.record(occ);
+    }
+
+    /// Publish end-of-run series and spans into the attached registry.
+    /// Counters are written with absolute `counter_set` semantics so a
+    /// repeated `run()` (mid-run injection workloads) republishes totals
+    /// instead of double-counting.
+    fn flush_telemetry(&mut self, done: u64) {
+        let tel = self.telemetry.as_ref().expect("checked by caller");
+        let reg = &tel.registry;
+        let n = self.cfg.topology.nodes();
+        reg.counter_set("emesh.mesh.cycles", done);
+        reg.counter_set("emesh.mesh.injections", self.energy.injections);
+        reg.counter_set("emesh.mesh.ejections", self.energy.ejections);
+        reg.counter_set("emesh.mesh.link_hops", self.energy.link_hops);
+        reg.counter_set(
+            "emesh.mesh.router_traversals",
+            self.energy.router_traversals,
+        );
+        // Mean fraction of the mesh's directed links (4 per router) busy
+        // per cycle — the aggregate the paper's §V-C contention argument
+        // is about.
+        let util = if done == 0 {
+            0.0
+        } else {
+            self.energy.link_hops as f64 / (done as f64 * n as f64 * 4.0)
+        };
+        reg.gauge_set("emesh.link.utilization", util);
+        reg.histogram_set_labeled("emesh.router.occupancy", &[], tel.occupancy.clone());
+        for (i, &fwd) in self.router_forwards.iter().enumerate() {
+            let label = [("node", i.to_string())];
+            reg.counter_set_labeled("emesh.router.forwards", &label, fwd);
+            if tel.first_active[i] != NEVER {
+                reg.span(
+                    "emesh",
+                    &format!("router {i}"),
+                    "active",
+                    tel.first_active[i] as f64,
+                    (tel.last_active[i] - tel.first_active[i] + 1) as f64,
+                    &[("forwards", fwd.to_string())],
+                );
+            }
+        }
+        for (slot, node) in self.cfg.topology.memif_nodes().iter().enumerate() {
+            let m = &self.memifs[slot];
+            let label = [("node", node.to_string())];
+            let s = m.stats();
+            reg.counter_set_labeled("emesh.memif.flits_accepted", &label, s.flits_accepted);
+            reg.counter_set_labeled("emesh.memif.elements", &label, s.elements);
+            reg.counter_set_labeled("emesh.memif.rows_written", &label, s.rows_written);
+            reg.counter_set_labeled("emesh.memif.nacks", &label, s.nacked);
+            let d = m.dram_stats();
+            reg.counter_set_labeled("emesh.dram.row_hits", &label, d.hits);
+            reg.counter_set_labeled("emesh.dram.row_misses", &label, d.misses);
+            reg.counter_set_labeled("emesh.dram.row_conflicts", &label, d.conflicts);
+            if let Some(mt) = m.telemetry() {
+                reg.histogram_set_labeled(
+                    "emesh.memif.staging_depth",
+                    &label,
+                    mt.staging_depth.clone(),
+                );
+                let track = format!("memif {node}");
+                for &(start, end, row) in &mt.row_spans {
+                    reg.span(
+                        "emesh",
+                        &track,
+                        "row_write",
+                        start as f64,
+                        (end - start) as f64,
+                        &[("row", row.to_string())],
+                    );
+                }
+                if mt.row_spans_dropped > 0 {
+                    reg.counter_set_labeled(
+                        "emesh.memif.row_spans_dropped",
+                        &label,
+                        mt.row_spans_dropped,
+                    );
+                }
+            }
+        }
+        if let Some(fl) = &self.faults {
+            reg.counter_set("emesh.fault.corrupted_flits", fl.stats.corrupted_flits);
+            reg.counter_set("emesh.fault.nacks", fl.stats.nacks);
+            reg.counter_set("emesh.fault.retransmits", fl.stats.retransmits);
+            reg.counter_set("emesh.fault.link_down_events", fl.stats.link_down_events);
+            reg.counter_set("emesh.fault.dropped_elements", fl.stats.dropped_elements);
+        }
     }
 
     /// Access a memory interface by slot for post-run inspection.

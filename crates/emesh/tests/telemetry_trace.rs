@@ -1,0 +1,88 @@
+//! Telemetry integration: a tiny 2×2 mesh transpose produces a well-formed
+//! Chrome trace, and attaching the telemetry layer never perturbs the
+//! simulation itself (the zero-overhead-when-disabled contract, checked
+//! from the enabled side: same cycles, same memif accounting).
+
+use emesh::mesh::MeshConfig;
+use emesh::workloads::load_transpose;
+
+/// 2×2 mesh, 32-element rows (one full 2048-bit DRAM row each): small
+/// enough that the golden fragments below are stable, big enough to
+/// exercise injection, forwarding, ejection and complete DRAM row writes.
+fn run_traced() -> (emesh::mesh::MeshRunResult, sim_core::Registry) {
+    let cfg = MeshConfig::table3(4, 1);
+    let mut mesh = load_transpose(cfg, 4, 32);
+    mesh.enable_telemetry();
+    let res = mesh.run().expect("transpose completes");
+    let reg = mesh.take_telemetry().expect("telemetry was enabled");
+    (res, reg)
+}
+
+#[test]
+fn chrome_trace_golden_snippet() {
+    let (_res, reg) = run_traced();
+    let json = reg.chrome_trace_json();
+
+    // Envelope.
+    assert!(
+        json.contains("\"traceEvents\""),
+        "missing traceEvents array"
+    );
+    assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+
+    // Metadata events name the emesh process and its per-router tracks.
+    assert!(
+        json.contains("\"process_name\""),
+        "missing process metadata"
+    );
+    assert!(json.contains("\"thread_name\""), "missing thread metadata");
+    assert!(json.contains("\"emesh\""), "missing emesh process");
+    assert!(json.contains("\"router 0\""), "missing router track");
+    assert!(json.contains("\"memif 0\""), "missing memif track");
+
+    // Complete ("X") span events: per-router activity and DRAM row writes.
+    assert!(json.contains("\"ph\": \"X\""), "no complete events");
+    assert!(json.contains("\"active\""), "no router activity span");
+    assert!(json.contains("\"row_write\""), "no memif row-write span");
+
+    // Every event of a well-formed trace carries ts/dur/pid/tid.
+    for key in ["\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":"] {
+        assert!(json.contains(key), "trace events missing {key}");
+    }
+}
+
+#[test]
+fn metrics_cover_the_expected_series() {
+    let (res, reg) = run_traced();
+    // Counter totals agree with the run result the caller already gets.
+    assert_eq!(reg.counter_value("emesh.mesh.cycles"), Some(res.cycles));
+    assert_eq!(
+        reg.counter_value("emesh.mesh.injections"),
+        Some(res.energy.injections)
+    );
+    for series in [
+        "emesh.mesh.ejections",
+        "emesh.mesh.link_hops",
+        "emesh.mesh.router_traversals",
+    ] {
+        assert!(
+            reg.counter_value(series).is_some(),
+            "missing series {series}"
+        );
+    }
+    assert!(reg.gauge_value("emesh.link.utilization").is_some());
+    let metrics = reg.metrics_json();
+    assert!(metrics.contains("\"series\""));
+    assert!(metrics.contains("emesh.router.forwards{node=0}"));
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let cfg = MeshConfig::table3(4, 1);
+    let mut plain = load_transpose(cfg, 4, 32);
+    let base = plain.run().expect("plain run completes");
+    let (traced, _) = run_traced();
+    assert_eq!(base.cycles, traced.cycles);
+    assert_eq!(base.energy, traced.energy);
+    assert_eq!(base.memif_stats, traced.memif_stats);
+}

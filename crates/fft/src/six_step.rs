@@ -2,7 +2,7 @@
 //!
 //! "While both 1D and 2D FFTs can be found in many applications, large 1D
 //! vector FFTs are typically implemented as 2D matrix FFTs to improve
-//! overall performance [Bailey]. Therefore, the optimization of the 2D FFT
+//! overall performance \[Bailey\]. Therefore, the optimization of the 2D FFT
 //! is generalizable to the 1D case."
 //!
 //! This is Bailey's four/six-step decomposition: for `N = n1·n2`, view the

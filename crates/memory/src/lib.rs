@@ -26,3 +26,11 @@ pub use bank::Bank;
 pub use config::DramConfig;
 pub use controller::{AccessKind, DramController, DramStats};
 pub use frfcfs::{FrFcfsConfig, FrFcfsController};
+
+/// One-stop import for DRAM experiments:
+/// `use memory::prelude::*;`.
+pub mod prelude {
+    pub use crate::config::DramConfig;
+    pub use crate::controller::{AccessKind, DramController, DramStats};
+    pub use crate::frfcfs::{FrFcfsConfig, FrFcfsController};
+}

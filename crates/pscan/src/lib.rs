@@ -55,3 +55,13 @@ pub use repeater::RepeatedPscan;
 /// Identifies a node tap on the bus, ordered by position (0 is nearest the
 /// clock generator / bus head).
 pub type NodeId = usize;
+
+/// One-stop import for PSCAN experiments:
+/// `use pscan::prelude::*;`.
+pub mod prelude {
+    pub use crate::compiler::{CpCompiler, GatherSpec, ScatterSpec};
+    pub use crate::cp::CommProgram;
+    pub use crate::faults::{PscanError, PscanFaultConfig};
+    pub use crate::network::{Pscan, PscanConfig};
+    pub use crate::NodeId;
+}

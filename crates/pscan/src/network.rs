@@ -17,7 +17,10 @@
 use photonics::energy::{EnergyBreakdown, PhotonicEnergyModel};
 use photonics::waveguide::ChipLayout;
 use photonics::wdm::WavelengthPlan;
+use std::cell::Cell;
+
 use serde::{Deserialize, Serialize};
+use sim_core::telemetry::Registry;
 use sim_core::time::Duration;
 
 use crate::bus::{BusError, BusSim, GatherOutcome, ScatterOutcome};
@@ -47,12 +50,43 @@ impl Default for PscanConfig {
 }
 
 impl PscanConfig {
+    /// The paper's baseline configuration (synonym of `Default`): 256
+    /// processors on a 20 mm die with the 32 λ × 10 Gb/s plan. Refine with
+    /// the `with_*` builders:
+    ///
+    /// ```
+    /// use pscan::network::PscanConfig;
+    /// let cfg = PscanConfig::paper_default().with_nodes(64);
+    /// assert_eq!(cfg.nodes, 64);
+    /// ```
+    pub fn paper_default() -> Self {
+        PscanConfig::default()
+    }
+
     /// The paper's Table III configuration: 1024 processors.
     pub fn paper_1024() -> Self {
-        PscanConfig {
-            nodes: 1024,
-            ..Default::default()
-        }
+        PscanConfig::paper_default().with_nodes(1024)
+    }
+
+    /// Set the processor-tap count.
+    #[must_use]
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Set the die edge in millimetres.
+    #[must_use]
+    pub fn with_die_mm(mut self, die_mm: f64) -> Self {
+        self.die_mm = die_mm;
+        self
+    }
+
+    /// Replace the WDM plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: WavelengthPlan) -> Self {
+        self.plan = plan;
+        self
     }
 }
 
@@ -64,6 +98,34 @@ pub struct Pscan {
     bus: BusSim,
     energy: PhotonicEnergyModel,
     faults: Option<PscanFaultState>,
+    /// Telemetry registry; `None` (the default) leaves the transaction
+    /// paths untouched. Transactions are placed back-to-back on a
+    /// bus-slot timeline (`tel_cursor`, one slot = one trace microsecond).
+    telemetry: Option<Registry>,
+    tel_cursor: Cell<u64>,
+}
+
+/// Cap on per-CP drive/listen spans recorded for one transaction: a
+/// finely interleaved spec over a 2^20-slot burst is a million runs, which
+/// no trace viewer (or RAM budget) wants. Excess runs are counted in
+/// `pscan.cp.spans_dropped` instead.
+const MAX_CP_SPANS: usize = 4096;
+
+/// Contiguous runs of the same node in a slot→node map: `(node, start,
+/// len)`. This is exactly the per-CP drive (gather) or listen (scatter)
+/// schedule, since a CP owns its slots in contiguous turns.
+fn node_runs(slots: &[usize]) -> Vec<(usize, usize, usize)> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < slots.len() {
+        let node = slots[i];
+        let start = i;
+        while i < slots.len() && slots[i] == node {
+            i += 1;
+        }
+        runs.push((node, start, i - start));
+    }
+    runs
 }
 
 impl Pscan {
@@ -80,6 +142,60 @@ impl Pscan {
             bus,
             energy,
             faults: None,
+            telemetry: None,
+            tel_cursor: Cell::new(0),
+        }
+    }
+
+    /// Attach (or replace) a telemetry registry. Each subsequent
+    /// transaction records bus-occupancy counters and per-CP drive/listen
+    /// spans (process `pscan`, track `cp N`), placed back-to-back on a
+    /// bus-slot timeline where one slot renders as one trace microsecond.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry = Some(Registry::new());
+        self.tel_cursor.set(0);
+    }
+
+    /// The telemetry registry, if attached.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detach and return the telemetry registry.
+    pub fn take_telemetry(&mut self) -> Option<Registry> {
+        self.telemetry.take()
+    }
+
+    /// Record one transaction: advance the slot timeline, bump bus
+    /// counters, and emit one span per contiguous per-CP slot run plus a
+    /// whole-burst span on the terminus track.
+    fn tel_transaction(&self, kind: &str, cp_phase: &str, slots: &[usize], burst_slots: u64) {
+        let Some(reg) = &self.telemetry else { return };
+        let at = self.tel_cursor.get();
+        self.tel_cursor.set(at + burst_slots.max(1));
+        reg.counter_add("pscan.bus.slots_total", burst_slots);
+        reg.counter_add(&format!("pscan.bus.{kind}s"), 1);
+        reg.span(
+            "pscan",
+            "terminus",
+            kind,
+            at as f64,
+            burst_slots as f64,
+            &[("slots", burst_slots.to_string())],
+        );
+        let runs = node_runs(slots);
+        for &(node, start, len) in runs.iter().take(MAX_CP_SPANS) {
+            reg.span(
+                "pscan",
+                &format!("cp {node}"),
+                cp_phase,
+                (at + start as u64) as f64,
+                len as f64,
+                &[("slots", len.to_string())],
+            );
+        }
+        if runs.len() > MAX_CP_SPANS {
+            reg.counter_add("pscan.cp.spans_dropped", (runs.len() - MAX_CP_SPANS) as u64);
         }
     }
 
@@ -112,7 +228,16 @@ impl Pscan {
     /// Compile and execute a gather in one call.
     pub fn gather(&self, spec: &GatherSpec, data: &[Vec<u64>]) -> Result<GatherOutcome, BusError> {
         let cps = CpCompiler.compile_gather(spec, self.cfg.nodes);
-        self.bus.gather(&cps, data)
+        let out = self.bus.gather(&cps, data)?;
+        if self.telemetry.is_some() {
+            self.tel_transaction(
+                "gather",
+                "drive",
+                &spec.slot_source,
+                out.received.len() as u64,
+            );
+        }
+        Ok(out)
     }
 
     /// A CRC-checked gather with bounded retry — the fault-aware sibling of
@@ -173,6 +298,12 @@ impl Pscan {
                 .flatten()
                 .fold(0u32, |c, &w| crc32_words_update(c, &[w]));
             if observed_crc == committed_crc {
+                if let Some(reg) = &self.telemetry {
+                    self.tel_transaction("gather", "drive", &spec.slot_source, slots_on_bus);
+                    reg.counter_add("pscan.crc.retries", u64::from(attempt - 1));
+                    reg.counter_add("pscan.crc.corrupted_words", corrupted_total);
+                    reg.counter_add("pscan.crc.backoff_slots", backoff_total);
+                }
                 let mut outcome = clean;
                 outcome.received = received;
                 return Ok(ReliableGatherOutcome {
@@ -198,6 +329,13 @@ impl Pscan {
                 }
             }
         }
+        if let Some(reg) = &self.telemetry {
+            self.tel_transaction("gather", "drive", &spec.slot_source, slots_on_bus);
+            reg.counter_add("pscan.crc.retries", u64::from(max_attempts - 1));
+            reg.counter_add("pscan.crc.corrupted_words", corrupted_total);
+            reg.counter_add("pscan.crc.backoff_slots", backoff_total);
+            reg.counter_add("pscan.crc.giveups", 1);
+        }
         Err(PscanError::RetriesExhausted {
             attempts: max_attempts,
             corrupted_words: corrupted_total,
@@ -207,7 +345,11 @@ impl Pscan {
     /// Compile and execute a scatter in one call.
     pub fn scatter(&self, spec: &ScatterSpec, burst: &[u64]) -> Result<ScatterOutcome, BusError> {
         let cps = CpCompiler.compile_scatter(spec, self.cfg.nodes);
-        self.bus.scatter(&cps, burst)
+        let out = self.bus.scatter(&cps, burst)?;
+        if self.telemetry.is_some() {
+            self.tel_transaction("scatter", "listen", &spec.slot_dest, burst.len() as u64);
+        }
+        Ok(out)
     }
 
     /// Number of bus cycles to move `bits` at full utilization — the PSCAN

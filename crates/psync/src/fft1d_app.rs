@@ -36,7 +36,7 @@ pub fn run_fft1d(procs: usize, plan: &SixStepPlan, x: &[Complex64]) -> Fft1dRun 
         "procs must divide n1 and n2"
     );
 
-    let mut m = Machine::new(MachineConfig::new(procs, 2 * l));
+    let mut m = Machine::new(MachineConfig::paper_default(procs, 2 * l));
     let wire: Vec<u64> = x.iter().map(|&c| encode_sample(c)).collect();
     m.head.fill(0, &wire);
     let area = l as u64;

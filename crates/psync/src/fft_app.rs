@@ -76,7 +76,7 @@ pub fn run_fft2d(procs: usize, input: &Matrix) -> Fft2dRun {
     let rows_per = n / procs;
     let area = n * n;
 
-    let mut m = Machine::new(MachineConfig::new(procs, 2 * area));
+    let mut m = Machine::new(MachineConfig::paper_default(procs, 2 * area));
 
     // Load the problem into DRAM region A (row-major wire samples).
     let wire: Vec<u64> = input.data.iter().map(|&c| encode_sample(c)).collect();

@@ -151,7 +151,7 @@ impl Instr {
 
 impl CompProgram {
     /// Serialize the whole program (instructions then ROM as 64-bit wire
-    /// samples) for SCA⁻¹ delivery. Layout: [n_instr][instrs...][rom...].
+    /// samples) for SCA⁻¹ delivery. Layout: `[n_instr][instrs...][rom...]`.
     pub fn encode_words(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(1 + self.instrs.len() + self.rom.len());
         out.push(self.instrs.len() as u64);

@@ -50,3 +50,11 @@ pub use machine::{Machine, MachineConfig, MachineError, PhaseTiming};
 pub use model2::{run_model2_rows, Model2Run};
 pub use node::Node;
 pub use sample::{decode_sample, encode_sample};
+
+/// One-stop import for P-sync machine experiments:
+/// `use psync::prelude::*;`.
+pub mod prelude {
+    pub use crate::fft_app::run_fft2d;
+    pub use crate::machine::{Machine, MachineConfig, MachineError, PhaseTiming};
+    pub use pscan::compiler::{GatherSpec, ScatterSpec};
+}

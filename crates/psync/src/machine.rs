@@ -18,6 +18,7 @@ use pscan::compiler::{GatherSpec, ScatterSpec};
 use pscan::faults::{PscanError, PscanFaultConfig};
 use pscan::network::{Pscan, PscanConfig};
 use serde::{Deserialize, Serialize};
+use sim_core::telemetry::Registry;
 
 use crate::head::HeadNode;
 use crate::node::{ExecParams, Node};
@@ -105,8 +106,17 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
-    /// Default machine for `procs` processors and `dram_words` of storage.
-    pub fn new(procs: usize, dram_words: usize) -> Self {
+    /// The paper's baseline machine for `procs` processors and
+    /// `dram_words` of storage: 20 mm die, 64 λ × 5 Gb/s plan (64-bit bus
+    /// word at 320 Gb/s), ideal DRAM. Refine with the `with_*` builders:
+    ///
+    /// ```
+    /// use memory::DramConfig;
+    /// use psync::machine::MachineConfig;
+    /// let cfg = MachineConfig::paper_default(4, 256).with_dram(DramConfig::default());
+    /// assert_eq!(cfg.procs, 4);
+    /// ```
+    pub fn paper_default(procs: usize, dram_words: usize) -> Self {
         MachineConfig {
             procs,
             die_mm: 20.0,
@@ -115,6 +125,40 @@ impl MachineConfig {
             dram_words,
             exec: ExecParams::default(),
         }
+    }
+
+    /// Default machine for `procs` processors and `dram_words` of storage.
+    #[deprecated(since = "0.1.0", note = "use MachineConfig::paper_default instead")]
+    pub fn new(procs: usize, dram_words: usize) -> Self {
+        MachineConfig::paper_default(procs, dram_words)
+    }
+
+    /// Set the die edge in millimetres.
+    #[must_use]
+    pub fn with_die_mm(mut self, die_mm: f64) -> Self {
+        self.die_mm = die_mm;
+        self
+    }
+
+    /// Replace the WDM plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: WavelengthPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replace the DRAM configuration.
+    #[must_use]
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Replace the execution-unit timing.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecParams) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -152,6 +196,10 @@ pub struct Machine {
     /// Whole-pass SCA re-issues allowed per gather when the link layer's own
     /// retry budget is spent.
     pub sca_reissue_limit: u32,
+    /// Telemetry registry; `None` (the default) leaves the phase paths
+    /// untouched. Phase spans live on the machine's wall-clock timeline,
+    /// rendered at one microsecond of trace time per simulated microsecond.
+    telemetry: Option<Registry>,
 }
 
 impl Machine {
@@ -171,7 +219,33 @@ impl Machine {
             nodes,
             phases: Vec::new(),
             sca_reissue_limit: 3,
+            telemetry: None,
         }
+    }
+
+    /// Attach (or replace) a telemetry registry on the machine *and* its
+    /// PSCAN. Every executed phase records a `psync.phase` span (process
+    /// `psync`, track `phases`) annotated with its bus/DRAM/retry bill;
+    /// the PSCAN contributes per-CP drive/listen spans and CRC counters.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry = Some(Registry::new());
+        self.pscan.enable_telemetry();
+    }
+
+    /// The machine-level telemetry registry, if attached (PSCAN series
+    /// live in the PSCAN's own registry until [`Machine::take_telemetry`]).
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detach and return the merged telemetry of the machine and its
+    /// PSCAN.
+    pub fn take_telemetry(&mut self) -> Option<Registry> {
+        let reg = self.telemetry.take()?;
+        if let Some(bus) = self.pscan.take_telemetry() {
+            reg.merge(bus);
+        }
+        Some(reg)
     }
 
     /// Attach the photonic fault layer (BER-derived word corruption with
@@ -206,8 +280,13 @@ impl Machine {
 
     /// SCA⁻¹: stream DRAM words at `addrs` (slot order) onto the bus and
     /// deliver per `spec`; each node's captured words are returned.
-    /// Records a phase. Panics on protocol failure; see
-    /// [`Machine::try_scatter_from_memory`] for the fallible path.
+    /// Records a phase.
+    ///
+    /// Asserting wrapper over [`Machine::try_scatter_from_memory`].
+    ///
+    /// # Panics
+    /// Panics on protocol failure; use the fallible path for a structured
+    /// error.
     pub fn scatter_from_memory(
         &mut self,
         name: &str,
@@ -215,7 +294,7 @@ impl Machine {
         spec: &ScatterSpec,
     ) -> Vec<Vec<u64>> {
         self.try_scatter_from_memory(name, addrs, spec)
-            .unwrap_or_else(|e| panic!("scatter {name}: {e}"))
+            .expect("scatter_from_memory: bus rejected the SCA pass")
     }
 
     /// Fallible [`Machine::scatter_from_memory`]: bus rejections surface as
@@ -238,8 +317,13 @@ impl Machine {
 
     /// SCA: gather per-node words (in each node's CP slot order) into a
     /// monolithic burst and write it to DRAM at `addrs[k]` for slot `k`.
-    /// Records a phase and returns the coalesced words. Panics on protocol
-    /// failure; see [`Machine::try_gather_to_memory`] for the fallible path.
+    /// Records a phase and returns the coalesced words.
+    ///
+    /// Asserting wrapper over [`Machine::try_gather_to_memory`].
+    ///
+    /// # Panics
+    /// Panics on protocol failure; use the fallible path for a structured
+    /// error.
     pub fn gather_to_memory(
         &mut self,
         name: &str,
@@ -248,7 +332,7 @@ impl Machine {
         addrs: &[u64],
     ) -> Vec<u64> {
         self.try_gather_to_memory(name, spec, node_words, addrs)
-            .unwrap_or_else(|e| panic!("gather {name}: {e}"))
+            .expect("gather_to_memory: SCA pass failed")
     }
 
     /// Fallible [`Machine::gather_to_memory`]. With a fault layer attached
@@ -349,12 +433,35 @@ impl Machine {
     ) {
         let slot = self.slot_secs();
         let comm = (bus_slots.max(dram_cycles)) as f64 * slot;
+        let seconds = comm + compute_ns * 1e-9;
+        if let Some(reg) = &self.telemetry {
+            // The machine's phases are strictly sequential, so the span
+            // starts where the previous phases' seconds left off.
+            let start_s = self.total_seconds();
+            reg.span(
+                "psync",
+                "phases",
+                name,
+                start_s * 1e6,
+                seconds * 1e6,
+                &[
+                    ("bus_slots", bus_slots.to_string()),
+                    ("dram_cycles", dram_cycles.to_string()),
+                    ("compute_ns", format!("{compute_ns:.1}")),
+                    ("retries", retries.to_string()),
+                ],
+            );
+            reg.counter_add("psync.phase.count", 1);
+            reg.counter_add("psync.phase.retries", retries);
+            reg.counter_add("psync.phase.bus_slots", bus_slots);
+            reg.counter_add("psync.phase.dram_cycles", dram_cycles);
+        }
         self.phases.push(PhaseTiming {
             name: name.to_string(),
             bus_slots,
             dram_cycles,
             compute_ns,
-            seconds: comm + compute_ns * 1e-9,
+            seconds,
             retries,
         });
     }
@@ -376,7 +483,7 @@ mod tests {
 
     #[test]
     fn scatter_then_gather_roundtrip() {
-        let mut m = Machine::new(MachineConfig::new(4, 256));
+        let mut m = Machine::new(MachineConfig::paper_default(4, 256));
         m.head
             .fill(0, &(0..64u64).map(|i| i * 3).collect::<Vec<_>>());
         // Deliver words 0..64 blocked: node i gets 16.
@@ -400,7 +507,7 @@ mod tests {
     fn header_accounting_matches_table3() {
         // 2^20 payload slots with 2048-bit rows -> 32768 headers ->
         // 1,081,344 total bus slots.
-        let m = Machine::new(MachineConfig::new(4, 16));
+        let m = Machine::new(MachineConfig::paper_default(4, 16));
         let payload = 1u64 << 20;
         assert_eq!(m.header_slots(payload), 32_768);
         assert_eq!(payload + m.header_slots(payload), 1_081_344);
@@ -408,7 +515,7 @@ mod tests {
 
     #[test]
     fn phase_seconds_take_the_slower_pipe() {
-        let mut m = Machine::new(MachineConfig::new(2, 128));
+        let mut m = Machine::new(MachineConfig::paper_default(2, 128));
         m.head.fill(0, &[1; 64]);
         let spec = ScatterSpec::blocked(2, 32);
         let addrs: Vec<u64> = (0..64).collect();
@@ -422,7 +529,7 @@ mod tests {
 
     #[test]
     fn compute_phase_takes_parallel_max() {
-        let mut m = Machine::new(MachineConfig::new(3, 16));
+        let mut m = Machine::new(MachineConfig::paper_default(3, 16));
         let mut i = 0.0;
         m.compute_phase("c", |_| {
             i += 100.0;
@@ -436,7 +543,7 @@ mod tests {
     #[test]
     fn faulty_gather_recovers_and_bills_retries() {
         let run = |rate: f64, seed: u64| {
-            let mut m = Machine::new(MachineConfig::new(4, 256));
+            let mut m = Machine::new(MachineConfig::paper_default(4, 256));
             m.enable_faults(PscanFaultConfig {
                 seed,
                 word_error_rate: rate,
@@ -464,7 +571,7 @@ mod tests {
 
     #[test]
     fn hopeless_channel_exhausts_sca_reissues() {
-        let mut m = Machine::new(MachineConfig::new(2, 64));
+        let mut m = Machine::new(MachineConfig::paper_default(2, 64));
         m.sca_reissue_limit = 2;
         m.enable_faults(PscanFaultConfig {
             seed: 5,
@@ -492,7 +599,7 @@ mod tests {
     #[test]
     fn faulty_machine_runs_are_deterministic() {
         let run = || {
-            let mut m = Machine::new(MachineConfig::new(4, 256));
+            let mut m = Machine::new(MachineConfig::paper_default(4, 256));
             m.enable_faults(PscanFaultConfig {
                 seed: 9,
                 word_error_rate: 0.03,
@@ -512,7 +619,7 @@ mod tests {
 
     #[test]
     fn slot_rate_is_320_gbps_with_64_bit_words() {
-        let m = Machine::new(MachineConfig::new(2, 16));
+        let m = Machine::new(MachineConfig::paper_default(2, 16));
         assert_eq!(m.config().plan.bits_per_slot(), 64);
         assert!((m.config().plan.aggregate_gbps() - 320.0).abs() < 1e-9);
         assert!((m.slot_secs() - 200e-12).abs() < 1e-15);

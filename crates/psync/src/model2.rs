@@ -66,7 +66,7 @@ pub fn run_model2_rows(procs: usize, n: usize, k: usize, rows: &[Vec<Complex64>]
     let bf = BlockedFft::new(n, k);
     let block_len = bf.block_len();
 
-    let mut machine = Machine::new(MachineConfig::new(procs, procs * n));
+    let mut machine = Machine::new(MachineConfig::paper_default(procs, procs * n));
     // DRAM layout: row p at base p*n, natural order.
     for (p, row) in rows.iter().enumerate() {
         let wire: Vec<u64> = row.iter().map(|&c| encode_sample(c)).collect();

@@ -1,0 +1,52 @@
+//! Machine-level telemetry: phase spans, PSCAN bus series, and the merge of
+//! the bus registry into the machine registry on `take_telemetry`.
+
+use pscan::compiler::{GatherSpec, ScatterSpec};
+use psync::machine::{Machine, MachineConfig};
+
+fn run_traced_machine() -> sim_core::Registry {
+    const NODES: usize = 4;
+    const BLOCK: usize = 8;
+    let words = NODES * BLOCK;
+    let mut m = Machine::new(MachineConfig::paper_default(NODES, 2 * words));
+    m.enable_telemetry();
+    m.head.fill(0, &(0..words as u64).collect::<Vec<_>>());
+    let addrs: Vec<u64> = (0..words as u64).collect();
+    let delivered = m.scatter_from_memory("deliver", &addrs, &ScatterSpec::blocked(NODES, BLOCK));
+    m.compute_phase("compute", |_| 50.0);
+    let back: Vec<u64> = (words as u64..2 * words as u64).collect();
+    m.gather_to_memory(
+        "writeback",
+        &GatherSpec::interleaved(NODES, BLOCK, 1),
+        &delivered,
+        &back,
+    );
+    m.take_telemetry().expect("telemetry enabled")
+}
+
+#[test]
+fn phases_become_spans_and_counters() {
+    let reg = run_traced_machine();
+    assert_eq!(reg.counter_value("psync.phase.count"), Some(3));
+    assert!(reg.counter_value("psync.phase.bus_slots").unwrap() > 0);
+
+    let json = reg.chrome_trace_json();
+    for name in ["\"deliver\"", "\"compute\"", "\"writeback\""] {
+        assert!(json.contains(name), "missing phase span {name}");
+    }
+    assert!(json.contains("\"psync\""), "missing psync process");
+    assert!(json.contains("\"phases\""), "missing phases track");
+}
+
+#[test]
+fn pscan_series_are_merged_into_the_machine_registry() {
+    let reg = run_traced_machine();
+    // Bus slots from the PSCAN's own registry, visible post-merge.
+    assert!(reg.counter_value("pscan.bus.slots_total").unwrap() > 0);
+    assert!(reg.counter_value("pscan.bus.gathers").unwrap() > 0);
+    assert!(reg.counter_value("pscan.bus.scatters").unwrap() > 0);
+    // Per-CP drive/listen spans ride along on their own tracks.
+    let json = reg.chrome_trace_json();
+    assert!(json.contains("\"cp 0\""), "missing per-CP track");
+    assert!(json.contains("\"terminus\""), "missing terminus track");
+}

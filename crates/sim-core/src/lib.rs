@@ -17,6 +17,9 @@
 //! * [`rng`] — seeded, reproducible random-number helpers.
 //! * [`faults`] — deterministic fault injection: seeded per-component fault
 //!   sites and pre-generated fault schedules, zero-cost when disabled.
+//! * [`telemetry`] — opt-in metric registry (counters/gauges/histograms with
+//!   labels) and span tracing with Chrome trace-event JSON export; a fabric
+//!   with no registry attached does no telemetry work on its hot path.
 //!
 //! All simulators in this workspace are **deterministic**: identical inputs
 //! (including RNG seeds) produce identical event orders and results. This is
@@ -28,6 +31,7 @@ pub mod event;
 pub mod faults;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod vcd;
 
@@ -35,5 +39,17 @@ pub use engine::CycleEngine;
 pub use event::{EventQueue, EventScheduled};
 pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};
 pub use stats::{Counter, Histogram, TimeWeighted};
+pub use telemetry::{Registry, SeriesHistogram, TraceEvent};
 pub use time::{Duration, Time};
 pub use vcd::VcdWriter;
+
+/// Canonical public surface of `sim-core`, for glob import:
+/// `use sim_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::engine::CycleEngine;
+    pub use crate::event::{EventQueue, EventScheduled};
+    pub use crate::faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};
+    pub use crate::stats::{Counter, Histogram, TimeWeighted};
+    pub use crate::telemetry::{Registry, SeriesHistogram, TraceEvent};
+    pub use crate::time::{Duration, Time};
+}

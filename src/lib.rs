@@ -41,7 +41,7 @@ mod tests {
         let _ = fft::Complex64::ZERO;
         let _ = analytic::table3_pscan_cycles();
         let _ = llmore::SystemParams::default();
-        let _ = psync::MachineConfig::new(2, 16);
+        let _ = psync::MachineConfig::paper_default(2, 16);
         assert!(!super::VERSION.is_empty());
     }
 }
