@@ -46,8 +46,13 @@ struct Point {
 /// separate cleanly under the fixed seeds.
 const RATES: &[f64] = &[0.0, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2];
 
-fn mesh_point(rate: f64, procs: usize, row_len: usize) -> (u64, f64, emesh::MeshFaultStats) {
-    let cfg = MeshConfig::table3(procs, 1);
+fn mesh_point(
+    rate: f64,
+    procs: usize,
+    row_len: usize,
+    threads: usize,
+) -> (u64, f64, emesh::MeshFaultStats) {
+    let cfg = MeshConfig::table3(procs, 1).with_threads(threads);
     let mut mesh = load_transpose(cfg, procs, row_len);
     mesh.enable_faults(MeshFaultConfig {
         seed: 0xFA_u64,
@@ -93,13 +98,14 @@ fn machine_point(rate: f64, gathers: usize) -> (u64, u64, u64, u64) {
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("ablate_faults");
+    let threads = ex.threads();
     let quick = ex.quick();
     let (procs, row_len, gathers) = if quick { (16, 16, 4) } else { (64, 64, 16) };
     let points: Vec<Point> = RATES
         .par_iter()
         .map(|&rate| {
             eprintln!("rate = {rate:.0e}...");
-            let (mesh_cycles, mesh_energy_uj, ms) = mesh_point(rate, procs, row_len);
+            let (mesh_cycles, mesh_energy_uj, ms) = mesh_point(rate, procs, row_len, threads);
             let (pscan_bus_slots, pscan_retries, pscan_corrupted_words, pscan_giveups) =
                 machine_point(rate, gathers);
             Point {

@@ -25,10 +25,11 @@ struct Point {
 
 /// Transpose with elements routed to the *nearest* interface; each
 /// interface absorbs the rows its quadrant owns.
-fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement) -> u64 {
+fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement, threads: usize) -> u64 {
     let cfg = MeshConfig::paper_default()
         .with_topology(Topology::square(procs, placement))
-        .with_max_cycles(1 << 34);
+        .with_max_cycles(1 << 34)
+        .with_threads(threads);
     let mut mesh = Mesh::new(cfg);
     let mut id = 0u32;
     for r in 0..procs as u32 {
@@ -46,6 +47,7 @@ fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement) -> u6
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("ablate_memports");
+    let threads = ex.threads();
     let (procs, row_len) = if ex.quick() { (64, 64) } else { (256, 256) };
     let t3 = Table3Params {
         n: row_len as u64,
@@ -62,7 +64,7 @@ fn main() -> Result<(), BenchError> {
     .into_par_iter()
     .map(|(ports, placement)| {
         eprintln!("{ports}-port mesh transpose...");
-        let mesh = mesh_transpose(procs, row_len, placement);
+        let mesh = mesh_transpose(procs, row_len, placement, threads);
         // P-sync with `ports` banks: one PSCAN bus per bank, each
         // carrying 1/ports of the transactions in parallel.
         let pscan = pscan_single / ports as u64;

@@ -22,6 +22,7 @@ struct Point {
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("ablate_routing");
+    let threads = ex.threads();
     let sizes: &[usize] = if ex.quick() { &[64] } else { &[64, 256] };
     let combos: Vec<(usize, &str, RoutingPolicy)> = sizes
         .iter()
@@ -39,7 +40,9 @@ fn main() -> Result<(), BenchError> {
         .map(|(procs, name, policy)| {
             eprintln!("P = {procs}, {name}...");
             let row_len = procs;
-            let cfg = MeshConfig::table3(procs, 1).with_policy(policy);
+            let cfg = MeshConfig::table3(procs, 1)
+                .with_policy(policy)
+                .with_threads(threads);
             let mut mesh = load_transpose(cfg, procs, row_len);
             mesh.track_latency(64, 4096);
             let res = mesh.run().expect("deadlock");

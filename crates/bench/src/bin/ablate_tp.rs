@@ -21,6 +21,7 @@ struct Point {
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("ablate_tp");
+    let threads = ex.threads();
     let (procs, row_len) = if ex.quick() { (64, 64) } else { (256, 256) };
     let pscan = Table3Params {
         n: row_len as u64,
@@ -34,7 +35,8 @@ fn main() -> Result<(), BenchError> {
         .into_par_iter()
         .map(|t_p| {
             eprintln!("t_p = {t_p}...");
-            let mut mesh = load_transpose(MeshConfig::table3(procs, t_p), procs, row_len);
+            let cfg = MeshConfig::table3(procs, t_p).with_threads(threads);
+            let mut mesh = load_transpose(cfg, procs, row_len);
             let cycles = mesh.run().expect("deadlock").cycles;
             Point {
                 t_p,

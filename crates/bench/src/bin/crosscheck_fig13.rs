@@ -26,6 +26,7 @@ struct Point {
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("crosscheck_fig13");
+    let threads = ex.threads();
     let sizes: &[usize] = if ex.quick() {
         &[16, 64]
     } else {
@@ -50,7 +51,8 @@ fn main() -> Result<(), BenchError> {
             .bus_slots;
 
         // Mesh: real wormhole transpose of the same matrix.
-        let mut mesh = load_transpose(MeshConfig::table3(procs, 1), procs, n);
+        let cfg = MeshConfig::table3(procs, 1).with_threads(threads);
+        let mut mesh = load_transpose(cfg, procs, n);
         let mesh_reorg = mesh.run().expect("deadlock").cycles;
 
         let machine_ratio = mesh_reorg as f64 / psync_reorg as f64;

@@ -27,11 +27,12 @@ struct Point {
     ratio: f64,
 }
 
-fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize) -> f64 {
+fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize, threads: usize) -> f64 {
     let cfg = MeshConfig::paper_default()
         .with_topology(Topology::square(nodes, MemifPlacement::FourCorners))
         .with_policy(RoutingPolicy::Xy)
-        .with_max_cycles(1 << 34);
+        .with_max_cycles(1 << 34)
+        .with_threads(threads);
     let mut mesh = load_gather_energy(cfg, words_per_node);
     let res = mesh.run().expect("gather deadlocked");
     let payload_bits = (nodes * words_per_node) as u64 * 64;
@@ -40,6 +41,7 @@ fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize) -> f64 {
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("fig5_energy");
+    let threads = ex.threads();
     let quick = ex.quick();
     let sizes: &[usize] = if quick {
         &[16, 64, 256]
@@ -53,7 +55,7 @@ fn main() -> Result<(), BenchError> {
     let mut cells = Vec::new();
     for &n in sizes {
         eprintln!("simulating {n}-node mesh gather ({words} words/node)...");
-        let mesh = mesh_energy_pj_per_bit(n, words);
+        let mesh = mesh_energy_pj_per_bit(n, words, threads);
         let pscan = photonic.sca_pj_per_bit(20.0, n);
         let ratio = mesh / pscan;
         points.push(Point {

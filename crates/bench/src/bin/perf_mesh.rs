@@ -4,11 +4,15 @@
 //! Runs the 2²⁰-element transpose (P = 1024 processors, N = 1024 row
 //! length, `t_p = 1`, minimal adaptive) and reports simulated cycles,
 //! wall-time, and flit-moves per second (router traversals / wall-time —
-//! the natural unit of scheduler work). Results go to
-//! `results/perf_mesh.json` so speedups across scheduler changes are
-//! tracked in-repo.
+//! the natural unit of scheduler work). Each policy is swept across
+//! worker-thread counts of the deterministic epoch-parallel scheduler
+//! (DESIGN.md §11); the harness asserts the threaded runs reproduce the
+//! sequential cycle count exactly before reporting their speedups.
+//! Results go to `results/perf_mesh.json` so speedups across scheduler
+//! changes are tracked in-repo.
 //!
-//! `--quick` drops to P = N = 256 for smoke runs.
+//! `--quick` drops to P = N = 256 for smoke runs; `--threads <n>` adds
+//! `n` to the sweep.
 
 use std::time::Instant;
 
@@ -30,6 +34,8 @@ struct PerfRow {
     elements: usize,
     policy: String,
     t_p: u64,
+    /// Worker threads of the epoch-parallel scheduler (1 = sequential).
+    threads: usize,
     cycles: u64,
     wall_s: f64,
     flit_moves: u64,
@@ -39,17 +45,28 @@ struct PerfRow {
     seed_wall_s: Option<f64>,
     /// `seed_wall_s / wall_s` — the scheduler-rework speedup.
     speedup_vs_seed: Option<f64>,
+    /// Wall-time of this policy's 1-thread run divided by this run's —
+    /// the parallel-scheduler speedup (1.0 for the 1-thread row).
+    speedup_vs_1t: Option<f64>,
 }
 
-fn run_one(procs: usize, row_len: usize, policy: RoutingPolicy, t_p: u64) -> PerfRow {
-    let cfg = MeshConfig::table3(procs, t_p).with_policy(policy);
+fn run_one(
+    procs: usize,
+    row_len: usize,
+    policy: RoutingPolicy,
+    t_p: u64,
+    threads: usize,
+) -> PerfRow {
+    let cfg = MeshConfig::table3(procs, t_p)
+        .with_policy(policy)
+        .with_threads(threads);
     let mut mesh = load_transpose(cfg, procs, row_len);
     let t0 = Instant::now();
     let res = mesh.run().expect("transpose completes");
     let wall_s = t0.elapsed().as_secs_f64();
     let flit_moves = res.energy.router_traversals;
     let policy = format!("{policy:?}");
-    let seed_wall_s = if (procs, row_len) == (1024, 1024) {
+    let seed_wall_s = if (procs, row_len, threads) == (1024, 1024, 1) {
         SEED_WALL_S
             .iter()
             .find(|(p, _)| *p == policy)
@@ -63,6 +80,7 @@ fn run_one(procs: usize, row_len: usize, policy: RoutingPolicy, t_p: u64) -> Per
         elements: procs * row_len,
         policy,
         t_p,
+        threads,
         cycles: res.cycles,
         wall_s,
         flit_moves,
@@ -70,17 +88,51 @@ fn run_one(procs: usize, row_len: usize, policy: RoutingPolicy, t_p: u64) -> Per
         cycles_per_s: res.cycles as f64 / wall_s,
         seed_wall_s,
         speedup_vs_seed: seed_wall_s.map(|s| s / wall_s),
+        speedup_vs_1t: None,
     }
+}
+
+/// Thread counts to sweep: always 1 (the baseline), the `--threads`
+/// request, and — in full mode — the 2/4 ladder.
+fn thread_sweep(quick: bool, requested: usize) -> Vec<usize> {
+    let mut sweep = if quick {
+        vec![1, requested.max(2)]
+    } else {
+        vec![1, 2, 4, requested]
+    };
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
 }
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("perf_mesh");
     let (procs, row_len) = if ex.quick() { (256, 256) } else { (1024, 1024) };
+    let sweep = thread_sweep(ex.quick(), ex.threads());
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<PerfRow> = Vec::new();
     for policy in [RoutingPolicy::MinimalAdaptive, RoutingPolicy::Xy] {
-        eprintln!("perf_mesh: {procs}x{row_len} transpose, {policy:?}, t_p=1 ...");
-        rows.push(run_one(procs, row_len, policy, 1));
+        let mut base: Option<(u64, f64)> = None;
+        for &threads in &sweep {
+            eprintln!(
+                "perf_mesh: {procs}x{row_len} transpose, {policy:?}, t_p=1, {threads} thread(s) ..."
+            );
+            let mut row = run_one(procs, row_len, policy, 1, threads);
+            match base {
+                None => base = Some((row.cycles, row.wall_s)),
+                Some((cycles_1t, wall_1t)) => {
+                    assert_eq!(
+                        row.cycles, cycles_1t,
+                        "{policy:?}: {threads}-thread run diverged from sequential"
+                    );
+                    row.speedup_vs_1t = Some(wall_1t / row.wall_s);
+                }
+            }
+            if row.threads == 1 {
+                row.speedup_vs_1t = Some(1.0);
+            }
+            rows.push(row);
+        }
     }
 
     let table: Vec<Vec<String>> = rows
@@ -89,9 +141,12 @@ fn main() -> Result<(), BenchError> {
             vec![
                 format!("{}x{}", r.procs, r.row_len),
                 r.policy.clone(),
+                r.threads.to_string(),
                 r.cycles.to_string(),
                 f(r.wall_s, 2),
                 f(r.flit_moves_per_s / 1e6, 2),
+                r.speedup_vs_1t
+                    .map_or("-".to_string(), |s| format!("{s:.2}x")),
                 r.speedup_vs_seed
                     .map_or("-".to_string(), |s| format!("{s:.2}x")),
             ]
@@ -102,9 +157,11 @@ fn main() -> Result<(), BenchError> {
         &[
             "transpose",
             "policy",
+            "thr",
             "cycles",
             "wall s",
             "Mflit/s",
+            "vs 1t",
             "vs seed",
         ],
         &table,

@@ -25,10 +25,11 @@ struct Row {
 
 /// Measure delivery efficiency by simulating one round of blocked scatter
 /// on a real mesh and comparing to the zero-latency injection bound.
-fn simulated_delivery_efficiency(p: usize, block_words: usize) -> f64 {
+fn simulated_delivery_efficiency(p: usize, block_words: usize, threads: usize) -> f64 {
     let cfg = MeshConfig::paper_default()
         .with_topology(Topology::square(p, MemifPlacement::SingleCorner))
-        .with_policy(RoutingPolicy::Xy);
+        .with_policy(RoutingPolicy::Xy)
+        .with_threads(threads);
     let mut mesh = load_scatter(cfg, block_words, 1);
     let res = mesh.run().expect("scatter deadlocked");
     // Zero-latency bound: (P-1) packets x (block + header) flits injected
@@ -39,6 +40,7 @@ fn simulated_delivery_efficiency(p: usize, block_words: usize) -> f64 {
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("table2");
+    let threads = ex.threads();
     let params = FftParams::default();
     let rows = table2();
     // Simulating the delivery on a real 256-node mesh is meaningful but
@@ -49,7 +51,7 @@ fn main() -> Result<(), BenchError> {
     let mut cells = Vec::new();
     for (r, &(_, _, paper_eta)) in rows.iter().zip(&PAPER_TABLE2) {
         let block = params.block_samples(r.k) as usize;
-        let sim = simulated_delivery_efficiency(sim_p, block);
+        let sim = simulated_delivery_efficiency(sim_p, block, threads);
         out_rows.push(Row {
             k: r.k,
             eta_d_pct: r.eta_d_pct,

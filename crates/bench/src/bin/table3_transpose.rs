@@ -47,8 +47,9 @@ fn mesh_transpose_cycles(
     row_len: usize,
     t_p: u64,
     tracing: bool,
+    threads: usize,
 ) -> (u64, Option<Registry>) {
-    let cfg = MeshConfig::table3(procs, t_p);
+    let cfg = MeshConfig::table3(procs, t_p).with_threads(threads);
     let mut mesh = load_transpose(cfg, procs, row_len);
     if tracing {
         mesh.enable_telemetry();
@@ -87,6 +88,7 @@ fn main() -> std::result::Result<(), BenchError> {
     let mut ex = Experiment::new("table3");
     let (procs, row_len) = if ex.quick() { (256, 256) } else { (1024, 1024) };
     let tracing = ex.tracing();
+    let threads = ex.threads();
 
     // PSCAN closed form, scaled to this configuration.
     let params = Table3Params {
@@ -101,7 +103,7 @@ fn main() -> std::result::Result<(), BenchError> {
         .into_par_iter()
         .map(|t_p| {
             eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = {t_p})...");
-            mesh_transpose_cycles(procs, row_len, t_p, tracing && t_p == 1)
+            mesh_transpose_cycles(procs, row_len, t_p, tracing && t_p == 1, threads)
         })
         .collect();
     let (mesh1, mesh4) = (mesh_runs[0].0, mesh_runs[1].0);

@@ -8,12 +8,17 @@
 //!
 //! * `--quick` — shrink the expensive configurations,
 //! * `--no-json` — skip the `results/<name>.json` write,
+//! * `--threads <n>` — worker threads for fabrics that support the
+//!   deterministic parallel scheduler (results are bit-identical for any
+//!   value; `0` is rejected),
 //! * `--trace-out <path>` — write the attached telemetry as Chrome
 //!   trace-event JSON (`chrome://tracing` / Perfetto loadable),
 //! * `--metrics-out <path>` — write the attached telemetry's metric
 //!   series as flat JSON,
 //!
-//! — so no binary parses arguments or writes JSON on its own.
+//! — so no binary parses arguments or writes JSON on its own. Unknown
+//! flags are rejected with a usage message and exit code 2, so a typo
+//! cannot silently run the wrong configuration.
 //!
 //! ```no_run
 //! use bench::{BenchError, Experiment};
@@ -75,40 +80,80 @@ impl std::error::Error for BenchError {
     }
 }
 
-/// Parsed harness command line. All binaries share this surface; unknown
-/// arguments are ignored (they may belong to the cargo invocation).
-#[derive(Debug, Clone, Default)]
+/// Parsed harness command line. All binaries share this surface; an
+/// unknown argument is a hard error so a typo cannot silently run the
+/// wrong configuration.
+#[derive(Debug, Clone)]
 struct Cli {
     quick: bool,
     no_json: bool,
+    threads: usize,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
 }
 
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            quick: false,
+            no_json: false,
+            threads: 1,
+            trace_out: None,
+            metrics_out: None,
+        }
+    }
+}
+
+/// One line per accepted flag, printed on a parse error.
+const USAGE: &str = "usage: <bin> [--quick] [--no-json] [--threads <n>] \
+                     [--trace-out <path>] [--metrics-out <path>]";
+
 impl Cli {
-    fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut cli = Cli::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
-            match a.as_str() {
+            // Split `--flag=value` into its parts so both spellings share
+            // one code path.
+            let (flag, mut inline) = match a.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (a, None),
+            };
+            let mut value = |it: &mut I::IntoIter| -> Result<String, String> {
+                inline
+                    .take()
+                    .or_else(|| it.next())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
                 "--quick" => cli.quick = true,
                 "--no-json" => cli.no_json = true,
-                "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
-                "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
-                _ => {
-                    if let Some(p) = a.strip_prefix("--trace-out=") {
-                        cli.trace_out = Some(PathBuf::from(p));
-                    } else if let Some(p) = a.strip_prefix("--metrics-out=") {
-                        cli.metrics_out = Some(PathBuf::from(p));
-                    }
+                "--threads" => {
+                    let v = value(&mut it)?;
+                    cli.threads =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--threads needs a positive integer, got {v:?}")
+                        })?;
                 }
+                "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut it)?)),
+                "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value(&mut it)?)),
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+            if inline.is_some() {
+                return Err(format!("{flag} does not take a value"));
             }
         }
-        cli
+        Ok(cli)
     }
 
+    /// Parse the process arguments; on error print the problem plus usage
+    /// and exit 2 (the conventional bad-usage code).
     fn from_env() -> Self {
-        Cli::parse(std::env::args().skip(1))
+        Cli::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -133,6 +178,11 @@ pub struct Experiment {
 impl Experiment {
     /// Start the experiment named `name` (results land in
     /// `results/<name>.json`), parsing the process command line.
+    ///
+    /// Only call this from a harness binary's `main`: a bad flag prints
+    /// usage and exits 2. Embedders (tests, other processes with their own
+    /// CLI surface) should use [`Experiment::with_args`] instead, since
+    /// the host's arguments won't parse as harness flags.
     pub fn new(name: &str) -> Self {
         Experiment {
             name: name.to_string(),
@@ -143,10 +193,37 @@ impl Experiment {
         }
     }
 
+    /// Start the experiment named `name` with an explicit argument list
+    /// instead of the process command line.
+    ///
+    /// # Errors
+    /// The unparsed-flag message on an unknown argument, a missing or
+    /// malformed value, or `--threads 0`.
+    pub fn with_args<I>(name: &str, args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        Ok(Experiment {
+            name: name.to_string(),
+            cli: Cli::parse(args)?,
+            sections: Vec::new(),
+            json: None,
+            registry: Registry::new(),
+        })
+    }
+
     /// Whether `--quick` was passed: harnesses shrink the expensive
     /// configurations.
     pub fn quick(&self) -> bool {
         self.cli.quick
+    }
+
+    /// Worker threads requested with `--threads` (default 1). Fabrics with
+    /// a deterministic parallel scheduler (`MeshConfig::with_threads`)
+    /// produce bit-identical results for any value, so this is purely a
+    /// wall-clock knob.
+    pub fn threads(&self) -> usize {
+        self.cli.threads
     }
 
     /// Whether `--trace-out` or `--metrics-out` was passed — i.e. whether
@@ -366,15 +443,16 @@ mod tests {
         assert_eq!(f(409.6, 1), "409.6");
     }
 
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn cli_parses_harness_flags() {
-        let cli = Cli::parse(
-            ["--quick", "--trace-out", "t.json", "--metrics-out=m.json"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+        let cli = parse(&["--quick", "--trace-out", "t.json", "--metrics-out=m.json"]).unwrap();
         assert!(cli.quick);
         assert!(!cli.no_json);
+        assert_eq!(cli.threads, 1);
         assert_eq!(
             cli.trace_out.as_deref(),
             Some(std::path::Path::new("t.json"))
@@ -383,7 +461,21 @@ mod tests {
             cli.metrics_out.as_deref(),
             Some(std::path::Path::new("m.json"))
         );
-        let cli = Cli::parse(["--no-json", "--unknown"].iter().map(|s| s.to_string()));
-        assert!(cli.no_json && !cli.quick);
+    }
+
+    #[test]
+    fn cli_parses_threads_both_spellings() {
+        assert_eq!(parse(&["--threads", "4"]).unwrap().threads, 4);
+        assert_eq!(parse(&["--threads=8", "--quick"]).unwrap().threads, 8);
+    }
+
+    #[test]
+    fn cli_rejects_bad_input() {
+        assert!(parse(&["--unknown"]).is_err());
+        assert!(parse(&["--threads"]).is_err(), "missing value");
+        assert!(parse(&["--threads", "0"]).is_err(), "zero threads");
+        assert!(parse(&["--threads", "many"]).is_err(), "non-numeric");
+        assert!(parse(&["--trace-out"]).is_err(), "missing path");
+        assert!(parse(&["--quick=1"]).is_err(), "flag takes no value");
     }
 }

@@ -31,6 +31,14 @@
 //! service order — enforced bit-for-bit by the golden transpose tests —
 //! while skipping most of its queue traffic.
 
+//! A deterministic *epoch-parallel* mode (DESIGN.md §11) partitions each
+//! cycle's service list into conflict-free waves and fans them across an
+//! [`sim_core::parallel::EpochPool`]; it is selected by
+//! [`MeshConfig::with_threads`] and is bit-identical to this sequential
+//! scheduler — enforced by the same golden tests.
+
+mod par;
+
 use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
@@ -72,6 +80,11 @@ pub struct MeshConfig {
     pub buffer_depth: usize,
     /// Watchdog: abort after this many cycles.
     pub max_cycles: u64,
+    /// Worker threads for the deterministic epoch-parallel scheduler
+    /// (1 = the sequential path; see DESIGN.md §11). Runs with a fault
+    /// layer, telemetry, or latency tracking attached fall back to the
+    /// sequential path regardless, so results never depend on this knob.
+    pub threads: usize,
 }
 
 impl MeshConfig {
@@ -94,6 +107,7 @@ impl MeshConfig {
             memif: MemifConfig::default(),
             buffer_depth: crate::router::Router::BUFFER_DEPTH,
             max_cycles: 1 << 36,
+            threads: 1,
         }
     }
 
@@ -150,6 +164,16 @@ impl MeshConfig {
     #[must_use]
     pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
         self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Set the worker-thread count for the deterministic epoch-parallel
+    /// scheduler (clamped to ≥ 1; 1 selects the sequential path). Any
+    /// value produces bit-identical results — threads only trade wall
+    /// clock.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -591,21 +615,7 @@ impl Mesh {
     }
 
     fn wake(&mut self, router: u32, cycle: u64) {
-        let ri = router as usize;
-        if self.next_wake[ri] == cycle {
-            // A wake for this router at this exact cycle is already
-            // pending; the duplicate would pop as a no-op (the first entry
-            // services the router, `processed_at` skips the rest). Dropping
-            // *only* exact duplicates keeps every surviving entry at the
-            // seed scheduler's (cycle, insertion) position — a
-            // stronger-looking "skip if any earlier wake is pending" rule
-            // re-pushes the pair later and reorders same-cycle service.
-            return;
-        }
-        if cycle < self.next_wake[ri] {
-            self.next_wake[ri] = cycle;
-        }
-        self.wheel.push(router, cycle);
+        wake_raw(&mut self.wheel, &mut self.next_wake, router, cycle);
     }
 
     fn neighbor(&self, node: u32, port: Port) -> u32 {
@@ -1000,7 +1010,27 @@ impl Mesh {
 
     /// Drive the simulation until all traffic drains. Returns completion
     /// cycle and statistics.
+    ///
+    /// With [`MeshConfig::threads`] > 1 the deterministic epoch-parallel
+    /// scheduler (DESIGN.md §11) runs the cycle loop across worker
+    /// threads, bit-identically to the sequential path. Runs with a fault
+    /// layer, telemetry, or latency tracking attached stay on the
+    /// sequential path: their observation order (shared fault-RNG draws,
+    /// service-order telemetry taps) is defined by sequential execution.
     pub fn run(&mut self) -> Result<MeshRunResult, MeshError> {
+        if self.cfg.threads > 1
+            && self.faults.is_none()
+            && self.telemetry.is_none()
+            && self.latency.is_none()
+        {
+            return self.run_parallel();
+        }
+        self.run_serial()
+    }
+
+    /// The sequential cycle loop (the seed scheduler whose exact service
+    /// order the golden tests pin).
+    fn run_serial(&mut self) -> Result<MeshRunResult, MeshError> {
         // Hoisted telemetry check: the attached/absent state cannot change
         // mid-run, so the per-router fast path pays a single bool test.
         let tel_on = self.telemetry.is_some();
@@ -1057,6 +1087,12 @@ impl Mesh {
                 self.watchdog_check(c)?;
             }
         }
+        self.finish()
+    }
+
+    /// Shared end-of-run epilogue: deadlock detection, DRAM drain
+    /// accounting, telemetry flush, result assembly.
+    fn finish(&mut self) -> Result<MeshRunResult, MeshError> {
         let pending_retx = self.faults.as_ref().map_or(0, |fl| fl.retx.len() as u64);
         if self.pending_inject > 0 || self.in_flight > 0 || pending_retx > 0 {
             return Err(MeshError::Deadlock {
@@ -1200,6 +1236,28 @@ impl Mesh {
     }
 }
 
+/// Schedule a wakeup for `router` at `cycle`, deduplicating at push time.
+/// Free function so the epoch-parallel effect replay (which holds the
+/// router state behind a disjoint borrow) shares the exact dedup rule with
+/// [`Mesh::wake`].
+fn wake_raw(wheel: &mut WakeWheel, next_wake: &mut [u64], router: u32, cycle: u64) {
+    let ri = router as usize;
+    if next_wake[ri] == cycle {
+        // A wake for this router at this exact cycle is already
+        // pending; the duplicate would pop as a no-op (the first entry
+        // services the router, `processed_at` skips the rest). Dropping
+        // *only* exact duplicates keeps every surviving entry at the
+        // seed scheduler's (cycle, insertion) position — a
+        // stronger-looking "skip if any earlier wake is pending" rule
+        // re-pushes the pair later and reorders same-cycle service.
+        return;
+    }
+    if cycle < next_wake[ri] {
+        next_wake[ri] = cycle;
+    }
+    wheel.push(router, cycle);
+}
+
 fn m_free_at(m: &MemIf, c: u64) -> u64 {
     // MemIf does not expose free_at directly; probe forward. The reorder
     // occupancy is bounded by t_p + 1, so this loop is O(t_p).
@@ -1224,6 +1282,7 @@ mod tests {
             memif: MemifConfig::default(),
             buffer_depth: 2,
             max_cycles: 1 << 24,
+            threads: 1,
         }
     }
 

@@ -1,0 +1,675 @@
+//! Deterministic epoch-parallel execution of the mesh cycle loop.
+//!
+//! [`super::Mesh::run_parallel`] replays the sequential scheduler's exact
+//! semantics across an [`EpochPool`]: every cycle (= epoch, the 1-cycle
+//! link latency being the conservative lookahead bound) the due wakeup
+//! bucket is split into *waves* of mutually independent routers, each wave
+//! is fanned across the pool, and all side effects that the sequential
+//! scheduler applies in service order are either router-local or deferred
+//! into per-entry [`EntryFx`] buffers (the double-buffered exchange) and
+//! committed in service order at the end of the cycle. The result is
+//! bit-identical to [`super::Mesh::run_serial`] — the golden transpose
+//! tests and `tests/parallel_identity.rs` enforce it.
+//!
+//! # Why waves of radius-1-independent routers suffice
+//!
+//! Servicing router `r` at cycle `c` touches, besides `r`'s own state
+//! (router, injection queue, stamps, memory interface, sink, forward
+//! counter — all indexed by `r`):
+//!
+//! * the input port of each candidate downstream neighbour *facing `r`*
+//!   (`inputs[out.opposite()]`): occupancy reads for the adaptive route
+//!   choice and the space check, and the committed `push_back`;
+//! * nothing else of any other router.
+//!
+//! Two distinct routers at Manhattan distance ≥ 2 therefore touch
+//! *disjoint* state: they may share a neighbour `n`, but each only
+//! accesses the port of `n` on its own side, and `n` itself (the only
+//! writer of `n`'s remaining state) is adjacent to both and thus excluded
+//! from their wave. So a wave may run in parallel iff no two of its
+//! routers are equal or von-Neumann-adjacent; conflicting pairs must keep
+//! their sequential relative order. [`WavePlanner`] guarantees both with a
+//! greedy earliest-wave assignment scanned in service order: an entry
+//! lands one wave after the latest already-planned entry within its
+//! radius, so conflicting entries are ordered exactly as the sequential
+//! drain ordered them, and independent entries merely race — commutative
+//! because their footprints are disjoint and their non-local effects are
+//! deferred.
+//!
+//! # Why deferring wakes to the end of the cycle is exact
+//!
+//! The sequential drain interleaves `wake()` calls with the per-entry
+//! `next_wake` bucket bookkeeping; the parallel path runs all bookkeeping
+//! first, then services, then replays every emitted wake in service order.
+//! No wake ever targets the cycle being drained (everything re-arms at
+//! `≥ c + 1`), so the bucket under drain is unaffected. The replayed wake
+//! *sequence* is the sequential one; only the `next_wake` dedup snapshots
+//! differ, and a push is dropped by dedup only when `next_wake[r]` already
+//! equals the target cycle — which (invariantly) means an entry for that
+//! exact `(router, cycle)` pair is already pending. Hence the two
+//! executions' wheels can differ only in *duplicate* entries for pairs
+//! already present earlier in the same bucket. Duplicates pop as no-ops
+//! (`processed_at` dedup) and never precede the first occurrence, so the
+//! per-cycle first-occurrence service order — the thing the golden tests
+//! pin — is identical, and by induction over cycles so is every simulator
+//! observable.
+//!
+//! Fault injection, telemetry, and latency tracking observe *processing
+//! order* (a shared RNG stream, service-order taps); their runs stay on
+//! the sequential path — [`super::Mesh::run`] dispatches here only when
+//! none are attached.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+
+use sim_core::parallel::{chunk_range, EpochPool};
+
+use super::{m_free_at, wake_raw, Mesh, MeshConfig, MeshError, MeshRunResult, WakeWheel, NEVER};
+use crate::flit::{Flit, FlitKind};
+use crate::memif::MemIf;
+use crate::router::{Port, Router, NUM_PORTS};
+use crate::topology::Topology;
+
+/// Dispatch threshold: cycles servicing fewer than `threads ×` this many
+/// routers run inline on the master (identical results — the pool only
+/// trades wall clock), keeping the long drain tail of corner-bound
+/// workloads off the barrier overhead.
+const DISPATCH_GRAIN: usize = 4;
+
+/// Interior-mutable cell that the wave scheduler may touch from several
+/// threads. All access goes through raw-pointer place projections; the
+/// planner's independence guarantee (see module docs) is what makes the
+/// disjointness real.
+#[repr(transparent)]
+struct SyncCell<T>(UnsafeCell<T>);
+
+// Safety: SyncCell only hands out raw pointers; every dereference site is
+// inside a wave whose entries have pairwise-disjoint footprints.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    fn get(&self) -> *mut T {
+        self.0.get()
+    }
+
+    /// View a uniquely-borrowed slice as a slice of cells (the inverse
+    /// projection of `Cell::as_slice_of_cells`; sound because the unique
+    /// borrow is held for the cells' whole lifetime).
+    fn from_mut(v: &mut [T]) -> &[SyncCell<T>] {
+        let ptr = v as *mut [T] as *const [SyncCell<T>];
+        unsafe { &*ptr }
+    }
+}
+
+/// Deferred side effects of servicing one router for one cycle: everything
+/// the sequential scheduler applies to *shared* scheduler state, buffered
+/// here and committed in service order. This is the epoch boundary
+/// exchange — each entry writes its own buffer during the wave and the
+/// master drains them after the barrier.
+#[derive(Default)]
+struct EntryFx {
+    /// Emitted wakeups `(router, cycle)` in emission order.
+    wakes: Vec<(u32, u64)>,
+    /// Flits injected (`pending_inject` −, `in_flight` +, energy).
+    injected: u64,
+    /// Flits ejected (`in_flight` −, energy).
+    ejected: u64,
+    /// Router datapath traversals (energy).
+    traversals: u64,
+    /// Inter-router link hops (energy).
+    hops: u64,
+}
+
+impl EntryFx {
+    fn reset(&mut self) {
+        self.wakes.clear();
+        self.injected = 0;
+        self.ejected = 0;
+        self.traversals = 0;
+        self.hops = 0;
+    }
+
+    fn wake(&mut self, router: u32, cycle: u64) {
+        self.wakes.push((router, cycle));
+    }
+}
+
+/// Shared, wave-scheduler-facing view of the per-router mesh state. The
+/// scheduler fields (wheel, `next_wake`, `processed_at`, global counters)
+/// stay behind the master's exclusive borrows.
+struct ParView<'a> {
+    cfg: &'a MeshConfig,
+    routers: &'a [SyncCell<Router>],
+    inject: &'a [SyncCell<VecDeque<Flit>>],
+    last_inject: &'a [SyncCell<u64>],
+    last_pop: &'a [SyncCell<[u64; NUM_PORTS]>],
+    memif_slot: &'a [Option<u32>],
+    memifs: &'a [SyncCell<MemIf>],
+    sink_delivered: &'a [SyncCell<u64>],
+    sink_last_cycle: &'a [SyncCell<u64>],
+    sink_words: &'a [SyncCell<Vec<u64>>],
+    router_forwards: &'a [SyncCell<u64>],
+    collect_sink_words: bool,
+}
+
+impl ParView<'_> {
+    /// Mirror of [`Mesh::neighbor`].
+    fn neighbor(&self, node: u32, port: Port) -> u32 {
+        let c = self.cfg.topology.coord(node);
+        let (x, y) = match port {
+            Port::North => (c.x, c.y - 1),
+            Port::South => (c.x, c.y + 1),
+            Port::East => (c.x + 1, c.y),
+            Port::West => (c.x - 1, c.y),
+            Port::Local => unreachable!("local has no neighbor"),
+        };
+        self.cfg.topology.id(crate::topology::NodeCoord { x, y })
+    }
+
+    /// Occupancy of neighbour `n`'s input port `q` — a narrow projection
+    /// that never materializes a reference to the whole neighbour router.
+    ///
+    /// Safety: `q` faces the router under service, so no wave-mate touches
+    /// it (module docs).
+    fn neighbor_occupancy(&self, n: u32, q: usize) -> usize {
+        unsafe { (*self.routers[n as usize].get()).inputs[q].buf.len() }
+    }
+
+    /// Mirror of [`Mesh::route`]; the adaptive arm reads the candidate
+    /// neighbours' facing ports through [`ParView::neighbor_occupancy`].
+    fn route(&self, node: u32, dest: u32) -> Port {
+        if node == dest {
+            return Port::Local;
+        }
+        let c = self.cfg.topology.coord(node);
+        let d = self.cfg.topology.coord(dest);
+        let want_x = if d.x < c.x {
+            Some(Port::West)
+        } else if d.x > c.x {
+            Some(Port::East)
+        } else {
+            None
+        };
+        let want_y = if d.y < c.y {
+            Some(Port::North)
+        } else if d.y > c.y {
+            Some(Port::South)
+        } else {
+            None
+        };
+        match (want_x, want_y, self.cfg.policy) {
+            (Some(x), None, _) => x,
+            (None, Some(y), _) => y,
+            (Some(x), Some(_), super::RoutingPolicy::Xy) => x,
+            (Some(x), Some(y), super::RoutingPolicy::MinimalAdaptive) => {
+                if x == Port::West {
+                    return x;
+                }
+                let nx = self.neighbor(node, x);
+                let ny = self.neighbor(node, y);
+                let ox = self.neighbor_occupancy(nx, x.opposite() as usize);
+                let oy = self.neighbor_occupancy(ny, y.opposite() as usize);
+                if oy < ox {
+                    y
+                } else {
+                    x
+                }
+            }
+            (None, None, _) => unreachable!("handled by node == dest"),
+        }
+    }
+}
+
+/// Mirror of [`Mesh::process`] for the fault-free, uninstrumented
+/// configuration the parallel path is restricted to: injection then port
+/// service, with all shared-state effects deferred into `fx`.
+fn service_router(view: &ParView<'_>, r: u32, c: u64, fx: &mut EntryFx) {
+    try_inject(view, r, c, fx);
+    for k in 0..NUM_PORTS {
+        let p = (k + c as usize) % NUM_PORTS;
+        try_forward(view, r, p, c, fx);
+    }
+}
+
+/// Mirror of [`Mesh::try_inject`] (latency tracking is never attached
+/// here).
+fn try_inject(view: &ParView<'_>, r: u32, c: u64, fx: &mut EntryFx) {
+    let ri = r as usize;
+    // Safety: entry `r` owns all `r`-indexed state for its wave.
+    let inject = unsafe { &mut *view.inject[ri].get() };
+    if inject.is_empty() {
+        return;
+    }
+    let last_inject = unsafe { &mut *view.last_inject[ri].get() };
+    if *last_inject == c {
+        fx.wake(r, c + 1);
+        return;
+    }
+    let router = unsafe { &mut *view.routers[ri].get() };
+    if !router.has_space_depth(Port::Local as usize, view.cfg.buffer_depth) {
+        return;
+    }
+    let mut flit = inject.pop_front().expect("non-empty");
+    flit.src = r;
+    flit.ready_at = c + 1 + if flit.kind.is_head() { view.cfg.t_r } else { 0 };
+    let ready = flit.ready_at;
+    router.inputs[Port::Local as usize].buf.push_back(flit);
+    *last_inject = c;
+    fx.injected += 1;
+    fx.wake(r, ready);
+    if !inject.is_empty() {
+        fx.wake(r, c + 1);
+    }
+}
+
+/// Mirror of [`Mesh::try_forward`] minus the fault-layer arms (the
+/// dispatch precondition makes them statically dead here).
+fn try_forward(view: &ParView<'_>, r: u32, p: usize, c: u64, fx: &mut EntryFx) {
+    let ri = r as usize;
+    let popped_at = unsafe { (*view.last_pop[ri].get())[p] };
+    if popped_at == c {
+        return;
+    }
+    // Safety: own-router state; wave-mates are non-adjacent and never
+    // reference this router at all.
+    let router = unsafe { &mut *view.routers[ri].get() };
+    let Some(&head) = router.inputs[p].buf.front() else {
+        return;
+    };
+    if head.ready_at > c {
+        fx.wake(r, head.ready_at);
+        return;
+    }
+    let out = match router.inputs[p].route {
+        Some(o) => Port::from_index(o as usize),
+        None => {
+            debug_assert!(head.kind.is_head(), "body flit without a route");
+            view.route(r, head.dest)
+        }
+    };
+    let o = out as usize;
+    if !router.output_available(o, p, c) {
+        if router.outputs[o].last_used == c {
+            fx.wake(r, c + 1);
+        }
+        return;
+    }
+
+    if out == Port::Local {
+        eject(view, router, r, p, c, fx);
+        return;
+    }
+
+    let n = view.neighbor(r, out);
+    let q = out.opposite() as usize;
+    if view.neighbor_occupancy(n, q) >= view.cfg.buffer_depth {
+        // Woken when (n, q) pops.
+        return;
+    }
+
+    // Commit the move.
+    let mut flit = router.inputs[p].buf.pop_front().expect("head");
+    after_pop(view, router, r, p, c, fx);
+    flit.ready_at = c + 1 + if flit.kind.is_head() { view.cfg.t_r } else { 0 };
+    let ready = flit.ready_at;
+    update_channel_state(router, r, p, o, &flit, c, fx);
+    // Safety: narrow projection of the facing port only (module docs).
+    unsafe {
+        (*view.routers[n as usize].get()).inputs[q]
+            .buf
+            .push_back(flit);
+    }
+    fx.traversals += 1;
+    fx.hops += 1;
+    unsafe {
+        *view.router_forwards[ri].get() += 1;
+    }
+    fx.wake(n, ready);
+}
+
+/// Mirror of [`Mesh::eject`]; corruption is impossible without a fault
+/// layer, so the NACK arms are dead.
+fn eject(view: &ParView<'_>, router: &mut Router, r: u32, p: usize, c: u64, fx: &mut EntryFx) {
+    let ri = r as usize;
+    if let Some(slot) = view.memif_slot[ri] {
+        // Safety: a memif belongs to exactly one router.
+        let m = unsafe { &mut *view.memifs[slot as usize].get() };
+        if !m.can_accept(c) {
+            fx.wake(r, m_free_at(m, c));
+            return;
+        }
+        let flit = router.inputs[p].buf.pop_front().expect("head");
+        after_pop(view, router, r, p, c, fx);
+        update_channel_state(router, r, p, Port::Local as usize, &flit, c, fx);
+        debug_assert!(!flit.corrupted, "corruption implies a fault layer");
+        m.accept(c, &flit);
+        fx.ejected += 1;
+        fx.traversals += 1;
+        unsafe {
+            *view.router_forwards[ri].get() += 1;
+        }
+    } else {
+        let flit = router.inputs[p].buf.pop_front().expect("head");
+        after_pop(view, router, r, p, c, fx);
+        update_channel_state(router, r, p, Port::Local as usize, &flit, c, fx);
+        let is_payload = !matches!(flit.kind, FlitKind::Head);
+        debug_assert!(!flit.corrupted, "corruption implies a fault layer");
+        if is_payload {
+            // Safety: sink state is own-router-indexed.
+            unsafe {
+                *view.sink_delivered[ri].get() += 1;
+                *view.sink_last_cycle[ri].get() = c;
+                if view.collect_sink_words {
+                    (*view.sink_words[ri].get()).push(flit.payload);
+                }
+            }
+        }
+        fx.ejected += 1;
+        fx.traversals += 1;
+        unsafe {
+            *view.router_forwards[ri].get() += 1;
+        }
+    }
+}
+
+/// Mirror of [`Mesh::after_pop`].
+fn after_pop(view: &ParView<'_>, router: &Router, r: u32, p: usize, c: u64, fx: &mut EntryFx) {
+    let ri = r as usize;
+    unsafe {
+        (*view.last_pop[ri].get())[p] = c;
+    }
+    if !router.inputs[p].buf.is_empty() {
+        fx.wake(r, c + 1);
+    }
+    if p == Port::Local as usize {
+        let more = unsafe { !(*view.inject[ri].get()).is_empty() };
+        if more {
+            fx.wake(r, c + 1);
+        }
+    } else {
+        fx.wake(view.neighbor(r, Port::from_index(p)), c + 1);
+    }
+}
+
+/// Mirror of [`Mesh::update_channel_state`].
+fn update_channel_state(
+    router: &mut Router,
+    r: u32,
+    p: usize,
+    o: usize,
+    flit: &Flit,
+    c: u64,
+    fx: &mut EntryFx,
+) {
+    router.outputs[o].last_used = c;
+    if flit.kind.is_head() {
+        router.outputs[o].owner = Some(p as u8);
+        router.inputs[p].route = Some(o as u8);
+    }
+    if flit.kind.is_tail() {
+        router.outputs[o].owner = None;
+        router.inputs[p].route = None;
+        fx.wake(r, c + 1);
+    }
+}
+
+/// Greedy earliest-wave colouring of a cycle's service list under the
+/// radius-1 conflict relation, preserving service order between
+/// conflicting entries (module docs). Scratch arrays are cycle-tagged so
+/// nothing is cleared between cycles.
+struct WavePlanner {
+    /// Wave number (1-based) assigned to a node this cycle.
+    wave_of: Vec<u32>,
+    /// Cycle `wave_of` is valid for (`NEVER` = stale).
+    tag: Vec<u64>,
+    /// Waves of indices into the service list; `used` are live.
+    waves: Vec<Vec<u32>>,
+    used: usize,
+}
+
+impl WavePlanner {
+    fn new(n: usize) -> Self {
+        WavePlanner {
+            wave_of: vec![0; n],
+            tag: vec![NEVER; n],
+            waves: Vec::new(),
+            used: 0,
+        }
+    }
+
+    fn plan(&mut self, topo: &Topology, service: &[u32], c: u64) -> &[Vec<u32>] {
+        for w in &mut self.waves[..self.used] {
+            w.clear();
+        }
+        self.used = 0;
+        for (i, &r) in service.iter().enumerate() {
+            let ri = r as usize;
+            debug_assert!(self.tag[ri] != c, "duplicate service entry");
+            let cd = topo.coord(r);
+            let mut nbrs = [0u32; 4];
+            let mut nn = 0;
+            if cd.y > 0 {
+                nbrs[nn] = r - topo.width;
+                nn += 1;
+            }
+            if cd.y + 1 < topo.height {
+                nbrs[nn] = r + topo.width;
+                nn += 1;
+            }
+            if cd.x > 0 {
+                nbrs[nn] = r - 1;
+                nn += 1;
+            }
+            if cd.x + 1 < topo.width {
+                nbrs[nn] = r + 1;
+                nn += 1;
+            }
+            let mut latest = 0u32;
+            for &id in &nbrs[..nn] {
+                let id = id as usize;
+                if self.tag[id] == c {
+                    latest = latest.max(self.wave_of[id]);
+                }
+            }
+            let w = latest + 1;
+            self.wave_of[ri] = w;
+            self.tag[ri] = c;
+            let wi = (w - 1) as usize;
+            debug_assert!(wi <= self.waves.len(), "wave index gap");
+            if wi >= self.waves.len() {
+                self.waves.push(Vec::new());
+            }
+            self.used = self.used.max(wi + 1);
+            self.waves[wi].push(i as u32);
+        }
+        &self.waves[..self.used]
+    }
+}
+
+impl Mesh {
+    /// The deterministic epoch-parallel cycle loop. Preconditions (checked
+    /// by [`Mesh::run`]): no fault layer, no telemetry, no latency
+    /// tracking.
+    pub(super) fn run_parallel(&mut self) -> Result<MeshRunResult, MeshError> {
+        debug_assert!(
+            self.faults.is_none() && self.telemetry.is_none() && self.latency.is_none(),
+            "parallel path precondition"
+        );
+        let n = self.cfg.topology.nodes();
+        let pool = EpochPool::new(self.cfg.threads);
+        let threads = pool.threads();
+        let mut planner = WavePlanner::new(n);
+        let mut service: Vec<u32> = Vec::new();
+        let mut fx: Vec<EntryFx> = Vec::new();
+        {
+            // Split borrows: the view covers per-router state (shared with
+            // workers through SyncCell), the scheduler fields stay under
+            // the master's exclusive borrows.
+            let Mesh {
+                cfg,
+                routers,
+                inject,
+                last_inject,
+                last_pop,
+                memif_slot,
+                memifs,
+                sink_delivered,
+                sink_last_cycle,
+                sink_words,
+                collect_sink_words,
+                wheel,
+                processed_at,
+                next_wake,
+                in_flight,
+                pending_inject,
+                energy,
+                router_forwards,
+                now,
+                ..
+            } = self;
+            let cfg: &MeshConfig = cfg;
+            let view = ParView {
+                cfg,
+                routers: SyncCell::from_mut(routers),
+                inject: SyncCell::from_mut(inject),
+                last_inject: SyncCell::from_mut(last_inject),
+                last_pop: SyncCell::from_mut(last_pop),
+                memif_slot,
+                memifs: SyncCell::from_mut(memifs),
+                sink_delivered: SyncCell::from_mut(sink_delivered),
+                sink_last_cycle: SyncCell::from_mut(sink_last_cycle),
+                sink_words: SyncCell::from_mut(sink_words),
+                router_forwards: SyncCell::from_mut(router_forwards),
+                collect_sink_words: *collect_sink_words,
+            };
+            while let Some(c) = wheel.next_cycle() {
+                if c > cfg.max_cycles {
+                    return Err(MeshError::CycleLimit {
+                        limit: cfg.max_cycles,
+                    });
+                }
+                debug_assert!(c >= *now, "wakeup in the past");
+                *now = c;
+                wheel.advance_to(c);
+                let b = (c % WakeWheel::WINDOW) as usize;
+                let mut ids = std::mem::take(&mut wheel.buckets[b]);
+                wheel.bucket_pending -= ids.len() as u64;
+                // Bookkeeping prefix of the sequential drain, in bucket
+                // order: next_wake clears and processed_at dedup. Safe to
+                // hoist before servicing — nothing in a cycle's processing
+                // reads either array (module docs).
+                service.clear();
+                for &r in &ids {
+                    let ri = r as usize;
+                    if next_wake[ri] == c {
+                        next_wake[ri] = NEVER;
+                    }
+                    if processed_at[ri] == c {
+                        continue;
+                    }
+                    processed_at[ri] = c;
+                    service.push(r);
+                }
+                ids.clear();
+                wheel.buckets[b] = ids;
+                if service.is_empty() {
+                    continue;
+                }
+                if fx.len() < service.len() {
+                    fx.resize_with(service.len(), EntryFx::default);
+                }
+                for f in &mut fx[..service.len()] {
+                    f.reset();
+                }
+                if threads > 1 && service.len() >= threads * DISPATCH_GRAIN {
+                    let fx_cells = SyncCell::from_mut(&mut fx[..service.len()]);
+                    let service = &service;
+                    for wave in planner.plan(&cfg.topology, service, c) {
+                        if wave.len() < threads * 2 {
+                            // Pool overhead beats the win; same results
+                            // either way.
+                            for &wi in wave {
+                                let i = wi as usize;
+                                let f = unsafe { &mut *fx_cells[i].get() };
+                                service_router(&view, service[i], c, f);
+                            }
+                        } else {
+                            pool.run(&|part| {
+                                for k in chunk_range(wave.len(), threads, part) {
+                                    let i = wave[k] as usize;
+                                    // Safety: wave entries are pairwise
+                                    // independent and each `i` is unique,
+                                    // so all cell accesses are disjoint.
+                                    let f = unsafe { &mut *fx_cells[i].get() };
+                                    service_router(&view, service[i], c, f);
+                                }
+                            });
+                        }
+                    }
+                } else {
+                    for (i, &r) in service.iter().enumerate() {
+                        service_router(&view, r, c, &mut fx[i]);
+                    }
+                }
+                // Commit deferred effects in service (= sequential) order.
+                for (i, _) in service.iter().enumerate() {
+                    let f = &fx[i];
+                    *pending_inject -= f.injected;
+                    *in_flight += f.injected;
+                    *in_flight -= f.ejected;
+                    energy.injections += f.injected;
+                    energy.ejections += f.ejected;
+                    energy.router_traversals += f.traversals;
+                    energy.link_hops += f.hops;
+                    for &(wr, wc) in &f.wakes {
+                        debug_assert!(wc > c, "same-cycle wake");
+                        wake_raw(wheel, next_wake, wr, wc);
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MemifPlacement;
+
+    #[test]
+    fn waves_are_independent_sets_in_service_order() {
+        let topo = Topology::square(16, MemifPlacement::SingleCorner);
+        let mut planner = WavePlanner::new(16);
+        // A service list with adjacent runs: 0,1 adjacent; 4 adjacent to 0;
+        // 10 isolated.
+        let service = [0u32, 1, 4, 10, 5];
+        let waves = planner.plan(&topo, &service, 7);
+        // Wave 1: 0 (idx 0), 10 (idx 3). Wave 2: 1 (idx 1), 4 (idx 2).
+        // Wave 3: 5 (idx 4, adjacent to both 1 and 4).
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0], vec![0, 3]);
+        assert_eq!(waves[1], vec![1, 2]);
+        assert_eq!(waves[2], vec![4]);
+        // Conflicting pairs keep service order across waves.
+        let hops = |a: u32, b: u32| topo.hops(service[a as usize], service[b as usize]);
+        for (wi, wave) in waves.iter().enumerate() {
+            for (a, &ia) in wave.iter().enumerate() {
+                for &ib in &wave[a + 1..] {
+                    assert!(hops(ia, ib) >= 2, "wave {wi}: {ia} vs {ib}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_scratch_survives_cycle_reuse() {
+        let topo = Topology::square(16, MemifPlacement::SingleCorner);
+        let mut planner = WavePlanner::new(16);
+        let first = planner.plan(&topo, &[0, 1], 3).to_vec();
+        // Same nodes, later cycle: stamps from cycle 3 must be stale.
+        let second = planner.plan(&topo, &[1, 0], 9).to_vec();
+        assert_eq!(first, vec![vec![0], vec![1]]);
+        assert_eq!(second, vec![vec![0], vec![1]]);
+    }
+}

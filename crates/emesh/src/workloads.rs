@@ -150,6 +150,7 @@ mod tests {
             memif: Default::default(),
             buffer_depth: 2,
             max_cycles: 1 << 24,
+            threads: 1,
         };
         let mut mesh = load_scatter(cfg, 16, 1);
         let res = mesh.run().unwrap();
@@ -175,6 +176,7 @@ mod tests {
             memif: Default::default(),
             buffer_depth: 2,
             max_cycles: 1 << 24,
+            threads: 1,
         };
         let mut mesh = load_gather_energy(cfg, 32);
         let res = mesh.run().unwrap();
@@ -194,6 +196,7 @@ mod tests {
             memif: Default::default(),
             buffer_depth: 2,
             max_cycles: 1 << 24,
+            threads: 1,
         };
         let run = || {
             let mut mesh = load_uniform_random(cfg, 8, 3, 42);
@@ -217,6 +220,7 @@ mod tests {
             memif: Default::default(),
             buffer_depth: 2,
             max_cycles: 1 << 24,
+            threads: 1,
         };
         let spread = {
             let mut m = load_uniform_random(cfg, 16, 1, 7);

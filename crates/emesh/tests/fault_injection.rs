@@ -16,6 +16,7 @@ fn cfg(policy: RoutingPolicy) -> MeshConfig {
         memif: MemifConfig::default(),
         buffer_depth: 2,
         max_cycles: 1 << 24,
+        threads: 1,
     }
 }
 

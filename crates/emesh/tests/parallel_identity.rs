@@ -1,0 +1,154 @@
+//! Bit-identity between the sequential and epoch-parallel mesh schedulers.
+//!
+//! The parallel path (`MeshConfig::with_threads(n)`, n > 1) must reproduce
+//! the sequential scheduler **bit-for-bit** on every observable: completion
+//! cycle, every energy counter, every `MemifStats` field, per-node sink
+//! deliveries and payload words, and the per-router forward heatmap. These
+//! tests sweep the golden configurations from ISSUE 4 — three mesh sizes ×
+//! both routing policies × fault injection on/off — plus uniform-random
+//! permutation traffic, odd thread counts that don't divide the grid, and
+//! the telemetry-off byte-identity check.
+//!
+//! With a fault layer attached the scheduler falls back to the sequential
+//! path by design (shared-RNG draw order is processing-order-dependent);
+//! those cases are still swept here so the contract "`with_threads` never
+//! changes results" holds unconditionally.
+
+use emesh::mesh::{Mesh, MeshConfig, MeshRunResult, RoutingPolicy};
+use emesh::workloads::{load_transpose, load_uniform_random};
+use emesh::MeshFaultConfig;
+
+/// Every deterministic observable of a run, in one comparable bundle.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    cycles: u64,
+    energy: String,
+    memif_stats: String,
+    sink_delivered: Vec<u64>,
+    sink_last_cycle: Vec<u64>,
+    router_forwards: Vec<u64>,
+    sink_words: Vec<Vec<u64>>,
+}
+
+fn observe(mesh: &Mesh, res: &MeshRunResult) -> Observables {
+    let nodes = res.sink_delivered.len();
+    Observables {
+        cycles: res.cycles,
+        energy: format!("{:?}", res.energy),
+        memif_stats: format!("{:?}", res.memif_stats),
+        sink_delivered: res.sink_delivered.clone(),
+        sink_last_cycle: res.sink_last_cycle.clone(),
+        router_forwards: res.router_forwards.clone(),
+        sink_words: (0..nodes as u32)
+            .map(|n| mesh.sink_words(n).to_vec())
+            .collect(),
+    }
+}
+
+fn run_transpose(
+    procs: usize,
+    row_len: usize,
+    policy: RoutingPolicy,
+    threads: usize,
+    faults: bool,
+) -> Observables {
+    let mut cfg = MeshConfig::table3(procs, 1);
+    cfg.policy = policy;
+    let mut mesh = load_transpose(cfg.with_threads(threads), procs, row_len);
+    mesh.collect_sink_words(true);
+    if faults {
+        mesh.enable_faults(MeshFaultConfig {
+            seed: 7,
+            corrupt_rate: 0.01,
+            max_retransmits: 16,
+            ..Default::default()
+        });
+    }
+    let res = mesh.run().expect("transpose completes");
+    observe(&mesh, &res)
+}
+
+/// The ISSUE 4 golden grid: 3 sizes × 2 policies × faults on/off, sequential
+/// vs 3 worker threads (3 deliberately does not divide the 4- and 8-wide
+/// grids evenly).
+#[test]
+fn parallel_matches_sequential_on_golden_grid() {
+    let sizes: &[(usize, usize)] = &[(16, 16), (16, 64), (64, 32)];
+    let policies = [RoutingPolicy::Xy, RoutingPolicy::MinimalAdaptive];
+    for &(procs, row_len) in sizes {
+        for policy in policies {
+            for faults in [false, true] {
+                let seq = run_transpose(procs, row_len, policy, 1, faults);
+                let par = run_transpose(procs, row_len, policy, 3, faults);
+                assert_eq!(
+                    seq, par,
+                    "({procs}, {row_len}, {policy:?}, faults={faults}): \
+                     parallel diverged from sequential"
+                );
+            }
+        }
+    }
+}
+
+/// Thread counts beyond the row count and prime counts must also be exact —
+/// the partitioner hands some workers empty chunks and the result may not
+/// depend on it.
+#[test]
+fn parallel_is_exact_for_awkward_thread_counts() {
+    let seq = run_transpose(16, 32, RoutingPolicy::MinimalAdaptive, 1, false);
+    for threads in [2, 5, 7, 16, 33] {
+        let par = run_transpose(16, 32, RoutingPolicy::MinimalAdaptive, threads, false);
+        assert_eq!(seq, par, "threads={threads} diverged");
+    }
+}
+
+/// Uniform-random permutation traffic exercises sink delivery and adaptive
+/// contention much harder than the transpose; identity must still hold.
+#[test]
+fn parallel_matches_sequential_on_uniform_random() {
+    for policy in [RoutingPolicy::Xy, RoutingPolicy::MinimalAdaptive] {
+        let run = |threads: usize| {
+            let mut cfg = MeshConfig::table3(64, 1);
+            cfg.policy = policy;
+            let mut mesh = load_uniform_random(cfg.with_threads(threads), 8, 3, 42);
+            mesh.collect_sink_words(true);
+            let res = mesh.run().expect("random traffic drains");
+            observe(&mesh, &res)
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq, par, "{policy:?}: parallel diverged on random traffic");
+        assert!(seq.sink_delivered.iter().sum::<u64>() > 0);
+    }
+}
+
+/// Telemetry-off byte-identity: rendering the full result of a threaded
+/// run must produce the same bytes as the sequential run.
+#[test]
+fn parallel_result_is_byte_identical_when_rendered() {
+    let run = |threads: usize| {
+        let mut mesh = load_transpose(MeshConfig::table3(16, 4).with_threads(threads), 16, 16);
+        let res = mesh.run().expect("completes");
+        format!("{res:?}")
+    };
+    assert_eq!(run(1), run(3), "rendered bytes differ");
+}
+
+/// A threaded run repeated twice must equal itself (no scheduling noise
+/// leaks into results even when the thread pool is reused differently).
+#[test]
+fn parallel_runs_are_self_deterministic() {
+    let a = run_transpose(64, 16, RoutingPolicy::MinimalAdaptive, 4, false);
+    let b = run_transpose(64, 16, RoutingPolicy::MinimalAdaptive, 4, false);
+    assert_eq!(a, b);
+}
+
+/// `with_threads(0)` clamps to 1 and stays on the sequential path.
+#[test]
+fn zero_threads_clamps_to_sequential() {
+    let cfg = MeshConfig::table3(16, 1).with_threads(0);
+    assert_eq!(cfg.threads, 1);
+    let seq = run_transpose(16, 16, RoutingPolicy::Xy, 1, false);
+    let clamped = run_transpose(16, 16, RoutingPolicy::Xy, 0, false);
+    assert_eq!(seq, clamped);
+}

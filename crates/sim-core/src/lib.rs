@@ -20,6 +20,9 @@
 //! * [`telemetry`] — opt-in metric registry (counters/gauges/histograms with
 //!   labels) and span tracing with Chrome trace-event JSON export; a fabric
 //!   with no registry attached does no telemetry work on its hot path.
+//! * [`parallel`] — epoch-synchronous worker pool ([`parallel::EpochPool`])
+//!   and deterministic partitioner for the barrier-synchronous parallel
+//!   execution modes of the fabric simulators.
 //!
 //! All simulators in this workspace are **deterministic**: identical inputs
 //! (including RNG seeds) produce identical event orders and results. This is
@@ -29,6 +32,7 @@
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -38,6 +42,7 @@ pub mod vcd;
 pub use engine::CycleEngine;
 pub use event::{EventQueue, EventScheduled};
 pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};
+pub use parallel::{chunk_range, EpochPool};
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use telemetry::{Registry, SeriesHistogram, TraceEvent};
 pub use time::{Duration, Time};
@@ -49,6 +54,7 @@ pub mod prelude {
     pub use crate::engine::CycleEngine;
     pub use crate::event::{EventQueue, EventScheduled};
     pub use crate::faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};
+    pub use crate::parallel::{chunk_range, EpochPool};
     pub use crate::stats::{Counter, Histogram, TimeWeighted};
     pub use crate::telemetry::{Registry, SeriesHistogram, TraceEvent};
     pub use crate::time::{Duration, Time};

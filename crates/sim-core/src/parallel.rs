@@ -1,0 +1,348 @@
+//! Epoch-synchronous worker pool and deterministic partitioning.
+//!
+//! Substrate for the deterministic parallel execution modes of the fabric
+//! simulators (the emesh tile scheduler in particular). The design point is
+//! *barrier-synchronous epochs*: a master thread repeatedly publishes a
+//! batch of independent work items, every thread (master included) chews a
+//! deterministic contiguous chunk, and the master blocks until all chunks
+//! are done before it advances simulated time. Epochs are short — often
+//! well under a microsecond of work — so the pool is built around a
+//! spin → yield → park waiting ladder rather than channels:
+//!
+//! * workers spin briefly on an epoch counter (latency when batches arrive
+//!   back-to-back, e.g. the flood phase of a transpose),
+//! * then yield the core (so an oversubscribed or single-core host — CI
+//!   runners included — keeps making progress),
+//! * then park on a condvar (so a simulator stuck in a serial stretch pays
+//!   nothing for the idle pool).
+//!
+//! Determinism contract: [`EpochPool::run`] assigns chunk `i` of
+//! [`chunk_range`] to participant `i`, every run. Which *OS thread* executes
+//! a chunk is irrelevant to simulator results by design — callers must make
+//! work items within one epoch batch mutually independent and commit their
+//! effects in a deterministic order afterwards (see `emesh::mesh`'s
+//! epoch-parallel scheduler and DESIGN.md §11 for the full argument).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The contiguous index range participant `part` of `parts` owns when
+/// splitting `len` work items: balanced chunks, earlier parts take the
+/// remainder, order-preserving. The full partition covers `0..len` exactly
+/// once; empty ranges fall out naturally when `len < parts`.
+///
+/// ```
+/// use sim_core::parallel::chunk_range;
+/// assert_eq!(chunk_range(10, 4, 0), 0..3);
+/// assert_eq!(chunk_range(10, 4, 1), 3..6);
+/// assert_eq!(chunk_range(10, 4, 2), 6..8);
+/// assert_eq!(chunk_range(10, 4, 3), 8..10);
+/// ```
+pub fn chunk_range(len: usize, parts: usize, part: usize) -> std::ops::Range<usize> {
+    assert!(parts > 0, "zero-way partition");
+    assert!(part < parts, "part {part} out of {parts}");
+    let base = len / parts;
+    let rem = len % parts;
+    let start = part * base + part.min(rem);
+    let end = start + base + usize::from(part < rem);
+    start..end
+}
+
+/// Spins before yielding in the worker wait ladder.
+const SPINS: u32 = 256;
+/// Yields before parking on the condvar.
+const YIELDS: u32 = 64;
+
+type Job = *const (dyn Fn(usize) + Sync + 'static);
+
+/// State shared between the master and the workers.
+struct Shared {
+    /// Epoch counter: bumped (release) by the master after publishing a
+    /// job; observed (acquire) by workers.
+    epoch: AtomicU64,
+    /// Workers that finished the current epoch's chunk.
+    done: AtomicUsize,
+    /// The published job for the current epoch. Written by the master
+    /// before the epoch bump, read by workers after observing it — the
+    /// release/acquire pair on `epoch` orders the accesses.
+    job: Mutex<Option<SendJob>>,
+    /// A worker chunk panicked; the master re-panics at the barrier.
+    panicked: AtomicBool,
+    /// Shut the pool down (checked after every epoch observation).
+    stop: AtomicBool,
+    /// Parked-worker bookkeeping for the condvar hand-off.
+    sleepers: Mutex<usize>,
+    wake: Condvar,
+}
+
+/// Raw job pointer made `Send`: the master guarantees the pointee outlives
+/// the epoch (it blocks in [`EpochPool::run`] until every worker is done).
+#[derive(Clone, Copy)]
+struct SendJob(Job);
+unsafe impl Send for SendJob {}
+
+/// Barrier-synchronous scoped worker pool. See the module docs.
+pub struct EpochPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EpochPool {
+    /// A pool executing `threads`-way epochs: the calling (master) thread
+    /// plus `threads - 1` spawned workers. `threads` is clamped to at
+    /// least 1; a 1-thread pool spawns nothing and `run` degenerates to a
+    /// plain call.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            job: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            sleepers: Mutex::new(0),
+            wake: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|part| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("epoch-worker-{part}"))
+                    .spawn(move || worker_loop(&shared, part))
+                    .expect("spawn epoch worker")
+            })
+            .collect();
+        EpochPool { shared, workers }
+    }
+
+    /// Total participants (master + workers).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Run one epoch: `f(part)` is invoked once for every
+    /// `part ∈ 0..threads()`, part 0 on the calling thread, and `run`
+    /// returns only after every invocation completed. `f` typically maps
+    /// `part` to [`chunk_range`] over a batch of independent work items.
+    ///
+    /// # Panics
+    /// Re-panics on the master if any worker's invocation panicked.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() {
+            f(0);
+            return;
+        }
+        let sh = &*self.shared;
+        sh.done.store(0, Ordering::Relaxed);
+        // Publish the job, then the epoch (release): workers that observe
+        // the new epoch (acquire) see the job. The lifetime is erased to
+        // store the fat pointer; the barrier below keeps the pointee alive
+        // past the last worker dereference.
+        let raw: *const (dyn Fn(usize) + Sync) = f;
+        let raw: Job = unsafe { std::mem::transmute(raw) };
+        *sh.job.lock().expect("pool poisoned") = Some(SendJob(raw));
+        sh.epoch.fetch_add(1, Ordering::Release);
+        // Wake parked workers. Taking the sleepers lock orders this with
+        // the re-check a parking worker performs under the same lock, so
+        // the bump cannot fall between its check and its wait.
+        {
+            let sleepers = sh.sleepers.lock().expect("pool poisoned");
+            if *sleepers > 0 {
+                sh.wake.notify_all();
+            }
+        }
+        f(0);
+        // Barrier: wait for every worker, yielding so single-core hosts
+        // schedule them.
+        let mut spins = 0u32;
+        while sh.done.load(Ordering::Acquire) < self.workers.len() {
+            spins += 1;
+            if spins < SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if sh.panicked.load(Ordering::Relaxed) {
+            panic!("epoch pool worker panicked");
+        }
+    }
+}
+
+impl Drop for EpochPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        {
+            let _guard = self.shared.sleepers.lock();
+            self.shared.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared, part: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait ladder: spin → yield → park.
+        let mut spins = 0u32;
+        loop {
+            let e = sh.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            spins += 1;
+            if spins < SPINS {
+                std::hint::spin_loop();
+            } else if spins < SPINS + YIELDS {
+                std::thread::yield_now();
+            } else {
+                let mut sleepers = sh.sleepers.lock().expect("pool poisoned");
+                // Re-check under the lock: a bump between the load above
+                // and this lock acquisition would otherwise be missed.
+                if sh.epoch.load(Ordering::Acquire) == seen {
+                    *sleepers += 1;
+                    let (guard, _) = sh
+                        .wake
+                        .wait_timeout(sleepers, std::time::Duration::from_millis(50))
+                        .expect("pool poisoned");
+                    sleepers = guard;
+                    *sleepers -= 1;
+                }
+                drop(sleepers);
+                spins = 0;
+            }
+        }
+        if sh.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let job = sh
+            .job
+            .lock()
+            .expect("pool poisoned")
+            .expect("job published");
+        // Safety: the master keeps the closure alive until the `done`
+        // barrier below releases it.
+        let f = unsafe { &*job.0 };
+        if catch_unwind(AssertUnwindSafe(|| f(part))).is_err() {
+            sh.panicked.store(true, Ordering::Relaxed);
+        }
+        sh.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn chunks_cover_everything_exactly_once() {
+        for len in [0usize, 1, 5, 10, 97, 1024] {
+            for parts in [1usize, 2, 3, 4, 7] {
+                let mut covered = vec![0u32; len];
+                let mut prev_end = 0;
+                for p in 0..parts {
+                    let r = chunk_range(len, parts, p);
+                    assert_eq!(r.start, prev_end, "len={len} parts={parts} p={p}");
+                    prev_end = r.end;
+                    for i in r {
+                        covered[i] += 1;
+                    }
+                }
+                assert_eq!(prev_end, len);
+                assert!(covered.iter().all(|&c| c == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        for len in [10usize, 11, 12, 13] {
+            let sizes: Vec<usize> = (0..4).map(|p| chunk_range(len, 4, p).len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_part_every_epoch() {
+        let pool = EpochPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let hits = TestCounter::new(0);
+        for epoch in 0..200u64 {
+            let base = epoch * 100;
+            pool.run(&|part| {
+                hits.fetch_add(base + part as u64, Ordering::Relaxed);
+            });
+            // run() is a barrier: all three parts have landed.
+            let expect: u64 = (0..=epoch).map(|e| 3 * e * 100 + 3).sum();
+            assert_eq!(hits.load(Ordering::Relaxed), expect);
+        }
+    }
+
+    #[test]
+    fn pool_of_one_runs_inline() {
+        let pool = EpochPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut touched = false;
+        let cell = std::sync::Mutex::new(&mut touched);
+        pool.run(&|part| {
+            assert_eq!(part, 0);
+            **cell.lock().unwrap() = true;
+        });
+        assert!(touched);
+    }
+
+    #[test]
+    fn pool_survives_idle_stretch_then_resumes() {
+        let pool = EpochPool::new(2);
+        let hits = TestCounter::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        // Long enough for workers to park.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn deterministic_chunk_assignment() {
+        let pool = EpochPool::new(4);
+        let items: Vec<u64> = (0..103).collect();
+        for _ in 0..20 {
+            let sums: Vec<TestCounter> = (0..4).map(|_| TestCounter::new(0)).collect();
+            pool.run(&|part| {
+                for i in chunk_range(items.len(), 4, part) {
+                    sums[part].fetch_add(items[i], Ordering::Relaxed);
+                }
+            });
+            let got: Vec<u64> = sums.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+            // Same chunks every epoch: part sums are reproducible.
+            let expect: Vec<u64> = (0..4)
+                .map(|p| chunk_range(103, 4, p).map(|i| items[i]).sum())
+                .collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch pool worker panicked")]
+    fn worker_panic_reaches_the_master() {
+        let pool = EpochPool::new(2);
+        pool.run(&|part| {
+            if part == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate CI on simulator throughput: compare a fresh `perf_mesh --quick` run
+against the committed baseline and fail on a >15% cycles/sec regression.
+
+Usage:
+    python3 scripts/perf_gate.py <fresh_perf_mesh.json> [<baseline.json>]
+
+The baseline defaults to ci/perf_baseline.json. Rows are matched on
+(policy, threads); only rows present in both files are compared, so adding
+a thread count to the sweep never breaks the gate. The tolerance can be
+overridden with PERF_GATE_TOLERANCE (a fraction, default 0.15).
+
+To accept an intentional slowdown (or record a faster scheduler), refresh
+the baseline:
+
+    PSYNC_RESULTS_DIR=/tmp/perf cargo run --release -p bench --bin perf_mesh -- --quick --threads 2
+    cp /tmp/perf/perf_mesh.json ci/perf_baseline.json
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def rows_by_key(path: Path):
+    rows = json.loads(path.read_text())
+    return {(r["policy"], r["threads"]): r for r in rows}
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    fresh_path = Path(sys.argv[1])
+    base_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("ci/perf_baseline.json")
+    tol = float(os.environ.get("PERF_GATE_TOLERANCE", "0.15"))
+
+    fresh = rows_by_key(fresh_path)
+    base = rows_by_key(base_path)
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        print(f"perf-gate: no (policy, threads) rows shared between {fresh_path} and {base_path}")
+        return 1
+
+    failures = []
+    for key in shared:
+        f, b = fresh[key], base[key]
+        if f["cycles"] != b["cycles"]:
+            failures.append(
+                f"{key}: simulated cycles changed {b['cycles']} -> {f['cycles']} "
+                "(the workload itself drifted; this gate only expects wall-clock noise)"
+            )
+            continue
+        ratio = f["cycles_per_s"] / b["cycles_per_s"]
+        verdict = "FAIL" if ratio < 1.0 - tol else "ok"
+        print(
+            f"perf-gate: {key}: {b['cycles_per_s']:.3e} -> {f['cycles_per_s']:.3e} "
+            f"cycles/s ({ratio:.2f}x) {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append(f"{key}: throughput regressed to {ratio:.2f}x of baseline")
+
+    if failures:
+        print(f"perf-gate: FAILED (tolerance {tol:.0%}):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"perf-gate: {len(shared)} rows within {tol:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+//! Property-based bit-identity between the sequential and epoch-parallel
+//! mesh schedulers: for *arbitrary* random traffic (mixed packet sizes,
+//! arbitrary src/dst pairs, both routing policies, random thread counts),
+//! `with_threads(n)` must reproduce the sequential run exactly — completion
+//! cycle, energy counters, memory-interface stats, per-node deliveries and
+//! payload words, and the per-router forward heatmap.
+//!
+//! The deterministic golden grid lives in
+//! `crates/emesh/tests/parallel_identity.rs`; this file covers the space
+//! between those fixed points.
+
+use emesh::flit::Packet;
+use emesh::mesh::{Mesh, MeshConfig, RoutingPolicy};
+use emesh::topology::{MemifPlacement, Topology};
+use proptest::prelude::*;
+
+fn cfg(nodes: usize, policy: RoutingPolicy, threads: usize) -> MeshConfig {
+    MeshConfig {
+        topology: Topology::square(nodes, MemifPlacement::SingleCorner),
+        t_r: 1,
+        policy,
+        memif: Default::default(),
+        buffer_depth: 2,
+        max_cycles: 1 << 22,
+        threads,
+    }
+    .with_threads(threads)
+}
+
+/// Run packets described by parallel seed vectors on a 16-node mesh and
+/// collapse every observable into one comparable string. Packet `i` goes
+/// from `srcs[i] % 16` to `dsts[i] % 16` with `sizes[i] % 5 + 1` payload
+/// words (self-traffic is skipped).
+fn fingerprint(
+    policy: RoutingPolicy,
+    threads: usize,
+    srcs: &[u8],
+    dsts: &[u8],
+    sizes: &[u8],
+) -> String {
+    let nodes = 16usize;
+    let mut mesh = Mesh::new(cfg(nodes, policy, threads));
+    mesh.collect_sink_words(true);
+    for (i, ((&s, &d), &w)) in srcs.iter().zip(dsts).zip(sizes).enumerate() {
+        let src = u32::from(s) % nodes as u32;
+        let dst = u32::from(d) % nodes as u32;
+        if src == dst {
+            continue;
+        }
+        // Destination 0 is the memory interface: those packets carry DRAM
+        // addresses; all others are sink traffic with arbitrary payloads.
+        let words = usize::from(w % 5) + 1;
+        let payload: Vec<u64> = (0..words as u64).map(|k| k + i as u64 * 31).collect();
+        mesh.inject_packet(src, &Packet::with_header(dst, i as u32, payload));
+    }
+    let res = mesh.run().expect("random traffic drains");
+    let words: Vec<&[u64]> = (0..nodes as u32).map(|n| mesh.sink_words(n)).collect();
+    format!("{res:?}|{words:?}")
+}
+
+const N_PACKETS: usize = 40;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_equals_sequential_on_arbitrary_traffic(
+        srcs in prop::collection::vec(0u8..=255, N_PACKETS),
+        dsts in prop::collection::vec(0u8..=255, N_PACKETS),
+        sizes in prop::collection::vec(0u8..=255, N_PACKETS),
+        adaptive in 0u8..2,
+        threads in 2usize..6,
+    ) {
+        let policy = if adaptive == 1 {
+            RoutingPolicy::MinimalAdaptive
+        } else {
+            RoutingPolicy::Xy
+        };
+        let seq = fingerprint(policy, 1, &srcs, &dsts, &sizes);
+        let par = fingerprint(policy, threads, &srcs, &dsts, &sizes);
+        prop_assert_eq!(
+            seq, par,
+            "threads={} policy={:?} diverged", threads, policy
+        );
+    }
+}
