@@ -23,6 +23,10 @@ pub struct OperatingPoint {
 /// The largest power-of-two k (≤ `k_max`) whose Eq. (20) bandwidth fits in
 /// `available_gbps`, with its efficiency — i.e. how far up Table I a given
 /// link can climb.
+///
+/// The sweep is additionally clamped at `k ≤ params.n`: a block cannot be
+/// smaller than one sample, so larger `k_max` values are accepted but
+/// never probed past `n`.
 pub fn best_k_under_bandwidth(
     params: &FftParams,
     available_gbps: f64,
@@ -30,7 +34,7 @@ pub fn best_k_under_bandwidth(
 ) -> Option<OperatingPoint> {
     let mut best = None;
     let mut k = 1;
-    while k <= k_max {
+    while k <= k_max.min(params.n) {
         let need = params.required_bandwidth_gbps(k);
         if need <= available_gbps {
             best = Some(OperatingPoint {
@@ -45,21 +49,36 @@ pub fn best_k_under_bandwidth(
 }
 
 /// Bandwidth (Gb/s) needed to reach a target zero-latency efficiency
-/// (fraction in (0,1)), or `None` if no power-of-two k ≤ `k_max` reaches it.
+/// (fraction strictly inside `(0,1)`), or `None` if no power-of-two
+/// k ≤ `min(k_max, n)` reaches it at finite bandwidth.
+///
+/// The sweep is clamped at `k ≤ params.n` like
+/// [`best_k_under_bandwidth`]; the degenerate `k = n` point (one-sample
+/// blocks, `t_ck = 0`) would require infinite bandwidth and is never
+/// returned.
+///
+/// # Panics
+/// Panics unless `0 < target < 1`.
 pub fn bandwidth_for_efficiency(
     params: &FftParams,
     target: f64,
     k_max: u64,
 ) -> Option<OperatingPoint> {
-    assert!((0.0..1.0).contains(&target), "target must be in (0,1)");
+    assert!(
+        target > 0.0 && target < 1.0,
+        "target must be in the open interval (0,1)"
+    );
     let mut k = 1;
-    while k <= k_max {
+    while k <= k_max.min(params.n) {
         if params.efficiency_zero_latency(k) >= target {
-            return Some(OperatingPoint {
-                k,
-                required_gbps: params.required_bandwidth_gbps(k),
-                eta_pct: params.efficiency_zero_latency(k) * 100.0,
-            });
+            let need = params.required_bandwidth_gbps(k);
+            if need.is_finite() {
+                return Some(OperatingPoint {
+                    k,
+                    required_gbps: need,
+                    eta_pct: params.efficiency_zero_latency(k) * 100.0,
+                });
+            }
         }
         k *= 2;
     }
@@ -67,12 +86,13 @@ pub fn bandwidth_for_efficiency(
 }
 
 /// The k at which the mesh's efficiency (Table II product) stops improving —
-/// its routing-overhead knee (k = 8 for the paper's parameters).
+/// its routing-overhead knee (k = 8 for the paper's parameters). The sweep
+/// is clamped at `k ≤ params.n` like [`best_k_under_bandwidth`].
 pub fn mesh_knee(params: &FftParams, k_max: u64) -> u64 {
     let mut best_k = 1;
     let mut best = f64::MIN;
     let mut k = 1;
-    while k <= k_max {
+    while k <= k_max.min(params.n) {
         let e = params.mesh_efficiency(k);
         if e > best {
             best = e;
@@ -115,6 +135,37 @@ mod tests {
     #[test]
     fn knee_is_k8() {
         assert_eq!(mesh_knee(&FftParams::default(), 64), 8);
+    }
+
+    #[test]
+    fn k_max_beyond_n_is_clamped_not_panicking() {
+        // Regression: k_max = 4096 > n = 1024 used to trip the k <= n
+        // asserts in model::block_samples / fft::ops and panic. The sweep
+        // now clamps at k = n and the answers match the k_max = 64 ones.
+        let p = FftParams::default();
+        assert_eq!(p.n, 1024);
+        assert_eq!(best_k_under_bandwidth(&p, 1024.0, 4096).unwrap().k, 64);
+        assert_eq!(bandwidth_for_efficiency(&p, 0.90, 4096).unwrap().k, 8);
+        assert_eq!(mesh_knee(&p, 4096), 8);
+        // Unreachable targets still answer None (never the degenerate
+        // infinite-bandwidth k = n point).
+        if let Some(op) = bandwidth_for_efficiency(&p, 0.999_999, 4096) {
+            assert!(op.required_gbps.is_finite(), "k = {}", op.k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn target_zero_is_rejected() {
+        // The old bound `(0.0..1.0).contains(&target)` accepted 0.0 while
+        // the message promised the open interval.
+        bandwidth_for_efficiency(&FftParams::default(), 0.0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn target_one_is_rejected() {
+        bandwidth_for_efficiency(&FftParams::default(), 1.0, 64);
     }
 
     #[test]

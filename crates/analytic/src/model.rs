@@ -110,14 +110,41 @@ pub struct ModelIi {
 
 impl ModelIi {
     /// Total time — Eq. (11).
+    ///
+    /// # Panics
+    /// Panics if `k = 0` (Eq. 11 is defined for at least one block) or if
+    /// `t_dk` / `t_ck` are negative or non-finite — such parameters used to
+    /// yield NaN that serialized as `null` in results JSON instead of
+    /// erroring.
     pub fn total_time(&self) -> f64 {
+        assert!(self.k >= 1, "ModelIi: k must be >= 1 (Eq. 11)");
+        assert!(
+            self.t_dk.is_finite() && self.t_dk >= 0.0,
+            "ModelIi: t_dk must be finite and non-negative, got {}",
+            self.t_dk
+        );
+        assert!(
+            self.t_ck.is_finite() && self.t_ck >= 0.0,
+            "ModelIi: t_ck must be finite and non-negative, got {}",
+            self.t_ck
+        );
         let pd = self.p as f64 * self.t_dk;
         pd + (self.k as f64 - 1.0) * self.t_ck.max(pd) + self.t_ck
     }
 
     /// Compute efficiency — Eq. (14) with `t_c = k·t_ck`.
+    ///
+    /// # Panics
+    /// Panics on the invalid parameters [`ModelIi::total_time`] rejects,
+    /// and on all-zero timings (`total_time() == 0`), whose efficiency is
+    /// the indeterminate 0/0.
     pub fn efficiency(&self) -> f64 {
-        (self.k as f64 * self.t_ck) / self.total_time()
+        let total = self.total_time();
+        assert!(
+            total > 0.0,
+            "ModelIi: degenerate all-zero parameters (total_time = 0)"
+        );
+        (self.k as f64 * self.t_ck) / total
     }
 
     /// Is this operating point compute-bound (Case 1, Eq. 15)?
@@ -207,6 +234,44 @@ mod tests {
         let drop = balanced.efficiency() - over.efficiency();
         assert!(drop > 4.0 * gain, "gain {gain}, drop {drop}");
         assert!(balanced.is_compute_bound() && !over.is_compute_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn k_zero_is_rejected() {
+        // Regression: k = 0 used to produce NaN (serialized as `null`).
+        let m = ModelIi {
+            p: 4,
+            t_dk: 1.0,
+            t_ck: 1.0,
+            k: 0,
+        };
+        let _ = m.total_time();
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero parameters")]
+    fn all_zero_params_are_rejected() {
+        // Regression: 0/0 efficiency used to propagate NaN into JSON.
+        let m = ModelIi {
+            p: 0,
+            t_dk: 0.0,
+            t_ck: 0.0,
+            k: 1,
+        };
+        let _ = m.efficiency();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_timing_is_rejected() {
+        let m = ModelIi {
+            p: 4,
+            t_dk: f64::NAN,
+            t_ck: 1.0,
+            k: 2,
+        };
+        let _ = m.total_time();
     }
 
     #[test]

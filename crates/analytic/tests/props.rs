@@ -1,0 +1,56 @@
+//! Property tests for the §V analytic formulas (ISSUE satellite of the
+//! conformance oracle): algebraic identities that must hold across the
+//! whole valid parameter space, not just the paper's table rows.
+
+use analytic::model::FftParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work conservation (Eqs. 17/18 vs Table I's total): blocking
+    /// reorganizes the FFT's multiplies without creating or destroying
+    /// any — `k·multiplies_per_block(n, k) + multiplies_final(n, k)
+    /// == multiplies(n)` for every valid power-of-two pair.
+    #[test]
+    fn blocking_conserves_multiplies(bits in 0u32..=20) {
+        let n = 1u64 << bits;
+        for kb in 0..=bits {
+            let k = 1u64 << kb;
+            prop_assert_eq!(
+                k * fft::ops::multiplies_per_block(n, k) + fft::ops::multiplies_final(n, k),
+                fft::ops::multiplies(n),
+                "n = {}, k = {}", n, k
+            );
+        }
+    }
+
+    /// Eq. 22 monotonicity: smaller blocks amortize the mesh's `√P·t_r`
+    /// route latency over fewer flits, so `η_d = F/(F + √P·t_r)` can only
+    /// fall as k doubles — strictly, whenever the latency term is nonzero.
+    #[test]
+    fn mesh_delivery_efficiency_is_monotone_in_k(
+        bits in 1u32..=12,
+        p in 1u64..=4096,
+        t_r in 0u64..=4,
+    ) {
+        let params = FftParams {
+            n: 1u64 << bits,
+            p,
+            t_r,
+            ..FftParams::default()
+        };
+        let lambda = (p as f64).sqrt() * t_r as f64;
+        for kb in 0..bits {
+            let k = 1u64 << kb;
+            let here = params.mesh_delivery_efficiency(k);
+            let next = params.mesh_delivery_efficiency(2 * k);
+            prop_assert!((0.0..=1.0).contains(&here), "k = {}: eta_d = {}", k, here);
+            if lambda > 0.0 {
+                prop_assert!(next < here, "k = {}: {} !< {}", k, next, here);
+            } else {
+                prop_assert_eq!(next, here, "k = {}", k);
+            }
+        }
+    }
+}

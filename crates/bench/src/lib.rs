@@ -38,6 +38,8 @@ use std::path::PathBuf;
 
 use sim_core::telemetry::Registry;
 
+pub mod crosscheck;
+
 /// Harness plumbing failure: the experiment ran, but its rows could not be
 /// recorded. Binaries propagate this out of `main` for a nonzero exit.
 #[derive(Debug)]

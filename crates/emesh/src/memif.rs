@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use memory::{AccessKind, DramConfig, DramController, DramStats};
 use serde::{Deserialize, Serialize};
+use sim_core::invariant;
 use sim_core::telemetry::SeriesHistogram;
 
 use crate::flit::Flit;
@@ -72,6 +73,11 @@ pub struct MemIf {
     dram: DramController,
     /// DRAM bus timeline (cycle the bus frees).
     dram_free_at: u64,
+    /// Partial rows forced out by [`MemIf::flush`], and the elements they
+    /// held — the two terms that close the staging conservation identity
+    /// checked by [`MemIf::check_conservation`].
+    flushed_rows: u64,
+    flushed_elements: u64,
     stats: MemifStats,
     /// Telemetry (None = no per-event work): staging-buffer depth sampled
     /// at each staged element, and `(start, done, row)` spans of row
@@ -102,6 +108,8 @@ impl MemIf {
             words_per_row,
             dram: DramController::new(cfg.dram, cfg.element_bits),
             dram_free_at: 0,
+            flushed_rows: 0,
+            flushed_elements: 0,
             stats: MemifStats::default(),
             telemetry: None,
         }
@@ -167,6 +175,14 @@ impl MemIf {
         let row = addr / self.words_per_row;
         let count = self.staging.entry(row).or_insert(0);
         *count += 1;
+        // Staged rows are strictly partial: the words_per_row-th element
+        // completes the row below, so a larger count means an element was
+        // double-staged or a completed row was never written back.
+        invariant!(
+            u64::from(*count) <= self.words_per_row,
+            "memif staging: row {row} holds {count} > words_per_row {} elements",
+            self.words_per_row
+        );
         let full = u64::from(*count) == self.words_per_row;
         if let Some(tel) = self.telemetry.as_mut() {
             tel.staging_depth.record(self.staging.len() as u64);
@@ -199,12 +215,34 @@ impl MemIf {
     /// Force out any incomplete rows (end of workload). Returns the number
     /// of partial rows flushed.
     pub fn flush(&mut self, cycle: u64) -> usize {
-        let rows: Vec<u64> = self.staging.drain().map(|(r, _)| r).collect();
+        let rows: Vec<(u64, u32)> = self.staging.drain().collect();
         let n = rows.len();
-        for row in rows {
+        for (row, count) in rows {
+            self.flushed_rows += 1;
+            self.flushed_elements += u64::from(count);
             self.write_row(cycle, row);
         }
         n
+    }
+
+    /// Staging conservation (DESIGN.md §12): every element this interface
+    /// ever staged is in exactly one of three places — a full row written
+    /// back, a partial row forced out by [`MemIf::flush`], or a partial row
+    /// still staged. Compiled out unless [`sim_core::invariants::ENABLED`].
+    pub fn check_conservation(&self) {
+        if !sim_core::invariants::ENABLED {
+            return;
+        }
+        let staged: u64 = self.staging.values().map(|&c| u64::from(c)).sum();
+        let full_rows = self.stats.rows_written - self.flushed_rows;
+        invariant!(
+            self.stats.elements == full_rows * self.words_per_row + self.flushed_elements + staged,
+            "memif staging accounting: {} elements != {} full-row + {} flushed + {} staged",
+            self.stats.elements,
+            full_rows * self.words_per_row,
+            self.flushed_elements,
+            staged
+        );
     }
 
     /// True when nothing is staged and the DRAM bus has drained by `cycle`.

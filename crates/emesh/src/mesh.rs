@@ -42,6 +42,7 @@ mod par;
 use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
+use sim_core::invariant;
 use sim_core::stats::Histogram;
 use sim_core::telemetry::{Registry, SeriesHistogram};
 
@@ -444,6 +445,10 @@ pub struct Mesh {
 
 const NEVER: u64 = u64::MAX;
 
+/// Serviced cycles between throttled flit-conservation audits (the audit
+/// is O(nodes); hot-site checks are O(1) every cycle).
+const AUDIT_INTERVAL: u64 = 1024;
+
 /// Telemetry scratch carried by an instrumented mesh: the registry plus
 /// raw per-router accumulators flushed into it at the end of each run.
 ///
@@ -721,6 +726,11 @@ impl Mesh {
         self.routers[ri].inputs[Port::Local as usize]
             .buf
             .push_back(flit);
+        invariant!(
+            self.routers[ri].inputs[Port::Local as usize].buf.len() <= self.cfg.buffer_depth,
+            "buffer bound: router {r} local input exceeds depth {} after inject",
+            self.cfg.buffer_depth
+        );
         self.last_inject[ri] = c;
         self.pending_inject -= 1;
         self.in_flight += 1;
@@ -815,6 +825,11 @@ impl Mesh {
         let ready = flit.ready_at;
         self.update_channel_state(ri, p, o, &flit, c);
         self.routers[n as usize].inputs[q].buf.push_back(flit);
+        invariant!(
+            self.routers[n as usize].inputs[q].buf.len() <= self.cfg.buffer_depth,
+            "buffer bound: router {n} input port {q} exceeds depth {} after forward",
+            self.cfg.buffer_depth
+        );
         self.energy.router_traversals += 1;
         self.energy.link_hops += 1;
         self.router_forwards[ri] += 1;
@@ -854,6 +869,10 @@ impl Mesh {
                 m.accept(c, &flit);
             }
             self.record_latency(&flit, c);
+            invariant!(
+                self.in_flight > 0,
+                "flit conservation: memif eject at router {r} with in_flight = 0"
+            );
             self.in_flight -= 1;
             self.energy.router_traversals += 1;
             self.energy.ejections += 1;
@@ -879,11 +898,31 @@ impl Mesh {
                 }
             }
             self.record_latency(&flit, c);
+            invariant!(
+                self.in_flight > 0,
+                "flit conservation: sink eject at router {r} with in_flight = 0"
+            );
             self.in_flight -= 1;
             self.energy.router_traversals += 1;
             self.energy.ejections += 1;
             self.router_forwards[ri] += 1;
         }
+    }
+
+    /// Flit conservation (DESIGN.md §12): `in_flight` counts exactly the
+    /// flits resident in router input buffers — every injected flit is in
+    /// some buffer until ejected, nowhere else, and never twice. Compiled
+    /// out unless [`sim_core::invariants::ENABLED`].
+    fn check_flit_conservation(&self) {
+        if !sim_core::invariants::ENABLED {
+            return;
+        }
+        let resident: u64 = self.routers.iter().map(|r| r.occupancy() as u64).sum();
+        invariant!(
+            resident == self.in_flight,
+            "flit conservation: {resident} flits resident in buffers vs in_flight {}",
+            self.in_flight
+        );
     }
 
     /// A poisoned flit reached memory interface `slot` at router `r`: charge
@@ -1034,6 +1073,10 @@ impl Mesh {
         // Hoisted telemetry check: the attached/absent state cannot change
         // mid-run, so the per-router fast path pays a single bool test.
         let tel_on = self.telemetry.is_some();
+        // Serviced cycles since the last O(nodes) conservation audit; the
+        // audit itself is throttled so checked debug runs of the 2^20-element
+        // sweeps stay tractable.
+        let mut audit_countdown = AUDIT_INTERVAL;
         loop {
             // Next service cycle: earliest wheel wakeup or NACK-retransmit
             // turnaround, whichever comes first.
@@ -1083,6 +1126,13 @@ impl Mesh {
                 "same-cycle wake pushed while draining"
             );
             self.wheel.buckets[b] = ids;
+            if sim_core::invariants::ENABLED {
+                audit_countdown -= 1;
+                if audit_countdown == 0 {
+                    audit_countdown = AUDIT_INTERVAL;
+                    self.check_flit_conservation();
+                }
+            }
             if self.faults.is_some() {
                 self.watchdog_check(c)?;
             }
@@ -1099,6 +1149,15 @@ impl Mesh {
                 at_cycle: self.now,
                 in_flight: self.in_flight + self.pending_inject + pending_retx,
             });
+        }
+        // Full end-of-run audit: with in_flight = 0, conservation means
+        // every router buffer drained; and every staged element is
+        // accounted for at each memory interface.
+        self.check_flit_conservation();
+        if sim_core::invariants::ENABLED {
+            for m in &self.memifs {
+                m.check_conservation();
+            }
         }
         // Account DRAM drain beyond the last network event.
         let mut done = self.now;

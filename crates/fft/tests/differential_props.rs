@@ -1,0 +1,148 @@
+//! Differential property tests (DESIGN.md §12): the FFT kernels against the
+//! naive O(N²) DFT reference, and the §V operation-count formulas (Table I,
+//! Eqs. 17/18) against instrumented tallies of the butterflies the kernels
+//! actually execute.
+//!
+//! The tally replicates `Radix2Plan::butterflies_in_place`'s loop bounds
+//! with the butterfly body replaced by a counter — each body iteration is
+//! exactly one butterfly (4 real multiplies + 6 real additions under the
+//! paper's costing) — so a drift between the kernel's stage structure and
+//! the analytic formulas shows up as an exact integer mismatch.
+
+use fft::complex::max_error;
+use fft::{dft_reference, fft_in_place, BlockedFft, Complex64};
+use proptest::prelude::*;
+
+/// Butterflies executed by `butterflies_in_place` on an `n`-length slice
+/// over stages `[from_stage, to_stage)`: same `s`/`base` loop structure,
+/// counting the `j in 0..half` inner iterations.
+fn tally_butterflies(n: usize, from_stage: u32, to_stage: u32) -> u64 {
+    let mut count = 0u64;
+    for s in from_stage..to_stage {
+        let half = 1usize << s;
+        let block = half << 1;
+        let mut base = 0;
+        while base < n {
+            count += half as u64;
+            base += block;
+        }
+    }
+    count
+}
+
+fn log2(n: usize) -> u32 {
+    n.trailing_zeros()
+}
+
+/// Zip two real vectors into a complex signal of length `n`.
+fn to_signal(res: &[f64], ims: &[f64], n: usize) -> Vec<Complex64> {
+    res.iter()
+        .zip(ims)
+        .take(n)
+        .map(|(&r, &i)| Complex64::new(r, i))
+        .collect()
+}
+
+#[test]
+fn op_formulas_match_instrumented_tallies() {
+    // Exhaustive over every (n, k) the paper's tables could ask for: the
+    // Eq. 17/18 closed forms equal what the kernel would actually execute,
+    // and blocking conserves work at the butterfly level.
+    for bits in 0..=12u32 {
+        let n = 1usize << bits;
+        assert_eq!(
+            tally_butterflies(n, 0, bits),
+            fft::ops::butterflies(n as u64),
+            "full FFT butterflies, n = {n}"
+        );
+        assert_eq!(
+            tally_butterflies(n, 0, bits) * fft::ops::MULTS_PER_BUTTERFLY,
+            fft::ops::multiplies(n as u64),
+            "full FFT multiplies, n = {n}"
+        );
+        for kb in 0..=bits {
+            let k = 1u64 << kb;
+            let b = n >> kb;
+            // One delivered block: sub-FFT stages [0, log2 b) on a b-slice.
+            let sub = tally_butterflies(b, 0, bits - kb);
+            assert_eq!(
+                sub * fft::ops::MULTS_PER_BUTTERFLY,
+                fft::ops::multiplies_per_block(n as u64, k),
+                "Eq. 17, n = {n}, k = {k}"
+            );
+            // The compute-only combine: stages [log2 b, log2 n) on the row.
+            let combine = tally_butterflies(n, bits - kb, bits);
+            assert_eq!(
+                combine * fft::ops::MULTS_PER_BUTTERFLY,
+                fft::ops::multiplies_final(n as u64, k),
+                "Eq. 18, n = {n}, k = {k}"
+            );
+            // Work conservation: k sub-FFTs + combine = the monolithic FFT.
+            assert_eq!(
+                k * sub + combine,
+                fft::ops::butterflies(n as u64),
+                "work conservation, n = {n}, k = {k}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fft_matches_dft_across_sizes(
+        bits in 0u32..=9,
+        res in prop::collection::vec(-1.0f64..1.0, 512),
+        ims in prop::collection::vec(-1.0f64..1.0, 512),
+    ) {
+        let n = 1usize << bits;
+        let x = to_signal(&res, &ims, n);
+        let reference = dft_reference(&x);
+        let mut y = x;
+        fft_in_place(&mut y);
+        let err = max_error(&y, &reference);
+        prop_assert!(err < 1e-9 * (n.max(2) as f64), "n = {}: err {}", n, err);
+    }
+
+    #[test]
+    fn blocked_fft_matches_dft_for_every_k(
+        bits in 0u32..=8,
+        res in prop::collection::vec(-1.0f64..1.0, 256),
+        ims in prop::collection::vec(-1.0f64..1.0, 256),
+    ) {
+        let n = 1usize << bits;
+        let x = to_signal(&res, &ims, n);
+        let reference = dft_reference(&x);
+        for kb in 0..=bits {
+            let k = 1usize << kb;
+            let y = BlockedFft::new(n, k).run(&x);
+            let err = max_error(&y, &reference);
+            prop_assert!(err < 1e-9 * (n.max(2) as f64), "n = {}, k = {}: err {}", n, k, err);
+        }
+    }
+
+    #[test]
+    fn streamed_blocks_match_batch_in_any_delivery_order(
+        bits in 2u32..=8,
+        start in 0usize..256,
+        res in prop::collection::vec(-1.0f64..1.0, 256),
+        ims in prop::collection::vec(-1.0f64..1.0, 256),
+    ) {
+        let n = 1usize << bits;
+        let x = to_signal(&res, &ims, n);
+        let k = 1usize << (log2(n) / 2); // a middling blocking factor
+        let bf = BlockedFft::new(n, k);
+        let batch = bf.run(&x);
+        // Deliver blocks in a rotated order derived from the random start.
+        let mut st = bf.begin();
+        for i in 0..k {
+            let c = (start + i) % k;
+            let samples: Vec<Complex64> =
+                bf.block_source_indices(c).iter().map(|&i| x[i]).collect();
+            st.deliver_block(c, &samples);
+        }
+        let streamed = st.finish();
+        prop_assert!(max_error(&batch, &streamed) < 1e-12);
+    }
+}

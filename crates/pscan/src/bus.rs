@@ -24,6 +24,7 @@ use photonics::clock::PhotonicClock;
 use photonics::waveguide::{flight_time_mm, ChipLayout};
 use photonics::wdm::WavelengthPlan;
 use sim_core::event::EventQueue;
+use sim_core::invariant;
 use sim_core::time::Time;
 
 use crate::cp::{CommProgram, CpAction};
@@ -334,7 +335,7 @@ impl BusSim {
                 // Wavefronts reach the terminus in slot order — the physical
                 // guarantee that the coalesced burst is well-ordered.
                 if let Some(prev) = last_slot_seen {
-                    debug_assert!(slot > prev, "terminus saw slots out of order");
+                    invariant!(slot > prev, "terminus saw slots out of order");
                 }
                 last_slot_seen = Some(slot);
                 if !any {
@@ -344,7 +345,26 @@ impl BusSim {
                 last_arrival = ev.at;
             }
         }
-        debug_assert_eq!(scheduled_arrivals, owner.iter().flatten().count() as u64);
+        // Bus-slot exclusivity accounting (DESIGN.md §12): every owned slot
+        // produced exactly one arrival, per-node tallies partition the owned
+        // set, and word occupancy mirrors ownership slot-for-slot.
+        if sim_core::invariants::ENABLED {
+            invariant!(
+                scheduled_arrivals == owner.iter().flatten().count() as u64,
+                "bus-slot exclusivity: {scheduled_arrivals} arrivals vs owned slots"
+            );
+            invariant!(
+                slots_by_node.iter().sum::<u64>() == scheduled_arrivals,
+                "bus-slot exclusivity: per-node slot tallies do not partition the owned set"
+            );
+            invariant!(
+                owner
+                    .iter()
+                    .zip(received.iter())
+                    .all(|(o, w)| o.is_some() == w.is_some()),
+                "bus-slot exclusivity: slot owned without a word (or vice versa)"
+            );
+        }
 
         let owned = received.iter().flatten().count() as u64;
         let (lo, hi) = span(&received);

@@ -20,6 +20,7 @@ use photonics::wdm::WavelengthPlan;
 use std::cell::Cell;
 
 use serde::{Deserialize, Serialize};
+use sim_core::invariant;
 use sim_core::telemetry::Registry;
 use sim_core::time::Duration;
 
@@ -304,6 +305,19 @@ impl Pscan {
                     reg.counter_add("pscan.crc.corrupted_words", corrupted_total);
                     reg.counter_add("pscan.crc.backoff_slots", backoff_total);
                 }
+                // CRC/retry bookkeeping (DESIGN.md §12): every corrupted
+                // word is attributed to a driving CP, and bus occupancy
+                // decomposes exactly into burst passes plus backoff waits.
+                invariant!(
+                    errors_by_node.iter().sum::<u64>() == corrupted_total,
+                    "crc accounting: per-node errors {} != corrupted words {corrupted_total}",
+                    errors_by_node.iter().sum::<u64>()
+                );
+                invariant!(
+                    slots_on_bus == u64::from(attempt) * burst_slots + backoff_total,
+                    "crc accounting: {slots_on_bus} slots on bus != {attempt} bursts of \
+                     {burst_slots} + {backoff_total} backoff"
+                );
                 let mut outcome = clean;
                 outcome.received = received;
                 return Ok(ReliableGatherOutcome {

@@ -23,6 +23,10 @@
 //! * [`parallel`] — epoch-synchronous worker pool ([`parallel::EpochPool`])
 //!   and deterministic partitioner for the barrier-synchronous parallel
 //!   execution modes of the fabric simulators.
+//! * [`invariants`] — the [`invariant!`] runtime-checking macro for the
+//!   fabric conservation laws (flit conservation, buffer bounds, staging
+//!   accounting, bus-slot exclusivity); on in debug builds and under the
+//!   `check-invariants` feature, compiled out otherwise.
 //!
 //! All simulators in this workspace are **deterministic**: identical inputs
 //! (including RNG seeds) produce identical event orders and results. This is
@@ -32,6 +36,7 @@
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod invariants;
 pub mod parallel;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Prove the `check-invariants` feature is zero-cost when compiled out.
+
+Runs `crosscheck_models --quick` twice — once with the feature off (release
+default) and once with it on — into separate results directories, scrubs the
+wall-clock-dependent keys exactly as scripts/goldens_freshness.py does, and
+requires the remaining JSON to be byte-identical. Any divergence means an
+invariant check leaked into the simulated numbers (e.g. a check with a side
+effect, or one gating a state change) instead of only observing them.
+
+Usage:
+    python3 scripts/check_invariant_zero_cost.py
+
+Run from the workspace root; builds go through cargo (release).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BIN = "crosscheck_models"
+VOLATILE = ("wall", "per_s", "speedup")
+
+
+def scrub(obj):
+    if isinstance(obj, dict):
+        return {
+            k: scrub(v)
+            for k, v in obj.items()
+            if not any(t in k for t in VOLATILE)
+        }
+    if isinstance(obj, list):
+        return [scrub(v) for v in obj]
+    return obj
+
+
+def run_variant(out_dir: Path, features: list[str]) -> dict:
+    env = dict(os.environ, PSYNC_RESULTS_DIR=str(out_dir))
+    cmd = ["cargo", "run", "--release", "-q", "-p", "bench"]
+    cmd += features
+    cmd += ["--bin", BIN, "--", "--quick"]
+    print(f"zero-cost: running {' '.join(cmd)}", flush=True)
+    subprocess.run(cmd, env=env, check=True, stdout=subprocess.DEVNULL)
+    return scrub(json.loads((out_dir / f"{BIN}.json").read_text()))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="zerocost_") as tmp:
+        off = run_variant(Path(tmp) / "off", [])
+        on = run_variant(Path(tmp) / "on", ["--features", "check-invariants"])
+
+    off_s = json.dumps(off, indent=2, sort_keys=True)
+    on_s = json.dumps(on, indent=2, sort_keys=True)
+    if off_s != on_s:
+        print("zero-cost: FAILED — check-invariants changed deterministic output:")
+        for a, b in zip(off_s.splitlines(), on_s.splitlines()):
+            if a != b:
+                print(f"  off: {a}")
+                print(f"  on:  {b}")
+        return 1
+    print(f"zero-cost: ok — {BIN} deterministic output byte-identical with the feature on and off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ BINS = [
     "ablate_tp",
     "ablate_tr",
     "crosscheck_fig13",
+    "crosscheck_models",
     "fig11_efficiency",
     "fig13_scaling",
     "fig14_reorg",

@@ -52,6 +52,12 @@ def main() -> int:
                 "(the workload itself drifted; this gate only expects wall-clock noise)"
             )
             continue
+        if b["cycles_per_s"] <= 0:
+            # A zero-cycle row (e.g. a conformance witness of a quantity
+            # that is exactly 0) has no throughput to gate; the cycles
+            # equality above already pinned it.
+            print(f"perf-gate: {key}: zero-cycle row, equality-only")
+            continue
         ratio = f["cycles_per_s"] / b["cycles_per_s"]
         verdict = "FAIL" if ratio < 1.0 - tol else "ok"
         print(
