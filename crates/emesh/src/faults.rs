@@ -17,6 +17,15 @@
 //!   the no-progress watchdog converts into a structured
 //!   [`crate::mesh::MeshError::NoProgress`] diagnostic instead of a hang.
 //!
+//! The Bernoulli processes are *per-site counter-hashed* streams
+//! ([`sim_core::faults::hash_bernoulli`]): each router owns its corruption
+//! stream and each directed link owns its outage stream, advanced by a
+//! plain trial counter. A trial's outcome is a pure function of
+//! `(seed, site, trial index)`, so it does not depend on when any *other*
+//! site is consulted — which is exactly what lets the epoch-parallel
+//! scheduler (DESIGN.md §11) evaluate faults inside concurrent waves and
+//! still match the sequential scheduler bit for bit.
+//!
 //! The layer is attached with [`crate::mesh::Mesh::enable_faults`]; a mesh
 //! without it (or with all rates zero and no kills) is bit-identical to the
 //! fault-free simulator — enforced by the golden transpose tests.
@@ -24,14 +33,26 @@
 use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
-use sim_core::faults::FaultSite;
 
 use crate::flit::Packet;
 use crate::router::NUM_PORTS;
 
-/// Child-stream indices under the config seed.
+/// Site-space tags under the config seed (see [`corrupt_site`] /
+/// [`link_site`]).
 const STREAM_CORRUPT: u64 = 0;
 const STREAM_LINK_DOWN: u64 = 1;
+
+/// Fault-site id of router `ri`'s corruption stream.
+#[inline]
+pub(crate) fn corrupt_site(ri: usize) -> u64 {
+    (STREAM_CORRUPT << 40) | ri as u64
+}
+
+/// Fault-site id of the outage stream of output `o` of router `ri`.
+#[inline]
+pub(crate) fn link_site(ri: usize, o: usize) -> u64 {
+    (STREAM_LINK_DOWN << 40) | (ri * NUM_PORTS + o) as u64
+}
 
 /// How often a blocked sender re-probes a dead neighbour, in cycles.
 pub const PROBE_INTERVAL: u64 = 8;
@@ -133,19 +154,55 @@ pub(crate) struct Retransmit {
     pub packet: Packet,
 }
 
+/// Entry-owned fault state a router's service step reads **and writes**.
+///
+/// Everything here is indexed by router (or router × port), and a service
+/// step for router `r` touches only `r`'s slots — which makes the whole
+/// struct shardable across an epoch wave behind
+/// [`sim_core::parallel::SyncCell`] without locks. Trial counters advance
+/// the per-site counter-hash streams; `down_until` is written by the owning
+/// router when its own outage stream fires.
+#[derive(Debug)]
+pub(crate) struct FaultHot {
+    /// Config seed (site streams derive from it).
+    pub seed: u64,
+    /// Per-traversal corruption probability.
+    pub corrupt_rate: f64,
+    /// Per-traversal link-outage probability.
+    pub link_down_rate: f64,
+    /// Outage length in cycles.
+    pub link_down_cycles: u64,
+    /// Trials consumed so far on each router's corruption stream.
+    pub corrupt_trials: Vec<u64>,
+    /// Trials consumed so far on each `router * NUM_PORTS + port` outage
+    /// stream.
+    pub link_trials: Vec<u64>,
+    /// Cycle until which `router * NUM_PORTS + port` is down.
+    pub down_until: Vec<u64>,
+    /// Kill cycle per router (`None` = never dies). Read-only during a run.
+    pub killed_at: Vec<Option<u64>>,
+}
+
+impl FaultHot {
+    /// Whether `router` is dead at `cycle`.
+    #[inline]
+    pub fn is_dead(&self, router: u32, cycle: u64) -> bool {
+        self.killed_at[router as usize].is_some_and(|at| at <= cycle)
+    }
+}
+
 /// Live fault state attached to a [`crate::mesh::Mesh`].
+///
+/// Split in two: `FaultHot` (entry-owned, touched inside service steps,
+/// safe to share across a wave) and the master half below (stats and the
+/// retransmission queue, mutated only via deferred effects committed in
+/// service order by the scheduler's master thread).
 #[derive(Debug)]
 pub struct FaultLayer {
     /// The configuration.
     pub cfg: MeshFaultConfig,
-    /// Corruption process (consulted once per payload-flit traversal).
-    pub(crate) corrupt: FaultSite,
-    /// Link-outage process (consulted once per traversal).
-    pub(crate) link_down: FaultSite,
-    /// Per-(router, output-port) cycle until which the link is down.
-    pub(crate) down_until: Vec<[u64; NUM_PORTS]>,
-    /// Kill cycle per router (`None` = never dies).
-    pub(crate) killed_at: Vec<Option<u64>>,
+    /// Entry-owned state serviced routers read and write directly.
+    pub(crate) hot: FaultHot,
     /// NACKed elements in due order (dues are monotone: scheduled at
     /// `now + nack_delay` with `now` monotone, so a deque stays sorted).
     pub(crate) retx: VecDeque<Retransmit>,
@@ -153,6 +210,19 @@ pub struct FaultLayer {
     pub(crate) attempts: HashMap<(u32, u32), u32>,
     /// Counters.
     pub stats: MeshFaultStats,
+}
+
+/// The master-owned half of a [`FaultLayer`] during a run: statistics, the
+/// retransmission machinery, and the (copied) retransmit policy knobs.
+/// Mutated only through `FxSink` effects (see `mesh/exec.rs`), which the
+/// scheduler commits in service order.
+pub(crate) struct FaultMasterView<'m> {
+    pub stats: &'m mut MeshFaultStats,
+    pub retx: &'m mut VecDeque<Retransmit>,
+    pub attempts: &'m mut HashMap<(u32, u32), u32>,
+    pub retransmit: bool,
+    pub max_retransmits: u32,
+    pub nack_delay: u64,
 }
 
 impl FaultLayer {
@@ -165,10 +235,16 @@ impl FaultLayer {
             *slot = Some(slot.map_or(k.at_cycle, |c: u64| c.min(k.at_cycle)));
         }
         FaultLayer {
-            corrupt: FaultSite::new(cfg.seed, STREAM_CORRUPT, cfg.corrupt_rate),
-            link_down: FaultSite::new(cfg.seed, STREAM_LINK_DOWN, cfg.link_down_rate),
-            down_until: vec![[0; NUM_PORTS]; n],
-            killed_at,
+            hot: FaultHot {
+                seed: cfg.seed,
+                corrupt_rate: cfg.corrupt_rate,
+                link_down_rate: cfg.link_down_rate,
+                link_down_cycles: cfg.link_down_cycles,
+                corrupt_trials: vec![0; n],
+                link_trials: vec![0; n * NUM_PORTS],
+                down_until: vec![0; n * NUM_PORTS],
+                killed_at,
+            },
             retx: VecDeque::new(),
             attempts: HashMap::new(),
             cfg,
@@ -178,12 +254,12 @@ impl FaultLayer {
 
     /// Whether `router` is dead at `cycle`.
     pub fn is_dead(&self, router: u32, cycle: u64) -> bool {
-        self.killed_at[router as usize].is_some_and(|at| at <= cycle)
+        self.hot.is_dead(router, cycle)
     }
 
     /// Routers dead at `cycle`.
     pub fn dead_routers(&self, cycle: u64) -> Vec<u32> {
-        (0..self.killed_at.len() as u32)
+        (0..self.hot.killed_at.len() as u32)
             .filter(|&r| self.is_dead(r, cycle))
             .collect()
     }
@@ -191,6 +267,22 @@ impl FaultLayer {
     /// Due cycle of the next pending retransmission, if any.
     pub(crate) fn next_retx_due(&self) -> Option<u64> {
         self.retx.front().map(|r| r.due)
+    }
+
+    /// Split into the entry-owned hot half and the master half — the borrow
+    /// boundary the epoch-parallel scheduler is built on.
+    pub(crate) fn split_views(&mut self) -> (&mut FaultHot, FaultMasterView<'_>) {
+        (
+            &mut self.hot,
+            FaultMasterView {
+                stats: &mut self.stats,
+                retx: &mut self.retx,
+                attempts: &mut self.attempts,
+                retransmit: self.cfg.retransmit,
+                max_retransmits: self.cfg.max_retransmits,
+                nack_delay: self.cfg.nack_delay,
+            },
+        )
     }
 }
 
@@ -225,11 +317,38 @@ mod tests {
 
     #[test]
     fn zero_rate_layer_never_fires() {
-        let mut layer = FaultLayer::new(MeshFaultConfig::default(), 4);
-        for _ in 0..1000 {
-            assert!(!layer.corrupt.fire());
-            assert!(!layer.link_down.fire());
+        use sim_core::faults::hash_bernoulli;
+        let layer = FaultLayer::new(MeshFaultConfig::default(), 4);
+        for ri in 0..4 {
+            for t in 0..1000 {
+                assert!(!hash_bernoulli(
+                    layer.hot.seed,
+                    corrupt_site(ri),
+                    t,
+                    layer.hot.corrupt_rate
+                ));
+                for o in 0..NUM_PORTS {
+                    assert!(!hash_bernoulli(
+                        layer.hot.seed,
+                        link_site(ri, o),
+                        t,
+                        layer.hot.link_down_rate
+                    ));
+                }
+            }
         }
         assert_eq!(layer.stats, MeshFaultStats::default());
+    }
+
+    #[test]
+    fn fault_sites_are_disjoint_across_streams_and_indices() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for ri in 0..64 {
+            assert!(seen.insert(corrupt_site(ri)), "corrupt site collision");
+            for o in 0..NUM_PORTS {
+                assert!(seen.insert(link_site(ri, o)), "link site collision");
+            }
+        }
     }
 }

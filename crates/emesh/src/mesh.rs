@@ -34,10 +34,15 @@
 //! A deterministic *epoch-parallel* mode (DESIGN.md §11) partitions each
 //! cycle's service list into conflict-free waves and fans them across an
 //! [`sim_core::parallel::EpochPool`]; it is selected by
-//! [`MeshConfig::with_threads`] and is bit-identical to this sequential
-//! scheduler — enforced by the same golden tests.
+//! [`MeshConfig::with_threads`] and is bit-identical to single-threaded
+//! execution — enforced by the same golden tests. Both run on one unified
+//! cycle loop (`mesh/exec.rs`): the sequential path *is* the parallel
+//! path's commit step, so faults, telemetry and latency tracking all work
+//! at any thread count with no fallback.
 
+mod exec;
 mod par;
+mod soa;
 
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -47,12 +52,10 @@ use sim_core::stats::Histogram;
 use sim_core::telemetry::{Registry, SeriesHistogram};
 
 use crate::energy::EnergyCounters;
-use crate::faults::{
-    FaultLayer, MeshDiagnostic, MeshFaultConfig, MeshFaultStats, Retransmit, PROBE_INTERVAL,
-};
-use crate::flit::{Flit, FlitKind, Packet};
+use crate::faults::{FaultLayer, MeshDiagnostic, MeshFaultConfig, MeshFaultStats};
+use crate::flit::{Flit, Packet};
 use crate::memif::{MemIf, MemifConfig, MemifStats};
-use crate::router::{Port, Router, NUM_PORTS};
+use crate::router::NUM_PORTS;
 use crate::topology::Topology;
 
 /// Routing policy.
@@ -82,9 +85,12 @@ pub struct MeshConfig {
     /// Watchdog: abort after this many cycles.
     pub max_cycles: u64,
     /// Worker threads for the deterministic epoch-parallel scheduler
-    /// (1 = the sequential path; see DESIGN.md §11). Runs with a fault
-    /// layer, telemetry, or latency tracking attached fall back to the
-    /// sequential path regardless, so results never depend on this knob.
+    /// (1 = single-threaded; see DESIGN.md §11). Every configuration —
+    /// faults, telemetry, latency tracking included — runs the same
+    /// unified loop bit-identically at any thread count, so results never
+    /// depend on this knob; it only trades wall clock. Requests beyond the
+    /// node count are clamped and reported in
+    /// [`MeshRunResult::warnings`].
     pub threads: usize,
 }
 
@@ -169,8 +175,8 @@ impl MeshConfig {
     }
 
     /// Set the worker-thread count for the deterministic epoch-parallel
-    /// scheduler (clamped to ≥ 1; 1 selects the sequential path). Any
-    /// value produces bit-identical results — threads only trade wall
+    /// scheduler (clamped to ≥ 1; 1 selects single-threaded execution).
+    /// Any value produces bit-identical results — threads only trade wall
     /// clock.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -258,6 +264,34 @@ impl std::fmt::Display for MeshError {
 
 impl std::error::Error for MeshError {}
 
+/// A non-fatal condition the scheduler wants the caller to know about.
+/// Warnings are deterministic functions of the configuration (never of the
+/// host machine), so they are safe to include in golden fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunWarning {
+    /// More worker threads were requested than the mesh has routers; the
+    /// run executed with one worker per router instead (extra workers
+    /// could never have a wave entry to service).
+    ThreadsExceedNodes {
+        /// Threads requested via [`MeshConfig::threads`].
+        requested: usize,
+        /// Routers in the mesh (= the thread count actually used).
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for RunWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunWarning::ThreadsExceedNodes { requested, nodes } => write!(
+                f,
+                "requested {requested} threads for a {nodes}-router mesh; \
+                 clamped to {nodes}"
+            ),
+        }
+    }
+}
+
 /// Result of running a mesh workload to completion.
 #[derive(Debug, Clone)]
 pub struct MeshRunResult {
@@ -280,6 +314,9 @@ pub struct MeshRunResult {
     pub router_forwards: Vec<u64>,
     /// Fault-layer counters, if a fault layer was attached.
     pub faults: Option<MeshFaultStats>,
+    /// Non-fatal scheduler warnings (e.g. a clamped thread count). Always
+    /// deterministic for a given configuration.
+    pub warnings: Vec<RunWarning>,
 }
 
 #[derive(PartialEq, Eq)]
@@ -402,11 +439,13 @@ impl WakeWheel {
 /// The mesh simulator.
 pub struct Mesh {
     cfg: MeshConfig,
-    routers: Vec<Router>,
+    /// All router port state, structure-of-arrays (see `mesh/soa.rs`).
+    slab: soa::RouterSlab,
     /// Pre-flitted injection stream per node.
     inject: Vec<VecDeque<Flit>>,
     last_inject: Vec<u64>,
-    last_pop: Vec<[u64; NUM_PORTS]>,
+    /// Pop stamps, flattened `router * NUM_PORTS + port`.
+    last_pop: Vec<u64>,
     memif_slot: Vec<Option<u32>>,
     memifs: Vec<MemIf>,
     sink_delivered: Vec<u64>,
@@ -441,6 +480,8 @@ pub struct Mesh {
     /// the cycle it changed.
     progress_metric: u64,
     progress_cycle: u64,
+    /// Warnings accumulated by the current run (cleared at run start).
+    run_warnings: Vec<RunWarning>,
 }
 
 const NEVER: u64 = u64::MAX;
@@ -476,11 +517,11 @@ impl Mesh {
             memifs.push(MemIf::new(cfg.memif));
         }
         Mesh {
+            slab: soa::RouterSlab::new(n, cfg.buffer_depth),
             cfg,
-            routers: vec![Router::default(); n],
             inject: vec![VecDeque::new(); n],
             last_inject: vec![NEVER; n],
-            last_pop: vec![[NEVER; NUM_PORTS]; n],
+            last_pop: vec![NEVER; n * NUM_PORTS],
             memif_slot,
             memifs,
             sink_delivered: vec![0; n],
@@ -501,6 +542,7 @@ impl Mesh {
             telemetry: None,
             progress_metric: 0,
             progress_cycle: 0,
+            run_warnings: Vec::new(),
         }
     }
 
@@ -588,7 +630,7 @@ impl Mesh {
             return Err(MeshError::BadInjection { node, nodes });
         }
         if let Some(fl) = &self.faults {
-            if let Some(at) = fl.killed_at[node as usize] {
+            if let Some(at) = fl.hot.killed_at[node as usize] {
                 if at <= self.now {
                     return Err(MeshError::DeadNode {
                         node,
@@ -623,292 +665,6 @@ impl Mesh {
         wake_raw(&mut self.wheel, &mut self.next_wake, router, cycle);
     }
 
-    fn neighbor(&self, node: u32, port: Port) -> u32 {
-        let c = self.cfg.topology.coord(node);
-        let (x, y) = match port {
-            Port::North => (c.x, c.y - 1),
-            Port::South => (c.x, c.y + 1),
-            Port::East => (c.x + 1, c.y),
-            Port::West => (c.x - 1, c.y),
-            Port::Local => unreachable!("local has no neighbor"),
-        };
-        self.cfg.topology.id(crate::topology::NodeCoord { x, y })
-    }
-
-    /// Route a head flit at `node` toward `dest`.
-    fn route(&self, node: u32, dest: u32) -> Port {
-        if node == dest {
-            return Port::Local;
-        }
-        let c = self.cfg.topology.coord(node);
-        let d = self.cfg.topology.coord(dest);
-        let want_x = if d.x < c.x {
-            Some(Port::West)
-        } else if d.x > c.x {
-            Some(Port::East)
-        } else {
-            None
-        };
-        let want_y = if d.y < c.y {
-            Some(Port::North)
-        } else if d.y > c.y {
-            Some(Port::South)
-        } else {
-            None
-        };
-        match (want_x, want_y, self.cfg.policy) {
-            (Some(x), None, _) => x,
-            (None, Some(y), _) => y,
-            (Some(x), Some(_), RoutingPolicy::Xy) => x,
-            (Some(x), Some(y), RoutingPolicy::MinimalAdaptive) => {
-                // West-first turn model: westward hops must happen first.
-                if x == Port::West {
-                    return x;
-                }
-                // Adaptive between x and y: pick the emptier downstream
-                // buffer; tie prefers x (dimension order).
-                let nx = self.neighbor(node, x);
-                let ny = self.neighbor(node, y);
-                let ox = self.routers[nx as usize].inputs[x.opposite() as usize]
-                    .buf
-                    .len();
-                let oy = self.routers[ny as usize].inputs[y.opposite() as usize]
-                    .buf
-                    .len();
-                if oy < ox {
-                    y
-                } else {
-                    x
-                }
-            }
-            (None, None, _) => unreachable!("handled by node == dest"),
-        }
-    }
-
-    /// Process router `r` at cycle `c`: injection then port service.
-    fn process(&mut self, r: u32, c: u64) {
-        if self.faults.as_ref().is_some_and(|fl| fl.is_dead(r, c)) {
-            return; // a hard-killed router does nothing, forever
-        }
-        self.try_inject(r, c);
-        for k in 0..NUM_PORTS {
-            let p = (k + c as usize) % NUM_PORTS;
-            self.try_forward(r, p, c);
-        }
-    }
-
-    fn try_inject(&mut self, r: u32, c: u64) {
-        let ri = r as usize;
-        if self.inject[ri].is_empty() {
-            return;
-        }
-        if self.last_inject[ri] == c {
-            self.wake(r, c + 1);
-            return;
-        }
-        if !self.routers[ri].has_space_depth(Port::Local as usize, self.cfg.buffer_depth) {
-            // Woken when the local input pops.
-            return;
-        }
-        let mut flit = self.inject[ri].pop_front().expect("non-empty");
-        flit.src = r;
-        flit.ready_at = c + 1 + if flit.kind.is_head() { self.cfg.t_r } else { 0 };
-        let ready = flit.ready_at;
-        if flit.kind.is_head() {
-            if let Some(t0) = self.inject_cycle.as_mut() {
-                let id = flit.packet as usize;
-                if t0.len() <= id {
-                    t0.resize(id + 1, NEVER);
-                }
-                t0[id] = c;
-            }
-        }
-        self.routers[ri].inputs[Port::Local as usize]
-            .buf
-            .push_back(flit);
-        invariant!(
-            self.routers[ri].inputs[Port::Local as usize].buf.len() <= self.cfg.buffer_depth,
-            "buffer bound: router {r} local input exceeds depth {} after inject",
-            self.cfg.buffer_depth
-        );
-        self.last_inject[ri] = c;
-        self.pending_inject -= 1;
-        self.in_flight += 1;
-        self.energy.injections += 1;
-        self.wake(r, ready);
-        if !self.inject[ri].is_empty() {
-            self.wake(r, c + 1);
-        }
-    }
-
-    fn try_forward(&mut self, r: u32, p: usize, c: u64) {
-        let ri = r as usize;
-        if self.last_pop[ri][p] == c {
-            return; // this input already popped this cycle
-        }
-        let Some(&head) = self.routers[ri].inputs[p].buf.front() else {
-            return;
-        };
-        if head.ready_at > c {
-            self.wake(r, head.ready_at);
-            return;
-        }
-        // Output port: continuation of an open wormhole, or fresh route.
-        let out = match self.routers[ri].inputs[p].route {
-            Some(o) => Port::from_index(o as usize),
-            None => {
-                debug_assert!(head.kind.is_head(), "body flit without a route");
-                self.route(r, head.dest)
-            }
-        };
-        let o = out as usize;
-        if !self.routers[ri].output_available(o, p, c) {
-            // Channel owned by another packet (woken on release) or used
-            // this cycle (retry next).
-            if self.routers[ri].outputs[o].last_used == c {
-                self.wake(r, c + 1);
-            }
-            return;
-        }
-
-        if out == Port::Local {
-            self.eject(r, p, c, head);
-            return;
-        }
-
-        let n = self.neighbor(r, out);
-        let q = out.opposite() as usize;
-        if self.faults.is_some() {
-            if self.faults.as_ref().is_some_and(|fl| fl.is_dead(n, c)) {
-                // Dead neighbour: hold the flit and re-probe. Nothing will
-                // ever answer, so this is a livelock by design — the
-                // watchdog converts it into a structured diagnostic.
-                self.faults.as_mut().expect("checked").stats.probes += 1;
-                self.wake(r, c + PROBE_INTERVAL);
-                return;
-            }
-            let until = self.faults.as_ref().expect("checked").down_until[ri][o];
-            if until > c {
-                // Link still down from an earlier outage; resume then.
-                self.wake(r, until);
-                return;
-            }
-        }
-        if !self.routers[n as usize].has_space_depth(q, self.cfg.buffer_depth) {
-            // Woken when (n, q) pops.
-            return;
-        }
-        if let Some(fl) = self.faults.as_mut() {
-            // One outage trial per committed traversal of link (r, out).
-            if fl.link_down.fire() {
-                let until = c + fl.cfg.link_down_cycles;
-                fl.down_until[ri][o] = until;
-                fl.stats.link_down_events += 1;
-                self.wake(r, until);
-                return;
-            }
-        }
-
-        // Commit the move.
-        let mut flit = self.routers[ri].inputs[p].buf.pop_front().expect("head");
-        self.after_pop(r, p, c);
-        if let Some(fl) = self.faults.as_mut() {
-            // Payload corruption in flight, modelled as a failed-ECC flag
-            // (header flits are protected: corrupting routing state would
-            // misdeliver rather than degrade).
-            if !matches!(flit.kind, FlitKind::Head) && fl.corrupt.fire() {
-                flit.corrupted = true;
-                fl.stats.corrupted_flits += 1;
-            }
-        }
-        flit.ready_at = c + 1 + if flit.kind.is_head() { self.cfg.t_r } else { 0 };
-        let ready = flit.ready_at;
-        self.update_channel_state(ri, p, o, &flit, c);
-        self.routers[n as usize].inputs[q].buf.push_back(flit);
-        invariant!(
-            self.routers[n as usize].inputs[q].buf.len() <= self.cfg.buffer_depth,
-            "buffer bound: router {n} input port {q} exceeds depth {} after forward",
-            self.cfg.buffer_depth
-        );
-        self.energy.router_traversals += 1;
-        self.energy.link_hops += 1;
-        self.router_forwards[ri] += 1;
-        self.wake(n, ready);
-    }
-
-    fn record_latency(&mut self, flit: &Flit, c: u64) {
-        if !flit.kind.is_tail() {
-            return;
-        }
-        if let (Some(t0), Some(h)) = (self.inject_cycle.as_mut(), self.latency.as_mut()) {
-            if let Some(slot) = t0.get_mut(flit.packet as usize) {
-                if *slot != NEVER {
-                    h.record(c - *slot);
-                    *slot = NEVER;
-                }
-            }
-        }
-    }
-
-    fn eject(&mut self, r: u32, p: usize, c: u64, head: Flit) {
-        let ri = r as usize;
-        if let Some(slot) = self.memif_slot[ri] {
-            let m = &mut self.memifs[slot as usize];
-            if !m.can_accept(c) {
-                let free = m_free_at(m, c);
-                self.wake(r, free);
-                return;
-            }
-            let flit = self.routers[ri].inputs[p].buf.pop_front().expect("head");
-            self.after_pop(r, p, c);
-            self.update_channel_state(ri, p, Port::Local as usize, &flit, c);
-            if flit.corrupted {
-                self.nack(slot, r, c, &flit);
-            } else {
-                let m = &mut self.memifs[slot as usize];
-                m.accept(c, &flit);
-            }
-            self.record_latency(&flit, c);
-            invariant!(
-                self.in_flight > 0,
-                "flit conservation: memif eject at router {r} with in_flight = 0"
-            );
-            self.in_flight -= 1;
-            self.energy.router_traversals += 1;
-            self.energy.ejections += 1;
-            self.router_forwards[ri] += 1;
-            let _ = head;
-        } else {
-            // Processor sink: always ready, one flit per cycle (enforced by
-            // the output channel's last_used stamp).
-            let flit = self.routers[ri].inputs[p].buf.pop_front().expect("head");
-            self.after_pop(r, p, c);
-            self.update_channel_state(ri, p, Port::Local as usize, &flit, c);
-            let is_payload = !matches!(flit.kind, FlitKind::Head);
-            if is_payload && flit.corrupted {
-                // Sinks detect but do not NACK (the paper's retransmit sits
-                // at the memory interface); the word is lost.
-                let fl = self.faults.as_mut().expect("corrupted implies faults");
-                fl.stats.dropped_elements += 1;
-            } else if is_payload {
-                self.sink_delivered[ri] += 1;
-                self.sink_last_cycle[ri] = c;
-                if self.collect_sink_words {
-                    self.sink_words[ri].push(flit.payload);
-                }
-            }
-            self.record_latency(&flit, c);
-            invariant!(
-                self.in_flight > 0,
-                "flit conservation: sink eject at router {r} with in_flight = 0"
-            );
-            self.in_flight -= 1;
-            self.energy.router_traversals += 1;
-            self.energy.ejections += 1;
-            self.router_forwards[ri] += 1;
-        }
-    }
-
     /// Flit conservation (DESIGN.md §12): `in_flight` counts exactly the
     /// flits resident in router input buffers — every injected flit is in
     /// some buffer until ejected, nowhere else, and never twice. Compiled
@@ -917,38 +673,14 @@ impl Mesh {
         if !sim_core::invariants::ENABLED {
             return;
         }
-        let resident: u64 = self.routers.iter().map(|r| r.occupancy() as u64).sum();
+        let resident: u64 = (0..self.slab.routers())
+            .map(|r| self.slab.occupancy(r) as u64)
+            .sum();
         invariant!(
             resident == self.in_flight,
             "flit conservation: {resident} flits resident in buffers vs in_flight {}",
             self.in_flight
         );
-    }
-
-    /// A poisoned flit reached memory interface `slot` at router `r`: charge
-    /// its port timing, refuse staging, and (if enabled and within budget)
-    /// schedule the source to retransmit the element after the NACK
-    /// turnaround.
-    fn nack(&mut self, slot: u32, r: u32, c: u64, flit: &Flit) {
-        self.memifs[slot as usize].accept_nack(c, flit);
-        let fl = self.faults.as_mut().expect("corrupted implies faults");
-        fl.stats.nacks += 1;
-        if !fl.cfg.retransmit {
-            fl.stats.dropped_elements += 1;
-            return;
-        }
-        let attempts = fl.attempts.entry((flit.src, flit.packet)).or_insert(0);
-        if *attempts >= fl.cfg.max_retransmits {
-            fl.stats.dropped_elements += 1;
-            return;
-        }
-        *attempts += 1;
-        fl.stats.retransmits += 1;
-        fl.retx.push_back(Retransmit {
-            due: c + fl.cfg.nack_delay,
-            src: flit.src,
-            packet: Packet::with_header(r, flit.packet, vec![flit.payload]),
-        });
     }
 
     /// Re-inject every NACKed element whose turnaround has elapsed by `c`.
@@ -1000,144 +732,27 @@ impl Mesh {
             in_flight: self.in_flight,
             pending_inject: self.pending_inject,
             pending_retransmits: fl.retx.len() as u64,
-            stuck_routers: self
-                .routers
-                .iter()
-                .enumerate()
-                .filter(|(_, router)| !router.is_empty())
-                .map(|(i, router)| (i as u32, router.occupancy() as u32))
+            stuck_routers: (0..self.slab.routers())
+                .filter(|&i| !self.slab.is_empty(i))
+                .map(|i| (i as u32, self.slab.occupancy(i) as u32))
                 .collect(),
             stats: fl.stats,
-        }
-    }
-
-    /// Book-keeping after popping from input (r, p) at cycle c: stamp the
-    /// pop, wake the feeder (space freed) and ourselves (next flit).
-    fn after_pop(&mut self, r: u32, p: usize, c: u64) {
-        let ri = r as usize;
-        self.last_pop[ri][p] = c;
-        if !self.routers[ri].inputs[p].buf.is_empty() {
-            self.wake(r, c + 1);
-        }
-        if p == Port::Local as usize {
-            // Feeder is the local injector.
-            if !self.inject[ri].is_empty() {
-                self.wake(r, c + 1);
-            }
-        } else {
-            let feeder = self.neighbor(r, Port::from_index(p));
-            self.wake(feeder, c + 1);
-        }
-    }
-
-    /// Update wormhole ownership and per-input route state for a forwarded
-    /// flit, and stamp the output as used this cycle.
-    fn update_channel_state(&mut self, ri: usize, p: usize, o: usize, flit: &Flit, c: u64) {
-        let router = &mut self.routers[ri];
-        router.outputs[o].last_used = c;
-        if flit.kind.is_head() {
-            router.outputs[o].owner = Some(p as u8);
-            router.inputs[p].route = Some(o as u8);
-        }
-        if flit.kind.is_tail() {
-            router.outputs[o].owner = None;
-            router.inputs[p].route = None;
-            // Channel released: contenders at this router may proceed.
-            self.wake(ri as u32, c + 1);
         }
     }
 
     /// Drive the simulation until all traffic drains. Returns completion
     /// cycle and statistics.
     ///
-    /// With [`MeshConfig::threads`] > 1 the deterministic epoch-parallel
-    /// scheduler (DESIGN.md §11) runs the cycle loop across worker
-    /// threads, bit-identically to the sequential path. Runs with a fault
-    /// layer, telemetry, or latency tracking attached stay on the
-    /// sequential path: their observation order (shared fault-RNG draws,
-    /// service-order telemetry taps) is defined by sequential execution.
+    /// One unified cycle loop serves every configuration (`mesh/exec.rs`):
+    /// with [`MeshConfig::threads`] > 1 dense cycles fan out across the
+    /// deterministic epoch-parallel scheduler (DESIGN.md §11), and sparse
+    /// cycles run inline on the master — bit-identically to a
+    /// single-threaded run in all cases, faults, telemetry and latency
+    /// tracking included. Non-fatal scheduler conditions (e.g. a thread
+    /// count clamped to the node count) are reported in
+    /// [`MeshRunResult::warnings`].
     pub fn run(&mut self) -> Result<MeshRunResult, MeshError> {
-        if self.cfg.threads > 1
-            && self.faults.is_none()
-            && self.telemetry.is_none()
-            && self.latency.is_none()
-        {
-            return self.run_parallel();
-        }
-        self.run_serial()
-    }
-
-    /// The sequential cycle loop (the seed scheduler whose exact service
-    /// order the golden tests pin).
-    fn run_serial(&mut self) -> Result<MeshRunResult, MeshError> {
-        // Hoisted telemetry check: the attached/absent state cannot change
-        // mid-run, so the per-router fast path pays a single bool test.
-        let tel_on = self.telemetry.is_some();
-        // Serviced cycles since the last O(nodes) conservation audit; the
-        // audit itself is throttled so checked debug runs of the 2^20-element
-        // sweeps stay tractable.
-        let mut audit_countdown = AUDIT_INTERVAL;
-        loop {
-            // Next service cycle: earliest wheel wakeup or NACK-retransmit
-            // turnaround, whichever comes first.
-            let mut next = self.wheel.next_cycle();
-            if let Some(due) = self.faults.as_ref().and_then(|fl| fl.next_retx_due()) {
-                next = Some(next.map_or(due, |n| n.min(due)));
-            }
-            let Some(c) = next else { break };
-            if c > self.cfg.max_cycles {
-                return Err(MeshError::CycleLimit {
-                    limit: self.cfg.max_cycles,
-                });
-            }
-            debug_assert!(c >= self.now, "wakeup in the past");
-            self.now = c;
-            self.wheel.advance_to(c);
-            self.drain_due_retransmits(c);
-            // Drain the bucket for cycle `c` in insertion order. Every wake
-            // pushed while processing cycle `c` targets a cycle ≥ c + 1, so
-            // the bucket cannot grow (or be reused — c + WINDOW is spilled
-            // to the overflow heap) underneath this loop; take it out
-            // wholesale and hand its allocation back afterwards.
-            let b = (c % WakeWheel::WINDOW) as usize;
-            let mut ids = std::mem::take(&mut self.wheel.buckets[b]);
-            self.wheel.bucket_pending -= ids.len() as u64;
-            for &r in &ids {
-                let ri = r as usize;
-                if self.next_wake[ri] == c {
-                    // This entry is r's earliest pending wake; clear it so
-                    // wakes derived while processing re-arm the wheel.
-                    // (`next_wake > c` means this entry is stale — a later
-                    // pending wake exists and must stay tracked.)
-                    self.next_wake[ri] = NEVER;
-                }
-                if self.processed_at[ri] == c {
-                    continue; // redundant wakeup for a cycle already serviced
-                }
-                self.processed_at[ri] = c;
-                if tel_on {
-                    self.tel_note_service(ri, c);
-                }
-                self.process(r, c);
-            }
-            ids.clear();
-            debug_assert!(
-                self.wheel.buckets[b].is_empty(),
-                "same-cycle wake pushed while draining"
-            );
-            self.wheel.buckets[b] = ids;
-            if sim_core::invariants::ENABLED {
-                audit_countdown -= 1;
-                if audit_countdown == 0 {
-                    audit_countdown = AUDIT_INTERVAL;
-                    self.check_flit_conservation();
-                }
-            }
-            if self.faults.is_some() {
-                self.watchdog_check(c)?;
-            }
-        }
-        self.finish()
+        self.run_core()
     }
 
     /// Shared end-of-run epilogue: deadlock detection, DRAM drain
@@ -1177,19 +792,8 @@ impl Mesh {
             latency: self.latency.clone(),
             router_forwards: self.router_forwards.clone(),
             faults: self.faults.as_ref().map(|fl| fl.stats),
+            warnings: self.run_warnings.clone(),
         })
-    }
-
-    /// Telemetry tap on the service path (called only when a registry is
-    /// attached): track per-router activity bounds and buffer occupancy.
-    fn tel_note_service(&mut self, ri: usize, c: u64) {
-        let occ = self.routers[ri].occupancy() as u64;
-        let tel = self.telemetry.as_mut().expect("checked by caller");
-        if tel.first_active[ri] == NEVER {
-            tel.first_active[ri] = c;
-        }
-        tel.last_active[ri] = c;
-        tel.occupancy.record(occ);
     }
 
     /// Publish end-of-run series and spans into the attached registry.

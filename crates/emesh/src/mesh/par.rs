@@ -1,40 +1,52 @@
-//! Deterministic epoch-parallel execution of the mesh cycle loop.
+//! Deterministic epoch-parallel execution of the mesh cycle loop: the wave
+//! planner, the deferred-effect buffer, and the fan-out across an
+//! [`EpochPool`].
 //!
-//! [`super::Mesh::run_parallel`] replays the sequential scheduler's exact
-//! semantics across an [`EpochPool`]: every cycle (= epoch, the 1-cycle
-//! link latency being the conservative lookahead bound) the due wakeup
-//! bucket is split into *waves* of mutually independent routers, each wave
-//! is fanned across the pool, and all side effects that the sequential
-//! scheduler applies in service order are either router-local or deferred
-//! into per-entry [`EntryFx`] buffers (the double-buffered exchange) and
-//! committed in service order at the end of the cycle. The result is
-//! bit-identical to [`super::Mesh::run_serial`] — the golden transpose
-//! tests and `tests/parallel_identity.rs` enforce it.
+//! [`super::Mesh::run_core`] (see `mesh/exec.rs`) replays the sequential
+//! scheduler's exact semantics in parallel: every dense cycle (= epoch, the
+//! 1-cycle link latency being the conservative lookahead bound) the due
+//! wakeup bucket is split into *waves* of mutually independent routers, the
+//! whole wave sequence is fanned across the pool in a **single** epoch
+//! dispatch with lock-free [`Arrivals`] hand-offs between waves, and every
+//! side effect the sequential scheduler applies to shared scheduler state
+//! in service order is deferred into per-entry [`EntryFx`] buffers and
+//! replayed — through the very same [`MasterFx`] sink the sequential path
+//! executes against — in service order after the cycle. The result is
+//! bit-identical to a single-threaded run at *any* configuration: faults,
+//! telemetry and latency tracking included. The golden transpose tests,
+//! `tests/parallel_identity.rs` and the workspace parallel proptests
+//! enforce it.
 //!
 //! # Why waves of radius-1-independent routers suffice
 //!
 //! Servicing router `r` at cycle `c` touches, besides `r`'s own state
-//! (router, injection queue, stamps, memory interface, sink, forward
-//! counter — all indexed by `r`):
+//! (slab rows, injection queue, stamps, memory interface, sink, forward
+//! counter, fault trial counters and outage windows — all indexed by `r`):
 //!
 //! * the input port of each candidate downstream neighbour *facing `r`*
-//!   (`inputs[out.opposite()]`): occupancy reads for the adaptive route
-//!   choice and the space check, and the committed `push_back`;
+//!   (`(n, out.opposite())`): occupancy reads for the adaptive route choice
+//!   and the space check, and the committed `push_back`;
 //! * nothing else of any other router.
 //!
 //! Two distinct routers at Manhattan distance ≥ 2 therefore touch
-//! *disjoint* state: they may share a neighbour `n`, but each only
-//! accesses the port of `n` on its own side, and `n` itself (the only
-//! writer of `n`'s remaining state) is adjacent to both and thus excluded
-//! from their wave. So a wave may run in parallel iff no two of its
-//! routers are equal or von-Neumann-adjacent; conflicting pairs must keep
-//! their sequential relative order. [`WavePlanner`] guarantees both with a
-//! greedy earliest-wave assignment scanned in service order: an entry
-//! lands one wave after the latest already-planned entry within its
-//! radius, so conflicting entries are ordered exactly as the sequential
-//! drain ordered them, and independent entries merely race — commutative
-//! because their footprints are disjoint and their non-local effects are
-//! deferred.
+//! *disjoint* state: they may share a neighbour `n`, but each only accesses
+//! the port of `n` on its own side, and `n` itself (the only writer of
+//! `n`'s remaining state) is adjacent to both and thus excluded from their
+//! wave. So a wave may run in parallel iff no two of its routers are equal
+//! or von-Neumann-adjacent; conflicting pairs must keep their sequential
+//! relative order. [`WavePlanner`] guarantees both with a greedy
+//! earliest-wave assignment scanned in service order: an entry lands one
+//! wave after the latest already-planned entry within its radius, so
+//! conflicting entries are ordered exactly as the sequential drain ordered
+//! them, and independent entries merely race — commutative because their
+//! footprints are disjoint and their non-local effects are deferred.
+//!
+//! The fault layer keeps this footprint honest: each Bernoulli site's trial
+//! counter is owned by the serviced router (corruption: per router; link
+//! outage: per *directed* link, keyed by the sender), the kill schedule is
+//! read-only, and [`sim_core::faults::hash_bernoulli`] makes every trial a
+//! pure function of `(seed, site, trial)` — so fault outcomes cannot
+//! observe wave interleaving at all.
 //!
 //! # Why deferring wakes to the end of the cycle is exact
 //!
@@ -54,362 +66,174 @@
 //! pin — is identical, and by induction over cycles so is every simulator
 //! observable.
 //!
-//! Fault injection, telemetry, and latency tracking observe *processing
-//! order* (a shared RNG stream, service-order taps); their runs stay on
-//! the sequential path — [`super::Mesh::run`] dispatches here only when
-//! none are attached.
+//! # Why the remaining deferred effects commute within an entry
+//!
+//! [`EntryFx`] holds scalar counters (energy, conservation, fault stats),
+//! the wake list, and at most **one** of each order-sensitive record per
+//! entry-cycle: one occupancy sample (taken at service start), one
+//! head-injection timestamp (≤ 1 injection per router-cycle, enforced by
+//! `last_inject`), one tail-ejection timestamp (≤ 1 ejection per
+//! router-cycle, enforced by the local output channel's `last_used` stamp)
+//! and one NACK (ejection-bound likewise). Counters commute; the ≤ 1
+//! records cannot interleave *within* an entry, so replaying buffers whole,
+//! in service order, reproduces the sequential effect stream exactly.
+//!
+//! [`MasterFx`]: super::exec::MasterFx
+//! [`Arrivals`]: sim_core::parallel::Arrivals
 
-use std::cell::UnsafeCell;
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
-use sim_core::parallel::{chunk_range, EpochPool};
+use sim_core::parallel::{chunk_range, Arrivals, EpochPool, SyncCell};
 
-use super::{m_free_at, wake_raw, Mesh, MeshConfig, MeshError, MeshRunResult, WakeWheel, NEVER};
-use crate::flit::{Flit, FlitKind};
-use crate::memif::MemIf;
-use crate::router::{Port, Router, NUM_PORTS};
+use super::exec::{service_entry, CoreView, FxSink};
+use super::NEVER;
 use crate::topology::Topology;
 
 /// Dispatch threshold: cycles servicing fewer than `threads ×` this many
-/// routers run inline on the master (identical results — the pool only
-/// trades wall clock), keeping the long drain tail of corner-bound
-/// workloads off the barrier overhead.
-const DISPATCH_GRAIN: usize = 4;
+/// routers run inline on the master through the direct sink (identical
+/// results — the pool only trades wall clock), keeping the long drain tail
+/// of corner-bound workloads off planning and barrier overhead entirely.
+pub(super) const DISPATCH_GRAIN: usize = 4;
 
-/// Interior-mutable cell that the wave scheduler may touch from several
-/// threads. All access goes through raw-pointer place projections; the
-/// planner's independence guarantee (see module docs) is what makes the
-/// disjointness real.
-#[repr(transparent)]
-struct SyncCell<T>(UnsafeCell<T>);
-
-// Safety: SyncCell only hands out raw pointers; every dereference site is
-// inside a wave whose entries have pairwise-disjoint footprints.
-unsafe impl<T: Send> Sync for SyncCell<T> {}
-
-impl<T> SyncCell<T> {
-    fn get(&self) -> *mut T {
-        self.0.get()
-    }
-
-    /// View a uniquely-borrowed slice as a slice of cells (the inverse
-    /// projection of `Cell::as_slice_of_cells`; sound because the unique
-    /// borrow is held for the cells' whole lifetime).
-    fn from_mut(v: &mut [T]) -> &[SyncCell<T>] {
-        let ptr = v as *mut [T] as *const [SyncCell<T>];
-        unsafe { &*ptr }
-    }
+/// A deferred NACK: everything [`super::exec::FxSink::nack`] needs to
+/// account and (budget permitting) schedule the retransmission at commit.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct NackFx {
+    pub router: u32,
+    pub src: u32,
+    pub packet: u32,
+    pub payload: u64,
+    pub cycle: u64,
 }
 
 /// Deferred side effects of servicing one router for one cycle: everything
 /// the sequential scheduler applies to *shared* scheduler state, buffered
-/// here and committed in service order. This is the epoch boundary
-/// exchange — each entry writes its own buffer during the wave and the
-/// master drains them after the barrier.
-#[derive(Default)]
-struct EntryFx {
+/// here during the wave and replayed in service order by the master through
+/// [`super::exec::MasterFx`]. See the module docs for why one buffer per
+/// entry-cycle loses no ordering.
+#[derive(Debug, Default)]
+pub(super) struct EntryFx {
     /// Emitted wakeups `(router, cycle)` in emission order.
-    wakes: Vec<(u32, u64)>,
+    pub wakes: Vec<(u32, u64)>,
     /// Flits injected (`pending_inject` −, `in_flight` +, energy).
-    injected: u64,
+    pub injected: u64,
     /// Flits ejected (`in_flight` −, energy).
-    ejected: u64,
+    pub ejected: u64,
     /// Router datapath traversals (energy).
-    traversals: u64,
+    pub traversals: u64,
     /// Inter-router link hops (energy).
-    hops: u64,
+    pub hops: u64,
+    /// Payload flits poisoned in flight.
+    pub corrupted: u64,
+    /// Transient link outages fired.
+    pub link_down_events: u64,
+    /// Dead-neighbour probes.
+    pub probes: u64,
+    /// Elements lost for good.
+    pub dropped_elements: u64,
+    /// Pre-service occupancy sample (telemetry attached).
+    pub occ: Option<u64>,
+    /// Head-flit injection timestamp (latency attached; ≤ 1 per cycle).
+    pub head_injected: Option<(u32, u64)>,
+    /// Tail-flit ejection timestamp (latency attached; ≤ 1 per cycle).
+    pub tail_ejected: Option<(u32, u64)>,
+    /// Poisoned-element NACK at a memory interface (≤ 1 per cycle).
+    pub nack: Option<NackFx>,
 }
 
 impl EntryFx {
-    fn reset(&mut self) {
+    pub(super) fn reset(&mut self) {
         self.wakes.clear();
         self.injected = 0;
         self.ejected = 0;
         self.traversals = 0;
         self.hops = 0;
+        self.corrupted = 0;
+        self.link_down_events = 0;
+        self.probes = 0;
+        self.dropped_elements = 0;
+        self.occ = None;
+        self.head_injected = None;
+        self.tail_ejected = None;
+        self.nack = None;
     }
+}
 
+impl FxSink for EntryFx {
+    #[inline]
     fn wake(&mut self, router: u32, cycle: u64) {
         self.wakes.push((router, cycle));
     }
-}
 
-/// Shared, wave-scheduler-facing view of the per-router mesh state. The
-/// scheduler fields (wheel, `next_wake`, `processed_at`, global counters)
-/// stay behind the master's exclusive borrows.
-struct ParView<'a> {
-    cfg: &'a MeshConfig,
-    routers: &'a [SyncCell<Router>],
-    inject: &'a [SyncCell<VecDeque<Flit>>],
-    last_inject: &'a [SyncCell<u64>],
-    last_pop: &'a [SyncCell<[u64; NUM_PORTS]>],
-    memif_slot: &'a [Option<u32>],
-    memifs: &'a [SyncCell<MemIf>],
-    sink_delivered: &'a [SyncCell<u64>],
-    sink_last_cycle: &'a [SyncCell<u64>],
-    sink_words: &'a [SyncCell<Vec<u64>>],
-    router_forwards: &'a [SyncCell<u64>],
-    collect_sink_words: bool,
-}
-
-impl ParView<'_> {
-    /// Mirror of [`Mesh::neighbor`].
-    fn neighbor(&self, node: u32, port: Port) -> u32 {
-        let c = self.cfg.topology.coord(node);
-        let (x, y) = match port {
-            Port::North => (c.x, c.y - 1),
-            Port::South => (c.x, c.y + 1),
-            Port::East => (c.x + 1, c.y),
-            Port::West => (c.x - 1, c.y),
-            Port::Local => unreachable!("local has no neighbor"),
-        };
-        self.cfg.topology.id(crate::topology::NodeCoord { x, y })
+    #[inline]
+    fn injected(&mut self) {
+        self.injected += 1;
     }
 
-    /// Occupancy of neighbour `n`'s input port `q` — a narrow projection
-    /// that never materializes a reference to the whole neighbour router.
-    ///
-    /// Safety: `q` faces the router under service, so no wave-mate touches
-    /// it (module docs).
-    fn neighbor_occupancy(&self, n: u32, q: usize) -> usize {
-        unsafe { (*self.routers[n as usize].get()).inputs[q].buf.len() }
+    #[inline]
+    fn ejected(&mut self) {
+        self.ejected += 1;
     }
 
-    /// Mirror of [`Mesh::route`]; the adaptive arm reads the candidate
-    /// neighbours' facing ports through [`ParView::neighbor_occupancy`].
-    fn route(&self, node: u32, dest: u32) -> Port {
-        if node == dest {
-            return Port::Local;
-        }
-        let c = self.cfg.topology.coord(node);
-        let d = self.cfg.topology.coord(dest);
-        let want_x = if d.x < c.x {
-            Some(Port::West)
-        } else if d.x > c.x {
-            Some(Port::East)
-        } else {
-            None
-        };
-        let want_y = if d.y < c.y {
-            Some(Port::North)
-        } else if d.y > c.y {
-            Some(Port::South)
-        } else {
-            None
-        };
-        match (want_x, want_y, self.cfg.policy) {
-            (Some(x), None, _) => x,
-            (None, Some(y), _) => y,
-            (Some(x), Some(_), super::RoutingPolicy::Xy) => x,
-            (Some(x), Some(y), super::RoutingPolicy::MinimalAdaptive) => {
-                if x == Port::West {
-                    return x;
-                }
-                let nx = self.neighbor(node, x);
-                let ny = self.neighbor(node, y);
-                let ox = self.neighbor_occupancy(nx, x.opposite() as usize);
-                let oy = self.neighbor_occupancy(ny, y.opposite() as usize);
-                if oy < ox {
-                    y
-                } else {
-                    x
-                }
-            }
-            (None, None, _) => unreachable!("handled by node == dest"),
-        }
-    }
-}
-
-/// Mirror of [`Mesh::process`] for the fault-free, uninstrumented
-/// configuration the parallel path is restricted to: injection then port
-/// service, with all shared-state effects deferred into `fx`.
-fn service_router(view: &ParView<'_>, r: u32, c: u64, fx: &mut EntryFx) {
-    try_inject(view, r, c, fx);
-    for k in 0..NUM_PORTS {
-        let p = (k + c as usize) % NUM_PORTS;
-        try_forward(view, r, p, c, fx);
-    }
-}
-
-/// Mirror of [`Mesh::try_inject`] (latency tracking is never attached
-/// here).
-fn try_inject(view: &ParView<'_>, r: u32, c: u64, fx: &mut EntryFx) {
-    let ri = r as usize;
-    // Safety: entry `r` owns all `r`-indexed state for its wave.
-    let inject = unsafe { &mut *view.inject[ri].get() };
-    if inject.is_empty() {
-        return;
-    }
-    let last_inject = unsafe { &mut *view.last_inject[ri].get() };
-    if *last_inject == c {
-        fx.wake(r, c + 1);
-        return;
-    }
-    let router = unsafe { &mut *view.routers[ri].get() };
-    if !router.has_space_depth(Port::Local as usize, view.cfg.buffer_depth) {
-        return;
-    }
-    let mut flit = inject.pop_front().expect("non-empty");
-    flit.src = r;
-    flit.ready_at = c + 1 + if flit.kind.is_head() { view.cfg.t_r } else { 0 };
-    let ready = flit.ready_at;
-    router.inputs[Port::Local as usize].buf.push_back(flit);
-    *last_inject = c;
-    fx.injected += 1;
-    fx.wake(r, ready);
-    if !inject.is_empty() {
-        fx.wake(r, c + 1);
-    }
-}
-
-/// Mirror of [`Mesh::try_forward`] minus the fault-layer arms (the
-/// dispatch precondition makes them statically dead here).
-fn try_forward(view: &ParView<'_>, r: u32, p: usize, c: u64, fx: &mut EntryFx) {
-    let ri = r as usize;
-    let popped_at = unsafe { (*view.last_pop[ri].get())[p] };
-    if popped_at == c {
-        return;
-    }
-    // Safety: own-router state; wave-mates are non-adjacent and never
-    // reference this router at all.
-    let router = unsafe { &mut *view.routers[ri].get() };
-    let Some(&head) = router.inputs[p].buf.front() else {
-        return;
-    };
-    if head.ready_at > c {
-        fx.wake(r, head.ready_at);
-        return;
-    }
-    let out = match router.inputs[p].route {
-        Some(o) => Port::from_index(o as usize),
-        None => {
-            debug_assert!(head.kind.is_head(), "body flit without a route");
-            view.route(r, head.dest)
-        }
-    };
-    let o = out as usize;
-    if !router.output_available(o, p, c) {
-        if router.outputs[o].last_used == c {
-            fx.wake(r, c + 1);
-        }
-        return;
+    #[inline]
+    fn traversal(&mut self) {
+        self.traversals += 1;
     }
 
-    if out == Port::Local {
-        eject(view, router, r, p, c, fx);
-        return;
+    #[inline]
+    fn hop(&mut self) {
+        self.hops += 1;
     }
 
-    let n = view.neighbor(r, out);
-    let q = out.opposite() as usize;
-    if view.neighbor_occupancy(n, q) >= view.cfg.buffer_depth {
-        // Woken when (n, q) pops.
-        return;
+    #[inline]
+    fn occ_sample(&mut self, occ: u64) {
+        debug_assert!(self.occ.is_none(), "one occupancy sample per entry");
+        self.occ = Some(occ);
     }
 
-    // Commit the move.
-    let mut flit = router.inputs[p].buf.pop_front().expect("head");
-    after_pop(view, router, r, p, c, fx);
-    flit.ready_at = c + 1 + if flit.kind.is_head() { view.cfg.t_r } else { 0 };
-    let ready = flit.ready_at;
-    update_channel_state(router, r, p, o, &flit, c, fx);
-    // Safety: narrow projection of the facing port only (module docs).
-    unsafe {
-        (*view.routers[n as usize].get()).inputs[q]
-            .buf
-            .push_back(flit);
+    #[inline]
+    fn head_injected(&mut self, packet: u32, cycle: u64) {
+        debug_assert!(self.head_injected.is_none(), "one injection per cycle");
+        self.head_injected = Some((packet, cycle));
     }
-    fx.traversals += 1;
-    fx.hops += 1;
-    unsafe {
-        *view.router_forwards[ri].get() += 1;
-    }
-    fx.wake(n, ready);
-}
 
-/// Mirror of [`Mesh::eject`]; corruption is impossible without a fault
-/// layer, so the NACK arms are dead.
-fn eject(view: &ParView<'_>, router: &mut Router, r: u32, p: usize, c: u64, fx: &mut EntryFx) {
-    let ri = r as usize;
-    if let Some(slot) = view.memif_slot[ri] {
-        // Safety: a memif belongs to exactly one router.
-        let m = unsafe { &mut *view.memifs[slot as usize].get() };
-        if !m.can_accept(c) {
-            fx.wake(r, m_free_at(m, c));
-            return;
-        }
-        let flit = router.inputs[p].buf.pop_front().expect("head");
-        after_pop(view, router, r, p, c, fx);
-        update_channel_state(router, r, p, Port::Local as usize, &flit, c, fx);
-        debug_assert!(!flit.corrupted, "corruption implies a fault layer");
-        m.accept(c, &flit);
-        fx.ejected += 1;
-        fx.traversals += 1;
-        unsafe {
-            *view.router_forwards[ri].get() += 1;
-        }
-    } else {
-        let flit = router.inputs[p].buf.pop_front().expect("head");
-        after_pop(view, router, r, p, c, fx);
-        update_channel_state(router, r, p, Port::Local as usize, &flit, c, fx);
-        let is_payload = !matches!(flit.kind, FlitKind::Head);
-        debug_assert!(!flit.corrupted, "corruption implies a fault layer");
-        if is_payload {
-            // Safety: sink state is own-router-indexed.
-            unsafe {
-                *view.sink_delivered[ri].get() += 1;
-                *view.sink_last_cycle[ri].get() = c;
-                if view.collect_sink_words {
-                    (*view.sink_words[ri].get()).push(flit.payload);
-                }
-            }
-        }
-        fx.ejected += 1;
-        fx.traversals += 1;
-        unsafe {
-            *view.router_forwards[ri].get() += 1;
-        }
+    #[inline]
+    fn tail_ejected(&mut self, packet: u32, cycle: u64) {
+        debug_assert!(self.tail_ejected.is_none(), "one ejection per cycle");
+        self.tail_ejected = Some((packet, cycle));
     }
-}
 
-/// Mirror of [`Mesh::after_pop`].
-fn after_pop(view: &ParView<'_>, router: &Router, r: u32, p: usize, c: u64, fx: &mut EntryFx) {
-    let ri = r as usize;
-    unsafe {
-        (*view.last_pop[ri].get())[p] = c;
+    #[inline]
+    fn corrupted(&mut self) {
+        self.corrupted += 1;
     }
-    if !router.inputs[p].buf.is_empty() {
-        fx.wake(r, c + 1);
-    }
-    if p == Port::Local as usize {
-        let more = unsafe { !(*view.inject[ri].get()).is_empty() };
-        if more {
-            fx.wake(r, c + 1);
-        }
-    } else {
-        fx.wake(view.neighbor(r, Port::from_index(p)), c + 1);
-    }
-}
 
-/// Mirror of [`Mesh::update_channel_state`].
-fn update_channel_state(
-    router: &mut Router,
-    r: u32,
-    p: usize,
-    o: usize,
-    flit: &Flit,
-    c: u64,
-    fx: &mut EntryFx,
-) {
-    router.outputs[o].last_used = c;
-    if flit.kind.is_head() {
-        router.outputs[o].owner = Some(p as u8);
-        router.inputs[p].route = Some(o as u8);
+    #[inline]
+    fn link_down_event(&mut self) {
+        self.link_down_events += 1;
     }
-    if flit.kind.is_tail() {
-        router.outputs[o].owner = None;
-        router.inputs[p].route = None;
-        fx.wake(r, c + 1);
+
+    #[inline]
+    fn probe(&mut self) {
+        self.probes += 1;
+    }
+
+    #[inline]
+    fn dropped_element(&mut self) {
+        self.dropped_elements += 1;
+    }
+
+    #[inline]
+    fn nack(&mut self, router: u32, src: u32, packet: u32, payload: u64, cycle: u64) {
+        debug_assert!(self.nack.is_none(), "one NACK per entry-cycle");
+        self.nack = Some(NackFx {
+            router,
+            src,
+            packet,
+            payload,
+            cycle,
+        });
     }
 }
 
@@ -417,7 +241,7 @@ fn update_channel_state(
 /// radius-1 conflict relation, preserving service order between
 /// conflicting entries (module docs). Scratch arrays are cycle-tagged so
 /// nothing is cleared between cycles.
-struct WavePlanner {
+pub(super) struct WavePlanner {
     /// Wave number (1-based) assigned to a node this cycle.
     wave_of: Vec<u32>,
     /// Cycle `wave_of` is valid for (`NEVER` = stale).
@@ -428,7 +252,7 @@ struct WavePlanner {
 }
 
 impl WavePlanner {
-    fn new(n: usize) -> Self {
+    pub(super) fn new(n: usize) -> Self {
         WavePlanner {
             wave_of: vec![0; n],
             tag: vec![NEVER; n],
@@ -437,7 +261,7 @@ impl WavePlanner {
         }
     }
 
-    fn plan(&mut self, topo: &Topology, service: &[u32], c: u64) -> &[Vec<u32>] {
+    pub(super) fn plan(&mut self, topo: &Topology, service: &[u32], c: u64) -> &[Vec<u32>] {
         for w in &mut self.waves[..self.used] {
             w.clear();
         }
@@ -486,150 +310,61 @@ impl WavePlanner {
     }
 }
 
-impl Mesh {
-    /// The deterministic epoch-parallel cycle loop. Preconditions (checked
-    /// by [`Mesh::run`]): no fault layer, no telemetry, no latency
-    /// tracking.
-    pub(super) fn run_parallel(&mut self) -> Result<MeshRunResult, MeshError> {
-        debug_assert!(
-            self.faults.is_none() && self.telemetry.is_none() && self.latency.is_none(),
-            "parallel path precondition"
-        );
-        let n = self.cfg.topology.nodes();
-        let pool = EpochPool::new(self.cfg.threads);
-        let threads = pool.threads();
-        let mut planner = WavePlanner::new(n);
-        let mut service: Vec<u32> = Vec::new();
-        let mut fx: Vec<EntryFx> = Vec::new();
-        {
-            // Split borrows: the view covers per-router state (shared with
-            // workers through SyncCell), the scheduler fields stay under
-            // the master's exclusive borrows.
-            let Mesh {
-                cfg,
-                routers,
-                inject,
-                last_inject,
-                last_pop,
-                memif_slot,
-                memifs,
-                sink_delivered,
-                sink_last_cycle,
-                sink_words,
-                collect_sink_words,
-                wheel,
-                processed_at,
-                next_wake,
-                in_flight,
-                pending_inject,
-                energy,
-                router_forwards,
-                now,
-                ..
-            } = self;
-            let cfg: &MeshConfig = cfg;
-            let view = ParView {
-                cfg,
-                routers: SyncCell::from_mut(routers),
-                inject: SyncCell::from_mut(inject),
-                last_inject: SyncCell::from_mut(last_inject),
-                last_pop: SyncCell::from_mut(last_pop),
-                memif_slot,
-                memifs: SyncCell::from_mut(memifs),
-                sink_delivered: SyncCell::from_mut(sink_delivered),
-                sink_last_cycle: SyncCell::from_mut(sink_last_cycle),
-                sink_words: SyncCell::from_mut(sink_words),
-                router_forwards: SyncCell::from_mut(router_forwards),
-                collect_sink_words: *collect_sink_words,
-            };
-            while let Some(c) = wheel.next_cycle() {
-                if c > cfg.max_cycles {
-                    return Err(MeshError::CycleLimit {
-                        limit: cfg.max_cycles,
-                    });
+/// Fan one planned cycle across the pool: a **single** epoch dispatch for
+/// the whole wave sequence, with [`Arrivals`] hand-offs between waves (an
+/// atomic increment and a short spin — far cheaper than one pool round-trip
+/// per wave, which is what made the old scheduler slower than sequential).
+/// The pool's own done-barrier covers the last wave. Chunk assignment is
+/// deterministic; results cannot depend on it anyway, since wave entries
+/// are pairwise independent and write disjoint `fx` slots.
+///
+/// Panic safety: a participant that panics mid-wave first announces every
+/// arrival it still owed, so surviving participants drain their remaining
+/// waves (on state the master will never observe — [`EpochPool::run`]
+/// re-raises the panic after its done-barrier) instead of spinning forever
+/// at a barrier the panicker never reached.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_waves(
+    pool: &EpochPool,
+    arrivals: &Arrivals,
+    threads: usize,
+    view: &CoreView<'_>,
+    service: &[u32],
+    waves: &[Vec<u32>],
+    fx: &mut [EntryFx],
+    c: u64,
+) {
+    let fx_cells = SyncCell::from_mut(fx);
+    // Barriers sit *between* waves; the last wave ends at the pool's
+    // done-barrier instead.
+    let barriers = waves.len().saturating_sub(1);
+    let base = arrivals.current();
+    pool.run(&|part| {
+        let crossed = Cell::new(0usize);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            for (w, wave) in waves.iter().enumerate() {
+                for k in chunk_range(wave.len(), threads, part) {
+                    let i = wave[k] as usize;
+                    // Safety: wave entries are pairwise independent and
+                    // each `i` is unique, so all cell accesses are
+                    // disjoint (module docs).
+                    let f = unsafe { &mut *fx_cells[i].get() };
+                    service_entry(view, service[i], c, f);
                 }
-                debug_assert!(c >= *now, "wakeup in the past");
-                *now = c;
-                wheel.advance_to(c);
-                let b = (c % WakeWheel::WINDOW) as usize;
-                let mut ids = std::mem::take(&mut wheel.buckets[b]);
-                wheel.bucket_pending -= ids.len() as u64;
-                // Bookkeeping prefix of the sequential drain, in bucket
-                // order: next_wake clears and processed_at dedup. Safe to
-                // hoist before servicing — nothing in a cycle's processing
-                // reads either array (module docs).
-                service.clear();
-                for &r in &ids {
-                    let ri = r as usize;
-                    if next_wake[ri] == c {
-                        next_wake[ri] = NEVER;
-                    }
-                    if processed_at[ri] == c {
-                        continue;
-                    }
-                    processed_at[ri] = c;
-                    service.push(r);
-                }
-                ids.clear();
-                wheel.buckets[b] = ids;
-                if service.is_empty() {
-                    continue;
-                }
-                if fx.len() < service.len() {
-                    fx.resize_with(service.len(), EntryFx::default);
-                }
-                for f in &mut fx[..service.len()] {
-                    f.reset();
-                }
-                if threads > 1 && service.len() >= threads * DISPATCH_GRAIN {
-                    let fx_cells = SyncCell::from_mut(&mut fx[..service.len()]);
-                    let service = &service;
-                    for wave in planner.plan(&cfg.topology, service, c) {
-                        if wave.len() < threads * 2 {
-                            // Pool overhead beats the win; same results
-                            // either way.
-                            for &wi in wave {
-                                let i = wi as usize;
-                                let f = unsafe { &mut *fx_cells[i].get() };
-                                service_router(&view, service[i], c, f);
-                            }
-                        } else {
-                            pool.run(&|part| {
-                                for k in chunk_range(wave.len(), threads, part) {
-                                    let i = wave[k] as usize;
-                                    // Safety: wave entries are pairwise
-                                    // independent and each `i` is unique,
-                                    // so all cell accesses are disjoint.
-                                    let f = unsafe { &mut *fx_cells[i].get() };
-                                    service_router(&view, service[i], c, f);
-                                }
-                            });
-                        }
-                    }
-                } else {
-                    for (i, &r) in service.iter().enumerate() {
-                        service_router(&view, r, c, &mut fx[i]);
-                    }
-                }
-                // Commit deferred effects in service (= sequential) order.
-                for (i, _) in service.iter().enumerate() {
-                    let f = &fx[i];
-                    *pending_inject -= f.injected;
-                    *in_flight += f.injected;
-                    *in_flight -= f.ejected;
-                    energy.injections += f.injected;
-                    energy.ejections += f.ejected;
-                    energy.router_traversals += f.traversals;
-                    energy.link_hops += f.hops;
-                    for &(wr, wc) in &f.wakes {
-                        debug_assert!(wc > c, "same-cycle wake");
-                        wake_raw(wheel, next_wake, wr, wc);
-                    }
+                if w < barriers {
+                    arrivals.arrive();
+                    arrivals.wait(base + (threads * (w + 1)) as u64);
+                    crossed.set(w + 1);
                 }
             }
+        }));
+        if let Err(p) = run {
+            for _ in crossed.get()..barriers {
+                arrivals.arrive();
+            }
+            resume_unwind(p);
         }
-        self.finish()
-    }
+    });
 }
 
 #[cfg(test)]
@@ -671,5 +406,26 @@ mod tests {
         let second = planner.plan(&topo, &[1, 0], 9).to_vec();
         assert_eq!(first, vec![vec![0], vec![1]]);
         assert_eq!(second, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn entry_fx_reset_clears_every_field() {
+        let mut fx = EntryFx::default();
+        FxSink::wake(&mut fx, 3, 10);
+        FxSink::injected(&mut fx);
+        FxSink::ejected(&mut fx);
+        FxSink::traversal(&mut fx);
+        FxSink::hop(&mut fx);
+        FxSink::occ_sample(&mut fx, 2);
+        FxSink::head_injected(&mut fx, 7, 10);
+        FxSink::tail_ejected(&mut fx, 7, 12);
+        FxSink::corrupted(&mut fx);
+        FxSink::link_down_event(&mut fx);
+        FxSink::probe(&mut fx);
+        FxSink::dropped_element(&mut fx);
+        FxSink::nack(&mut fx, 0, 1, 2, 3, 4);
+        fx.reset();
+        let clean = format!("{:?}", EntryFx::default());
+        assert_eq!(format!("{fx:?}"), clean);
     }
 }

@@ -1,0 +1,390 @@
+//! Structure-of-Arrays router storage for the mesh hot path.
+//!
+//! [`crate::router::Router`] is the *specification* of one router — inline
+//! 64-slot rings, `Option` route/owner fields — and stays the unit under
+//! test for port semantics. The simulator, however, services thousands of
+//! routers per cycle, and an array-of-structs `Vec<Router>` pays for the
+//! specification's generality twice over:
+//!
+//! * each router is ~10 KiB (five 64-slot inline rings) even though the
+//!   paper's default depth is **2**, so two routers never share a cache
+//!   line and the working set is ~50× larger than the live data;
+//! * the scheduler's per-cycle bookkeeping reads only a few scalar fields
+//!   (lengths, routes, owners, stamps) but drags whole rings through the
+//!   cache to get them.
+//!
+//! [`RouterSlab`] stores the same state as dense parallel arrays sized to
+//! the *configured* buffer depth: all ring lengths adjacent, all routes
+//! adjacent, and the flit slots packed at `cap` per input port where `cap`
+//! is the depth rounded up to a power of two (minimum 2). `Option<u8>`
+//! fields are packed as `0xFF = None`, `last_used` keeps the
+//! `u64::MAX = never` convention of [`crate::router::OutputPort`].
+//!
+//! [`SlabView`] is the shared-slice form handed to the epoch-parallel
+//! scheduler: the same arrays behind [`sim_core::parallel::SyncCell`], so
+//! concurrent wave entries can mutate *disjoint* routers without locks.
+//! The sequential path uses the identical view (built from `&mut self`),
+//! keeping one implementation of every port operation.
+//!
+//! # Safety contract
+//!
+//! `SlabView` methods are safe to *call* but rely on the scheduler-level
+//! invariant proved in `mesh/par.rs`: within one wave, entries touch
+//! disjoint routers' input state and only their neighbours' facing input
+//! ports, and no two conflicting entries share a wave. All slab accessors
+//! take `(router, port)` coordinates, so the data-race freedom argument is
+//! exactly the wave-independence argument.
+
+use sim_core::parallel::SyncCell;
+
+use crate::flit::{Flit, FlitKind};
+use crate::router::NUM_PORTS;
+
+/// Packed `None` for route/owner bytes.
+pub(crate) const NO_PORT: u8 = 0xFF;
+
+/// Packed `never used` for output stamps (matches
+/// [`crate::router::OutputPort::last_used`]'s default).
+pub(crate) const NEVER_USED: u64 = u64::MAX;
+
+const EMPTY_FLIT: Flit = Flit {
+    dest: 0,
+    src: 0,
+    payload: 0,
+    kind: FlitKind::HeadTail,
+    packet: 0,
+    ready_at: 0,
+    corrupted: false,
+};
+
+/// Dense SoA storage for every router in the mesh.
+#[derive(Debug)]
+pub(crate) struct RouterSlab {
+    /// Routers.
+    n: usize,
+    /// Ring capacity per input port (power of two ≥ 2, ≥ buffer depth).
+    cap: usize,
+    /// Flit slots: `cap` per input port, `NUM_PORTS` ports per router.
+    flits: Vec<Flit>,
+    /// Ring head index per input port (free-running, masked by `cap - 1`).
+    head: Vec<u32>,
+    /// Buffered flit count per input port.
+    len: Vec<u32>,
+    /// Assigned output per input port (`NO_PORT` = none).
+    route: Vec<u8>,
+    /// Owning input per output port (`NO_PORT` = none).
+    owner: Vec<u8>,
+    /// Last-forward cycle stamp per output port (`NEVER_USED` = never).
+    last_used: Vec<u64>,
+}
+
+impl RouterSlab {
+    /// Storage for `n` routers with the given logical buffer depth.
+    pub fn new(n: usize, buffer_depth: usize) -> Self {
+        assert!(buffer_depth >= 1, "buffer depth must be at least 1");
+        let cap = buffer_depth.next_power_of_two().max(2);
+        RouterSlab {
+            n,
+            cap,
+            flits: vec![EMPTY_FLIT; n * NUM_PORTS * cap],
+            head: vec![0; n * NUM_PORTS],
+            len: vec![0; n * NUM_PORTS],
+            route: vec![NO_PORT; n * NUM_PORTS],
+            owner: vec![NO_PORT; n * NUM_PORTS],
+            last_used: vec![NEVER_USED; n * NUM_PORTS],
+        }
+    }
+
+    /// Ring capacity per input port.
+    #[cfg(test)]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The shared-slice view; the only way state is read or written during
+    /// a run (sequential and parallel alike).
+    pub fn view(&mut self) -> SlabView<'_> {
+        SlabView {
+            cap: self.cap,
+            flits: SyncCell::from_mut(&mut self.flits),
+            head: SyncCell::from_mut(&mut self.head),
+            len: SyncCell::from_mut(&mut self.len),
+            route: SyncCell::from_mut(&mut self.route),
+            owner: SyncCell::from_mut(&mut self.owner),
+            last_used: SyncCell::from_mut(&mut self.last_used),
+        }
+    }
+
+    /// Buffered flits across all of router `r`'s inputs (master-side, for
+    /// audits and diagnostics).
+    pub fn occupancy(&self, r: usize) -> usize {
+        self.len[r * NUM_PORTS..(r + 1) * NUM_PORTS]
+            .iter()
+            .map(|&l| l as usize)
+            .sum()
+    }
+
+    /// True when router `r` buffers nothing.
+    pub fn is_empty(&self, r: usize) -> bool {
+        self.occupancy(r) == 0
+    }
+
+    /// Routers in the slab.
+    pub fn routers(&self) -> usize {
+        self.n
+    }
+}
+
+/// Shared-slice window over a [`RouterSlab`].
+///
+/// Copyable so each wave entry captures it by value; see the module-level
+/// safety contract.
+#[derive(Clone, Copy)]
+pub(crate) struct SlabView<'a> {
+    cap: usize,
+    flits: &'a [SyncCell<Flit>],
+    head: &'a [SyncCell<u32>],
+    len: &'a [SyncCell<u32>],
+    route: &'a [SyncCell<u8>],
+    owner: &'a [SyncCell<u8>],
+    last_used: &'a [SyncCell<u64>],
+}
+
+impl SlabView<'_> {
+    #[inline]
+    fn port(r: usize, p: usize) -> usize {
+        debug_assert!(p < NUM_PORTS);
+        r * NUM_PORTS + p
+    }
+
+    /// Buffered flit count of input `p` of router `r`.
+    #[inline]
+    pub fn input_len(&self, r: usize, p: usize) -> usize {
+        unsafe { *self.len[Self::port(r, p)].get() as usize }
+    }
+
+    /// Oldest buffered flit of input `p` of router `r`, if any (copied —
+    /// flits are small and `Copy`).
+    #[inline]
+    pub fn front(&self, r: usize, p: usize) -> Option<Flit> {
+        let i = Self::port(r, p);
+        unsafe {
+            let len = *self.len[i].get();
+            if len == 0 {
+                return None;
+            }
+            let head = *self.head[i].get();
+            let slot = i * self.cap + (head as usize & (self.cap - 1));
+            Some(*self.flits[slot].get())
+        }
+    }
+
+    /// Append a flit to input `p` of router `r`. Panics if the ring's
+    /// physical capacity is exceeded (the mesh checks logical space first,
+    /// exactly as it did against [`crate::router::FlitRing`]).
+    #[inline]
+    pub fn push_back(&self, r: usize, p: usize, flit: Flit) {
+        let i = Self::port(r, p);
+        unsafe {
+            let len = &mut *self.len[i].get();
+            assert!((*len as usize) < self.cap, "input ring overflow");
+            let head = *self.head[i].get();
+            let slot = i * self.cap + ((head as usize + *len as usize) & (self.cap - 1));
+            *self.flits[slot].get() = flit;
+            *len += 1;
+        }
+    }
+
+    /// Remove and return the oldest buffered flit of input `p` of router
+    /// `r`.
+    #[inline]
+    pub fn pop_front(&self, r: usize, p: usize) -> Option<Flit> {
+        let i = Self::port(r, p);
+        unsafe {
+            let len = &mut *self.len[i].get();
+            if *len == 0 {
+                return None;
+            }
+            let head = &mut *self.head[i].get();
+            let slot = i * self.cap + (*head as usize & (self.cap - 1));
+            *head = head.wrapping_add(1);
+            *len -= 1;
+            Some(*self.flits[slot].get())
+        }
+    }
+
+    /// Assigned output of input `p` of router `r`.
+    #[inline]
+    pub fn route(&self, r: usize, p: usize) -> Option<u8> {
+        let v = unsafe { *self.route[Self::port(r, p)].get() };
+        (v != NO_PORT).then_some(v)
+    }
+
+    /// Assign (or clear, with `NO_PORT`) the route of input `p`.
+    #[inline]
+    pub fn set_route_raw(&self, r: usize, p: usize, v: u8) {
+        unsafe { *self.route[Self::port(r, p)].get() = v }
+    }
+
+    /// Owning input of output `o` of router `r` (the hot path reads it
+    /// only through [`SlabView::output_available`]).
+    #[cfg(test)]
+    pub fn owner(&self, r: usize, o: usize) -> Option<u8> {
+        let v = unsafe { *self.owner[Self::port(r, o)].get() };
+        (v != NO_PORT).then_some(v)
+    }
+
+    /// Set (or clear, with `NO_PORT`) the owner of output `o`.
+    #[inline]
+    pub fn set_owner_raw(&self, r: usize, o: usize, v: u8) {
+        unsafe { *self.owner[Self::port(r, o)].get() = v }
+    }
+
+    /// Last-forward stamp of output `o` of router `r`.
+    #[inline]
+    pub fn last_used(&self, r: usize, o: usize) -> u64 {
+        unsafe { *self.last_used[Self::port(r, o)].get() }
+    }
+
+    /// Stamp output `o` as used at `cycle`.
+    #[inline]
+    pub fn set_last_used(&self, r: usize, o: usize, cycle: u64) {
+        unsafe { *self.last_used[Self::port(r, o)].get() = cycle }
+    }
+
+    /// Whether input `p` of router `r` can accept another flit under a
+    /// logical buffer depth of `depth` flits
+    /// ([`crate::router::Router::has_space_depth`]).
+    #[inline]
+    pub fn has_space_depth(&self, r: usize, p: usize, depth: usize) -> bool {
+        self.input_len(r, p) < depth
+    }
+
+    /// Whether output `o` of router `r` is free this cycle for input `p`:
+    /// channel un-owned or owned by `p`, and not already used at `cycle`
+    /// ([`crate::router::Router::output_available`]).
+    #[inline]
+    pub fn output_available(&self, r: usize, o: usize, p: usize, cycle: u64) -> bool {
+        let i = Self::port(r, o);
+        unsafe {
+            let owner = *self.owner[i].get();
+            let owned_ok = owner == NO_PORT || owner as usize == p;
+            let last = *self.last_used[i].get();
+            owned_ok && (last == NEVER_USED || last < cycle)
+        }
+    }
+
+    /// Buffered flits across all of router `r`'s inputs.
+    #[inline]
+    pub fn occupancy(&self, r: usize) -> usize {
+        (0..NUM_PORTS).map(|p| self.input_len(r, p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::Packet;
+    use crate::router::Router;
+
+    fn some_flit(payload: u64) -> Flit {
+        let mut f = Packet::headerless(0, 0, vec![1]).flits()[0];
+        f.payload = payload;
+        f
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two_with_floor_two() {
+        assert_eq!(RouterSlab::new(1, 1).cap(), 2);
+        assert_eq!(RouterSlab::new(1, 2).cap(), 2);
+        assert_eq!(RouterSlab::new(1, 3).cap(), 4);
+        assert_eq!(RouterSlab::new(1, 64).cap(), 64);
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound_match_flit_ring() {
+        let mut slab = RouterSlab::new(2, 2);
+        let v = slab.view();
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        // Push/pop far past the ring capacity so the head wraps, on a
+        // non-zero router/port to exercise the indexing.
+        for _ in 0..(64 * 3) {
+            v.push_back(1, 3, some_flit(next));
+            next += 1;
+            v.push_back(1, 3, some_flit(next));
+            next += 1;
+            assert_eq!(v.input_len(1, 3), 2);
+            assert!(!v.has_space_depth(1, 3, 2));
+            assert_eq!(v.front(1, 3).unwrap().payload, expect);
+            assert_eq!(v.pop_front(1, 3).unwrap().payload, expect);
+            assert_eq!(v.pop_front(1, 3).unwrap().payload, expect + 1);
+            expect += 2;
+            assert!(v.pop_front(1, 3).is_none());
+        }
+        // Router 0 was never touched.
+        assert_eq!(v.input_len(0, 3), 0);
+        assert!(slab.is_empty(0));
+    }
+
+    #[test]
+    fn output_availability_matches_router_semantics() {
+        let mut slab = RouterSlab::new(1, 2);
+        let mut reference = Router::default();
+        let v = slab.view();
+        // Fresh output: available to anyone.
+        assert!(v.output_available(0, 2, 0, 10));
+        assert!(reference.output_available(2, 0, 10));
+        // Owned by input 1: only input 1 may use it.
+        v.set_owner_raw(0, 2, 1);
+        reference.outputs[2].owner = Some(1);
+        assert_eq!(
+            v.output_available(0, 2, 0, 10),
+            reference.output_available(2, 0, 10)
+        );
+        assert_eq!(
+            v.output_available(0, 2, 1, 10),
+            reference.output_available(2, 1, 10)
+        );
+        // Used this cycle: nobody may use it again until the next one.
+        v.set_last_used(0, 2, 10);
+        reference.outputs[2].last_used = 10;
+        assert_eq!(
+            v.output_available(0, 2, 1, 10),
+            reference.output_available(2, 1, 10)
+        );
+        assert_eq!(
+            v.output_available(0, 2, 1, 11),
+            reference.output_available(2, 1, 11)
+        );
+        assert!(v.output_available(0, 2, 1, 11));
+    }
+
+    #[test]
+    fn route_and_owner_pack_none_as_sentinel() {
+        let mut slab = RouterSlab::new(3, 2);
+        let v = slab.view();
+        assert_eq!(v.route(2, 4), None);
+        v.set_route_raw(2, 4, 2);
+        assert_eq!(v.route(2, 4), Some(2));
+        v.set_route_raw(2, 4, NO_PORT);
+        assert_eq!(v.route(2, 4), None);
+        assert_eq!(v.owner(1, 0), None);
+        v.set_owner_raw(1, 0, 4);
+        assert_eq!(v.owner(1, 0), Some(4));
+        assert_eq!(v.last_used(1, 0), NEVER_USED);
+    }
+
+    #[test]
+    fn occupancy_sums_all_inputs() {
+        let mut slab = RouterSlab::new(2, 4);
+        let v = slab.view();
+        v.push_back(1, 0, some_flit(0));
+        v.push_back(1, 2, some_flit(1));
+        v.push_back(1, 2, some_flit(2));
+        assert_eq!(v.occupancy(1), 3);
+        assert_eq!(v.occupancy(0), 0);
+        assert_eq!(slab.occupancy(1), 3);
+        assert!(!slab.is_empty(1));
+    }
+}

@@ -7,14 +7,15 @@
 //! tests sweep the golden configurations from ISSUE 4 — three mesh sizes ×
 //! both routing policies × fault injection on/off — plus uniform-random
 //! permutation traffic, odd thread counts that don't divide the grid, and
-//! the telemetry-off byte-identity check.
+//! byte-identity checks of the rendered result and telemetry output.
 //!
-//! With a fault layer attached the scheduler falls back to the sequential
-//! path by design (shared-RNG draw order is processing-order-dependent);
-//! those cases are still swept here so the contract "`with_threads` never
-//! changes results" holds unconditionally.
+//! There is **no sequential fallback**: fault injection, telemetry and
+//! latency tracking all execute on the epoch-parallel scheduler (per-site
+//! counter-hashed fault streams and service-order effect replay make their
+//! observation order interleaving-independent — DESIGN.md §11), so the
+//! instrumented sweeps below genuinely exercise the threaded path.
 
-use emesh::mesh::{Mesh, MeshConfig, MeshRunResult, RoutingPolicy};
+use emesh::mesh::{Mesh, MeshConfig, MeshRunResult, RoutingPolicy, RunWarning};
 use emesh::workloads::{load_transpose, load_uniform_random};
 use emesh::MeshFaultConfig;
 
@@ -24,6 +25,8 @@ struct Observables {
     cycles: u64,
     energy: String,
     memif_stats: String,
+    fault_stats: String,
+    latency: String,
     sink_delivered: Vec<u64>,
     sink_last_cycle: Vec<u64>,
     router_forwards: Vec<u64>,
@@ -36,6 +39,8 @@ fn observe(mesh: &Mesh, res: &MeshRunResult) -> Observables {
         cycles: res.cycles,
         energy: format!("{:?}", res.energy),
         memif_stats: format!("{:?}", res.memif_stats),
+        fault_stats: format!("{:?}", res.faults),
+        latency: format!("{:?}", res.latency),
         sink_delivered: res.sink_delivered.clone(),
         sink_last_cycle: res.sink_last_cycle.clone(),
         router_forwards: res.router_forwards.clone(),
@@ -151,4 +156,103 @@ fn zero_threads_clamps_to_sequential() {
     let seq = run_transpose(16, 16, RoutingPolicy::Xy, 1, false);
     let clamped = run_transpose(16, 16, RoutingPolicy::Xy, 0, false);
     assert_eq!(seq, clamped);
+}
+
+/// An instrumented run: telemetry registry, latency histogram, and (when
+/// `faults` is set) corruption + transient link outages + retransmission,
+/// all attached at once. Returns the observables, the rendered result
+/// bytes, and the full telemetry metrics dump.
+fn run_instrumented(threads: usize, faults: bool) -> (Observables, String, String) {
+    let cfg = MeshConfig::table3(16, 2)
+        .with_policy(RoutingPolicy::MinimalAdaptive)
+        .with_threads(threads);
+    let mut mesh = load_transpose(cfg, 16, 48);
+    mesh.collect_sink_words(true);
+    mesh.enable_telemetry();
+    mesh.track_latency(4, 512);
+    if faults {
+        mesh.enable_faults(MeshFaultConfig {
+            seed: 11,
+            corrupt_rate: 0.008,
+            link_down_rate: 0.002,
+            link_down_cycles: 6,
+            max_retransmits: 32,
+            nack_delay: 5,
+            ..Default::default()
+        });
+    }
+    let res = mesh.run().expect("instrumented transpose completes");
+    let obs = observe(&mesh, &res);
+    let rendered = format!("{res:?}");
+    let metrics = mesh.telemetry().expect("telemetry enabled").metrics_json();
+    (obs, rendered, metrics)
+}
+
+/// Telemetry-on identity: the threaded scheduler must reproduce not just
+/// the run result but the **entire metrics dump** — counter totals, the
+/// occupancy histogram (sample-for-sample), per-router activity spans —
+/// byte for byte, under even, odd, and node-count thread counts.
+#[test]
+fn telemetry_run_is_byte_identical_across_thread_counts() {
+    let (seq, seq_rendered, seq_metrics) = run_instrumented(1, false);
+    for threads in [2, 4, 5, 16] {
+        let (par, par_rendered, par_metrics) = run_instrumented(threads, false);
+        assert_eq!(seq, par, "threads={threads}: observables diverged");
+        assert_eq!(
+            seq_rendered, par_rendered,
+            "threads={threads}: rendered result bytes diverged"
+        );
+        assert_eq!(
+            seq_metrics, par_metrics,
+            "threads={threads}: telemetry metrics diverged"
+        );
+    }
+}
+
+/// Faults + telemetry + latency all at once, still bit-identical: the
+/// per-site counter-hashed fault streams and the service-order effect
+/// replay may not observe thread interleaving anywhere.
+#[test]
+fn faulted_instrumented_run_is_byte_identical_across_thread_counts() {
+    let (seq, seq_rendered, seq_metrics) = run_instrumented(1, true);
+    assert_ne!(
+        seq.fault_stats, "None",
+        "fault layer must be live for this sweep"
+    );
+    for threads in [2, 4, 7] {
+        let (par, par_rendered, par_metrics) = run_instrumented(threads, true);
+        assert_eq!(seq, par, "threads={threads}: observables diverged");
+        assert_eq!(
+            seq_rendered, par_rendered,
+            "threads={threads}: rendered result bytes diverged"
+        );
+        assert_eq!(
+            seq_metrics, par_metrics,
+            "threads={threads}: telemetry metrics diverged"
+        );
+    }
+}
+
+/// Requesting more threads than the mesh has routers is not an error and
+/// not a silent degradation: the run completes (clamped) and says so in
+/// the structured warning list. Sane requests leave the list empty.
+#[test]
+fn thread_clamp_is_reported_as_a_structured_warning() {
+    let run = |threads: usize| {
+        let mut mesh = load_transpose(MeshConfig::table3(16, 1).with_threads(threads), 16, 16);
+        mesh.run().expect("completes")
+    };
+    let clamped = run(33);
+    assert_eq!(
+        clamped.warnings,
+        vec![RunWarning::ThreadsExceedNodes {
+            requested: 33,
+            nodes: 16,
+        }]
+    );
+    // The warning renders as a human-readable sentence for run summaries.
+    assert!(clamped.warnings[0].to_string().contains("clamped"));
+    for sane in [1, 2, 16] {
+        assert_eq!(run(sane).warnings, vec![], "threads={sane}");
+    }
 }

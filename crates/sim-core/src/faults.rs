@@ -126,6 +126,42 @@ impl FaultSchedule {
     }
 }
 
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixing function.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counter-based Bernoulli trial: does trial number `trial` of fault site
+/// `site` under `seed` fire, with probability `rate`?
+///
+/// Unlike [`FaultSite`] (a stateful RNG stream whose draw *order* defines
+/// the outcome sequence), this is a pure function of `(seed, site, trial)`
+/// — the outcome of one trial is independent of when, where, or in what
+/// order any other trial is evaluated. That makes it the primitive for
+/// parallel fault evaluation: each site keeps only a trial counter, sites
+/// advance their counters independently on different threads, and the
+/// fault pattern is still a deterministic function of the seed (identical
+/// between sequential and parallel schedulers by construction).
+///
+/// `rate == 0` fires nothing (the safe-by-default invariant shared with
+/// [`FaultSite`]); `rate >= 1` always fires.
+#[inline]
+pub fn hash_bernoulli(seed: u64, site: u64, trial: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let h = mix64(seed ^ mix64(site ^ mix64(trial)));
+    // Top 53 bits as a uniform f64 in [0, 1).
+    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
+}
+
 /// A per-component Bernoulli fault process: an independent child-seeded
 /// stream that fires with a fixed probability per trial.
 #[derive(Debug, Clone)]
@@ -296,6 +332,42 @@ mod tests {
         let p = hits as f64 / n as f64;
         assert!((0.22..0.28).contains(&p), "empirical rate {p}");
         assert_eq!(s.fired as usize, hits);
+    }
+
+    #[test]
+    fn hash_bernoulli_is_a_pure_function_of_its_coordinates() {
+        // Same coordinates, same outcome — and the outcome of one trial
+        // does not depend on any other trial being evaluated (there is no
+        // hidden stream state to perturb).
+        for trial in 0..64u64 {
+            let a = hash_bernoulli(7, 3, trial, 0.5);
+            let b = hash_bernoulli(7, 3, trial, 0.5);
+            assert_eq!(a, b);
+        }
+        // Different seeds / sites decorrelate: the outcome vectors differ.
+        let v = |seed: u64, site: u64| -> Vec<bool> {
+            (0..256)
+                .map(|t| hash_bernoulli(seed, site, t, 0.5))
+                .collect()
+        };
+        assert_ne!(v(1, 0), v(2, 0), "seed must matter");
+        assert_ne!(v(1, 0), v(1, 1), "site must matter");
+    }
+
+    #[test]
+    fn hash_bernoulli_zero_and_one_rates() {
+        for t in 0..1000 {
+            assert!(!hash_bernoulli(9, 4, t, 0.0));
+            assert!(hash_bernoulli(9, 4, t, 1.0));
+        }
+    }
+
+    #[test]
+    fn hash_bernoulli_fires_near_its_rate() {
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&t| hash_bernoulli(3, 11, t, 0.25)).count();
+        let p = hits as f64 / n as f64;
+        assert!((0.22..0.28).contains(&p), "empirical rate {p}");
     }
 
     #[test]

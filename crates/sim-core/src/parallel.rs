@@ -23,10 +23,99 @@
 //! effects in a deterministic order afterwards (see `emesh::mesh`'s
 //! epoch-parallel scheduler and DESIGN.md §11 for the full argument).
 
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Interior-mutable cell that an epoch-parallel scheduler may touch from
+/// several threads at once. All access goes through raw-pointer place
+/// projections; the *caller's* independence argument (e.g. the emesh wave
+/// planner's radius-1 disjointness, DESIGN.md §11) is what makes the
+/// aliasing sound — the cell itself only erases the static exclusivity.
+#[repr(transparent)]
+pub struct SyncCell<T>(UnsafeCell<T>);
+
+// Safety: SyncCell only hands out raw pointers; every dereference site must
+// sit inside a parallel region whose work items have pairwise-disjoint
+// footprints (the caller's contract).
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    /// Raw pointer to the payload. Dereferencing is `unsafe`; see the type
+    /// docs for the disjointness contract.
+    #[inline]
+    pub fn get(&self) -> *mut T {
+        self.0.get()
+    }
+
+    /// View a uniquely-borrowed slice as a slice of cells (the inverse
+    /// projection of `Cell::as_slice_of_cells`; sound because the unique
+    /// borrow is held for the cells' whole lifetime).
+    #[inline]
+    pub fn from_mut(v: &mut [T]) -> &[SyncCell<T>] {
+        let ptr = v as *mut [T] as *const [SyncCell<T>];
+        unsafe { &*ptr }
+    }
+}
+
+/// Monotone arrival counter: a reusable in-epoch barrier.
+///
+/// Unlike a classic sense-reversing barrier it is never reset — each
+/// synchronization round waits for an *absolute* arrival count, so a batch
+/// of `w` successive barriers among `t` participants is: capture
+/// `base = current()` once, then after round `i` every participant calls
+/// `arrive()` and spins in `wait(base + t * (i + 1))`. Stragglers from a
+/// finished round can never confuse the next one because the target only
+/// grows. Used by the emesh epoch scheduler for wave hand-offs *inside* one
+/// [`EpochPool::run`] call, where the pool's own epoch/done machinery is
+/// too coarse (it is a full publish/collect round-trip).
+///
+/// Waits spin then yield; they never park. Callers should only place
+/// barriers between sub-microsecond work items (waves), where parking
+/// latency would dominate the work. A participant that unwinds out of a
+/// barrier ladder strands everyone still waiting — panic-safe callers
+/// must compensate the remaining `arrive`s before propagating (see the
+/// emesh wave dispatcher).
+#[derive(Default)]
+pub struct Arrivals {
+    n: AtomicU64,
+}
+
+impl Arrivals {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Arrivals::default()
+    }
+
+    /// Current arrival count (acquire: pairs with [`Arrivals::arrive`]).
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.n.load(Ordering::Acquire)
+    }
+
+    /// Announce this participant's arrival (release: everything it wrote
+    /// before arriving is visible to a `wait` that observes the count).
+    #[inline]
+    pub fn arrive(&self) {
+        self.n.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Spin (then yield, so oversubscribed or single-core hosts make
+    /// progress) until at least `target` arrivals have been announced.
+    pub fn wait(&self, target: u64) {
+        let mut spins = 0u32;
+        while self.n.load(Ordering::Acquire) < target {
+            spins += 1;
+            if spins < SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
 
 /// The contiguous index range participant `part` of `parts` owns when
 /// splitting `len` work items: balanced chunks, earlier parts take the
@@ -153,7 +242,11 @@ impl EpochPool {
                 sh.wake.notify_all();
             }
         }
-        f(0);
+        // The master's own chunk runs under catch_unwind so an unwinding
+        // master still reaches the barrier below — workers may yet be
+        // dereferencing the job closure (and whatever stack state it
+        // borrows), so leaving `run` before they are done would be unsound.
+        let master = catch_unwind(AssertUnwindSafe(|| f(0)));
         // Barrier: wait for every worker, yielding so single-core hosts
         // schedule them.
         let mut spins = 0u32;
@@ -164,6 +257,9 @@ impl EpochPool {
             } else {
                 std::thread::yield_now();
             }
+        }
+        if let Err(p) = master {
+            std::panic::resume_unwind(p);
         }
         if sh.panicked.load(Ordering::Relaxed) {
             panic!("epoch pool worker panicked");
@@ -344,5 +440,56 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn arrivals_barrier_orders_waves_within_one_epoch() {
+        // 3 participants, 4 in-epoch waves, two barrier rounds per wave:
+        // everyone writes its own slot, a barrier publishes the wave, then
+        // everyone reads a *peer's* slot and asserts it shows this wave's
+        // value, and a second barrier keeps the next wave's writes from
+        // overlapping the reads. (The emesh scheduler gets away with one
+        // barrier per wave because its wave planner keeps concurrent
+        // footprints disjoint; this test deliberately makes every slot
+        // cross-thread, so it needs the full write/read phase split.)
+        let pool = EpochPool::new(3);
+        let threads = pool.threads() as u64;
+        let gate = Arrivals::new();
+        let mut log: Vec<u64> = vec![0; 3];
+        let cells = SyncCell::from_mut(&mut log);
+        const WAVES: u64 = 4;
+        let base = gate.current();
+        pool.run(&|part| {
+            for w in 0..WAVES {
+                unsafe { *cells[part].get() = w + 1 };
+                gate.arrive();
+                gate.wait(base + threads * (2 * w + 1));
+                let peer = (part + 1) % 3;
+                let seen = unsafe { *cells[peer].get() };
+                assert_eq!(seen, w + 1, "wave {w} not fully committed");
+                gate.arrive();
+                gate.wait(base + threads * (2 * w + 2));
+            }
+        });
+        drop(pool);
+        assert_eq!(log, vec![WAVES; 3]);
+    }
+
+    #[test]
+    fn arrivals_counter_is_monotone_across_rounds() {
+        let gate = Arrivals::new();
+        assert_eq!(gate.current(), 0);
+        gate.arrive();
+        gate.arrive();
+        gate.wait(2); // already satisfied: returns immediately
+        assert_eq!(gate.current(), 2);
+    }
+
+    #[test]
+    fn sync_cell_roundtrips_mut_slice() {
+        let mut v = vec![1u64, 2, 3];
+        let cells = SyncCell::from_mut(&mut v);
+        unsafe { *cells[1].get() = 20 };
+        assert_eq!(v, vec![1, 20, 3]);
     }
 }

@@ -117,6 +117,29 @@ impl SeriesHistogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Fold another histogram into this one. Exact, not approximate: every
+    /// aggregate this type maintains (bucket counts, count, sum, min, max)
+    /// is commutative and associative, so merging per-worker shards yields
+    /// byte-identical state to recording every sample into one histogram —
+    /// the property the parallel mesh telemetry path relies on.
+    pub fn merge(&mut self, other: &SeriesHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+    }
+
     /// Upper edge of the bucket holding the `q`-quantile sample (a
     /// conservative estimate), or `None` if empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
@@ -607,6 +630,38 @@ mod tests {
         assert_eq!(h.max(), Some(100));
         assert!((h.mean().unwrap() - 26.5).abs() < 1e-12);
         assert!(h.quantile(0.5).unwrap() <= 3);
+    }
+
+    #[test]
+    fn sharded_histogram_merge_is_exact() {
+        // Recording a sample stream into one histogram must equal recording
+        // an arbitrary partition of it into shards and merging — including
+        // the serialized form (PartialEq covers buckets/count/sum/min/max).
+        let samples: Vec<u64> = (0..257u64).map(|i| i.wrapping_mul(0x9E37) % 5000).collect();
+        let mut whole = SeriesHistogram::default();
+        for &s in &samples {
+            whole.record(s);
+        }
+        for parts in [1usize, 2, 3, 7] {
+            let mut merged = SeriesHistogram::default();
+            for p in 0..parts {
+                let mut shard = SeriesHistogram::default();
+                for (i, &s) in samples.iter().enumerate() {
+                    if i % parts == p {
+                        shard.record(s);
+                    }
+                }
+                merged.merge(&shard);
+            }
+            assert_eq!(merged, whole, "{parts}-way shard merge diverged");
+        }
+        // Merging an empty histogram is the identity, in both directions.
+        let mut id = whole.clone();
+        id.merge(&SeriesHistogram::default());
+        assert_eq!(id, whole);
+        let mut from_empty = SeriesHistogram::default();
+        from_empty.merge(&whole);
+        assert_eq!(from_empty, whole);
     }
 
     #[test]

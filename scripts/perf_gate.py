@@ -10,6 +10,16 @@ The baseline defaults to ci/perf_baseline.json. Rows are matched on
 a thread count to the sweep never breaks the gate. The tolerance can be
 overridden with PERF_GATE_TOLERANCE (a fraction, default 0.15).
 
+Besides the regression check, threaded mesh rows (threads > 1) must show a
+minimum speedup over the same policy's 1-thread row in the *fresh* run:
+PERF_GATE_MIN_SPEEDUP (default 1.0 — parallel execution must at least not
+be a slowdown). The speedup check only runs for rows whose thread count
+fits the machine (os.cpu_count() >= max(2, threads)); on smaller runners it
+is skipped with an explicit log line so a 1-core CI box never silently
+"passes" a parallelism gate it could not measure. Crosscheck witness rows
+(policy starting with "crosscheck:") are exempt — they are conformance
+fixtures, not throughput measurements.
+
 To accept an intentional slowdown (or record a faster scheduler), refresh
 the baseline:
 
@@ -67,6 +77,8 @@ def main() -> int:
         if verdict == "FAIL":
             failures.append(f"{key}: throughput regressed to {ratio:.2f}x of baseline")
 
+    failures += check_parallel_speedup(fresh)
+
     if failures:
         print(f"perf-gate: FAILED (tolerance {tol:.0%}):")
         for f in failures:
@@ -74,6 +86,44 @@ def main() -> int:
         return 1
     print(f"perf-gate: {len(shared)} rows within {tol:.0%} of baseline")
     return 0
+
+
+def check_parallel_speedup(fresh) -> list:
+    """Require threaded mesh rows to beat their 1-thread sibling by
+    PERF_GATE_MIN_SPEEDUP when the machine has enough cores to tell."""
+    min_speedup = float(os.environ.get("PERF_GATE_MIN_SPEEDUP", "1.0"))
+    cores = os.cpu_count() or 1
+    failures = []
+    for (policy, threads), row in sorted(fresh.items()):
+        if threads <= 1 or policy.startswith("crosscheck:"):
+            continue
+        if cores < max(2, threads):
+            print(
+                f"perf-gate: ({policy!r}, {threads}): SKIP parallel-speedup check "
+                f"(machine has {cores} core(s), row needs {threads})"
+            )
+            continue
+        base = fresh.get((policy, 1))
+        speedup = row.get("speedup_vs_1t")
+        if speedup is None and base and base.get("wall_s", 0) > 0 and row.get("wall_s", 0) > 0:
+            speedup = base["wall_s"] / row["wall_s"]
+        if speedup is None:
+            failures.append(
+                f"({policy!r}, {threads}): no 1-thread sibling row to compute a "
+                "parallel speedup against"
+            )
+            continue
+        verdict = "FAIL" if speedup < min_speedup else "ok"
+        print(
+            f"perf-gate: ({policy!r}, {threads}): {speedup:.2f}x vs 1 thread "
+            f"(min {min_speedup:.2f}x) {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append(
+                f"({policy!r}, {threads}): parallel speedup {speedup:.2f}x below "
+                f"required {min_speedup:.2f}x"
+            )
+    return failures
 
 
 if __name__ == "__main__":

@@ -7,11 +7,14 @@
 //!
 //! The deterministic golden grid lives in
 //! `crates/emesh/tests/parallel_identity.rs`; this file covers the space
-//! between those fixed points.
+//! between those fixed points — including the fully instrumented scheduler
+//! (fault injection + telemetry + latency tracking), which runs on the
+//! same epoch-parallel path with no sequential fallback.
 
 use emesh::flit::Packet;
 use emesh::mesh::{Mesh, MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
+use emesh::MeshFaultConfig;
 use proptest::prelude::*;
 
 fn cfg(nodes: usize, policy: RoutingPolicy, threads: usize) -> MeshConfig {
@@ -38,9 +41,37 @@ fn fingerprint(
     dsts: &[u8],
     sizes: &[u8],
 ) -> String {
+    fingerprint_with(policy, threads, srcs, dsts, sizes, None)
+}
+
+/// As [`fingerprint`], optionally with the fully instrumented scheduler:
+/// a fault layer seeded from `fault_seed`, telemetry, and latency
+/// tracking. The telemetry metrics dump is folded into the fingerprint so
+/// occupancy samples and counter totals are compared too.
+fn fingerprint_with(
+    policy: RoutingPolicy,
+    threads: usize,
+    srcs: &[u8],
+    dsts: &[u8],
+    sizes: &[u8],
+    fault_seed: Option<u64>,
+) -> String {
     let nodes = 16usize;
     let mut mesh = Mesh::new(cfg(nodes, policy, threads));
     mesh.collect_sink_words(true);
+    if let Some(seed) = fault_seed {
+        mesh.enable_faults(MeshFaultConfig {
+            seed,
+            corrupt_rate: 0.01,
+            link_down_rate: 0.003,
+            link_down_cycles: 5,
+            max_retransmits: 64,
+            nack_delay: 3,
+            ..Default::default()
+        });
+        mesh.enable_telemetry();
+        mesh.track_latency(2, 1024);
+    }
     for (i, ((&s, &d), &w)) in srcs.iter().zip(dsts).zip(sizes).enumerate() {
         let src = u32::from(s) % nodes as u32;
         let dst = u32::from(d) % nodes as u32;
@@ -55,7 +86,8 @@ fn fingerprint(
     }
     let res = mesh.run().expect("random traffic drains");
     let words: Vec<&[u64]> = (0..nodes as u32).map(|n| mesh.sink_words(n)).collect();
-    format!("{res:?}|{words:?}")
+    let metrics = mesh.telemetry().map(|reg| reg.metrics_json());
+    format!("{res:?}|{words:?}|{metrics:?}")
 }
 
 const N_PACKETS: usize = 40;
@@ -81,6 +113,34 @@ proptest! {
         prop_assert_eq!(
             seq, par,
             "threads={} policy={:?} diverged", threads, policy
+        );
+    }
+
+    /// The fully instrumented scheduler — fault injection (corruption +
+    /// transient link outages + retransmission), telemetry, latency
+    /// tracking — under arbitrary traffic and thread counts. The parallel
+    /// path has no sequential fallback, so this genuinely fuzzes the
+    /// threaded fault/telemetry code against the 1-thread oracle.
+    #[test]
+    fn instrumented_parallel_equals_sequential_on_arbitrary_traffic(
+        srcs in prop::collection::vec(0u8..=255, N_PACKETS),
+        dsts in prop::collection::vec(0u8..=255, N_PACKETS),
+        sizes in prop::collection::vec(0u8..=255, N_PACKETS),
+        adaptive in 0u8..2,
+        threads in 2usize..6,
+        fault_seed in 0u64..1024,
+    ) {
+        let policy = if adaptive == 1 {
+            RoutingPolicy::MinimalAdaptive
+        } else {
+            RoutingPolicy::Xy
+        };
+        let seq = fingerprint_with(policy, 1, &srcs, &dsts, &sizes, Some(fault_seed));
+        let par = fingerprint_with(policy, threads, &srcs, &dsts, &sizes, Some(fault_seed));
+        prop_assert_eq!(
+            seq, par,
+            "threads={} policy={:?} seed={} instrumented run diverged",
+            threads, policy, fault_seed
         );
     }
 }
