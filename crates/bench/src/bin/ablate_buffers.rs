@@ -33,6 +33,7 @@ fn main() -> Result<(), BenchError> {
     .pscan_cycles();
 
     // Every depth is an independent simulation: sweep in parallel.
+    let interrupt = ex.interrupt();
     let points: Vec<Point> = [2usize, 4, 8, 16, 64]
         .into_par_iter()
         .map(|depth| {
@@ -41,14 +42,17 @@ fn main() -> Result<(), BenchError> {
                 .with_buffers(depth)
                 .with_threads(threads);
             let mut mesh = load_transpose(cfg, procs, row_len);
-            let cycles = mesh.run().expect("deadlock").cycles;
-            Point {
+            if let Some(intr) = &interrupt {
+                mesh.set_interrupt(intr.clone());
+            }
+            mesh.run().map(|r| r.cycles).map(|cycles| Point {
                 buffer_depth: depth,
                 mesh_cycles: cycles,
                 multiplier: cycles as f64 / pscan as f64,
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, _>>()
+        .map_err(|e| BenchError::run("ablate_buffers", e))?;
     let cells: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

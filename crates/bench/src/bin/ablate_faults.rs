@@ -51,9 +51,13 @@ fn mesh_point(
     procs: usize,
     row_len: usize,
     threads: usize,
-) -> (u64, f64, emesh::MeshFaultStats) {
+    interrupt: Option<&sim_core::cancel::Interrupt>,
+) -> Result<(u64, f64, emesh::MeshFaultStats), emesh::mesh::MeshError> {
     let cfg = MeshConfig::table3(procs, 1).with_threads(threads);
     let mut mesh = load_transpose(cfg, procs, row_len);
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
     mesh.enable_faults(MeshFaultConfig {
         seed: 0xFA_u64,
         corrupt_rate: rate,
@@ -61,21 +65,26 @@ fn mesh_point(
         max_retransmits: 64,
         ..Default::default()
     });
-    let res = mesh
-        .run()
-        .expect("transient faults must not wedge the mesh");
+    let res = mesh.run()?;
     let energy_uj = OrionParams::default().total_j(&res.energy, procs) * 1e6;
-    (res.cycles, energy_uj, res.faults.expect("layer attached"))
+    Ok((res.cycles, energy_uj, res.faults.expect("layer attached")))
 }
 
 /// `gathers` SCA writebacks of one 64-slot burst each. Bursts are kept small
 /// so even the harshest swept rate stays recoverable within the link-layer
 /// retry budget (CRC granularity = burst).
-fn machine_point(rate: f64, gathers: usize) -> (u64, u64, u64, u64) {
+fn machine_point(
+    rate: f64,
+    gathers: usize,
+    interrupt: Option<&sim_core::cancel::Interrupt>,
+) -> Result<(u64, u64, u64, u64), psync::machine::MachineError> {
     const NODES: usize = 8;
     let spec = GatherSpec::interleaved(NODES, 4, 2); // 64 slots
     let burst = spec.total_slots() as usize;
     let mut m = Machine::new(MachineConfig::paper_default(NODES, gathers * burst));
+    if let Some(intr) = interrupt {
+        m.set_interrupt(intr.clone());
+    }
     m.enable_faults(PscanFaultConfig {
         seed: 0xFA_u64,
         word_error_rate: rate,
@@ -87,13 +96,14 @@ fn machine_point(rate: f64, gathers: usize) -> (u64, u64, u64, u64) {
             .map(|n| vec![(g * NODES + n) as u64; burst / NODES])
             .collect();
         let addrs: Vec<u64> = (0..burst as u64).map(|k| (g * burst) as u64 + k).collect();
-        m.try_gather_to_memory(&format!("wb{g}"), &spec, &words, &addrs)
-            .expect("swept rates stay within the retry budget");
+        // Swept rates stay within the retry budget; only a cancellation
+        // (or a genuinely exhausted budget) propagates.
+        m.try_gather_to_memory(&format!("wb{g}"), &spec, &words, &addrs)?;
     }
     let bus_slots: u64 = m.phases.iter().map(|p| p.bus_slots).sum();
     let retries: u64 = m.phases.iter().map(|p| p.retries).sum();
     let stats = m.fault_stats().expect("layer attached");
-    (bus_slots, retries, stats.injected, stats.giveups)
+    Ok((bus_slots, retries, stats.injected, stats.giveups))
 }
 
 fn main() -> Result<(), BenchError> {
@@ -101,14 +111,18 @@ fn main() -> Result<(), BenchError> {
     let threads = ex.threads();
     let quick = ex.quick();
     let (procs, row_len, gathers) = if quick { (16, 16, 4) } else { (64, 64, 16) };
+    let interrupt = ex.interrupt();
     let points: Vec<Point> = RATES
         .par_iter()
         .map(|&rate| {
             eprintln!("rate = {rate:.0e}...");
-            let (mesh_cycles, mesh_energy_uj, ms) = mesh_point(rate, procs, row_len, threads);
+            let (mesh_cycles, mesh_energy_uj, ms) =
+                mesh_point(rate, procs, row_len, threads, interrupt.as_ref())
+                    .map_err(|e| BenchError::run("ablate_faults", e))?;
             let (pscan_bus_slots, pscan_retries, pscan_corrupted_words, pscan_giveups) =
-                machine_point(rate, gathers);
-            Point {
+                machine_point(rate, gathers, interrupt.as_ref())
+                    .map_err(|e| BenchError::run("ablate_faults", e))?;
+            Ok(Point {
                 rate,
                 mesh_cycles,
                 mesh_energy_uj,
@@ -121,9 +135,9 @@ fn main() -> Result<(), BenchError> {
                 pscan_corrupted_words,
                 pscan_giveups,
                 total_retries: ms.retransmits + pscan_retries,
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, BenchError>>()?;
 
     let cells: Vec<Vec<String>> = points
         .iter()

@@ -25,12 +25,21 @@ struct Point {
 
 /// Transpose with elements routed to the *nearest* interface; each
 /// interface absorbs the rows its quadrant owns.
-fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement, threads: usize) -> u64 {
+fn mesh_transpose(
+    procs: usize,
+    row_len: usize,
+    placement: MemifPlacement,
+    threads: usize,
+    interrupt: Option<&sim_core::cancel::Interrupt>,
+) -> Result<u64, emesh::mesh::MeshError> {
     let cfg = MeshConfig::paper_default()
         .with_topology(Topology::square(procs, placement))
         .with_max_cycles(1 << 34)
         .with_threads(threads);
     let mut mesh = Mesh::new(cfg);
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
     let mut id = 0u32;
     for r in 0..procs as u32 {
         let memif = cfg.topology.nearest_memif(r);
@@ -42,7 +51,7 @@ fn mesh_transpose(procs: usize, row_len: usize, placement: MemifPlacement, threa
             id = id.wrapping_add(1);
         }
     }
-    mesh.run().expect("deadlock").cycles
+    Ok(mesh.run()?.cycles)
 }
 
 fn main() -> Result<(), BenchError> {
@@ -57,6 +66,7 @@ fn main() -> Result<(), BenchError> {
     let pscan_single = t3.pscan_cycles();
 
     // Both placements are independent simulations: run them in parallel.
+    let interrupt = ex.interrupt();
     let points: Vec<Point> = [
         (1usize, MemifPlacement::SingleCorner),
         (4, MemifPlacement::FourCorners),
@@ -64,18 +74,19 @@ fn main() -> Result<(), BenchError> {
     .into_par_iter()
     .map(|(ports, placement)| {
         eprintln!("{ports}-port mesh transpose...");
-        let mesh = mesh_transpose(procs, row_len, placement, threads);
+        let mesh = mesh_transpose(procs, row_len, placement, threads, interrupt.as_ref())?;
         // P-sync with `ports` banks: one PSCAN bus per bank, each
         // carrying 1/ports of the transactions in parallel.
         let pscan = pscan_single / ports as u64;
-        Point {
+        Ok(Point {
             ports,
             mesh_cycles: mesh,
             pscan_cycles: pscan,
             multiplier: mesh as f64 / pscan as f64,
-        }
+        })
     })
-    .collect();
+    .collect::<Result<_, emesh::mesh::MeshError>>()
+    .map_err(|e| BenchError::run("ablate_memports", e))?;
     let cells: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

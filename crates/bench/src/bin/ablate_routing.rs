@@ -35,6 +35,7 @@ fn main() -> Result<(), BenchError> {
         .collect();
     // Each (size, policy) cell is an independent simulation: run them all
     // in parallel; order is preserved so the table reads as before.
+    let interrupt = ex.interrupt();
     let points: Vec<Point> = combos
         .into_par_iter()
         .map(|(procs, name, policy)| {
@@ -44,18 +45,22 @@ fn main() -> Result<(), BenchError> {
                 .with_policy(policy)
                 .with_threads(threads);
             let mut mesh = load_transpose(cfg, procs, row_len);
+            if let Some(intr) = &interrupt {
+                mesh.set_interrupt(intr.clone());
+            }
             mesh.track_latency(64, 4096);
-            let res = mesh.run().expect("deadlock");
+            let res = mesh.run()?;
             let h = res.latency.expect("tracking on");
-            Point {
+            Ok(Point {
                 procs,
                 policy: name.to_string(),
                 cycles: res.cycles,
                 mean_latency: h.mean(),
                 p99_latency: h.quantile(0.99),
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, emesh::mesh::MeshError>>()
+        .map_err(|e| BenchError::run("ablate_routing", e))?;
     let cells: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -90,18 +95,22 @@ fn main() -> Result<(), BenchError> {
                 ))
                 .with_policy(policy);
             let mut mesh = emesh::workloads::load_gather_energy(cfg, 64);
+            if let Some(intr) = &interrupt {
+                mesh.set_interrupt(intr.clone());
+            }
             mesh.track_latency(64, 4096);
-            let res = mesh.run().expect("deadlock");
+            let res = mesh.run()?;
             let h = res.latency.expect("tracking on");
-            vec![
+            Ok(vec![
                 procs.to_string(),
                 name.to_string(),
                 res.cycles.to_string(),
                 f(h.mean().unwrap_or(0.0), 0),
                 h.quantile(0.99).unwrap_or(0).to_string(),
-            ]
+            ])
         })
-        .collect();
+        .collect::<Result<_, emesh::mesh::MeshError>>()
+        .map_err(|e| BenchError::run("ablate_routing", e))?;
 
     ex.table(
         "Ablation: routing policy on the transpose hotspot (t_p = 1)",

@@ -26,20 +26,39 @@ struct Point {
     dram_scrambled_cycles: u64,
 }
 
-fn dram_cost(row_bits: u64, scrambled: bool) -> u64 {
+fn dram_cost(
+    row_bits: u64,
+    scrambled: bool,
+    interrupt: Option<&sim_core::cancel::Interrupt>,
+) -> Result<u64, memory::TraceCancelled> {
     let cfg = DramConfig::default().with_row_bits(row_bits);
     let mut c = DramController::new(cfg, 64);
     let n = 1u64 << 16;
-    if scrambled {
-        let order = permutation(n as usize, 42);
-        c.run_trace(order.into_iter().map(|x| x as u64), AccessKind::Write)
-    } else {
-        c.run_trace(0..n, AccessKind::Write)
+    match interrupt {
+        Some(intr) => {
+            let mut intr = intr.clone();
+            if scrambled {
+                let order = permutation(n as usize, 42);
+                c.run_trace_supervised(
+                    order.into_iter().map(|x| x as u64),
+                    AccessKind::Write,
+                    &mut intr,
+                )
+            } else {
+                c.run_trace_supervised(0..n, AccessKind::Write, &mut intr)
+            }
+        }
+        None if scrambled => {
+            let order = permutation(n as usize, 42);
+            Ok(c.run_trace(order.into_iter().map(|x| x as u64), AccessKind::Write))
+        }
+        None => Ok(c.run_trace(0..n, AccessKind::Write)),
     }
 }
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("ablate_row_size");
+    let interrupt = ex.interrupt();
     let mut points = Vec::new();
     let mut cells = Vec::new();
     for s_r in [512u64, 1024, 2048, 4096, 8192] {
@@ -50,8 +69,10 @@ fn main() -> Result<(), BenchError> {
         let cycles = p.pscan_cycles();
         let payload = p.total_samples(); // 1 cycle per 64-bit sample
         let overhead = (cycles - payload) as f64 / payload as f64 * 100.0;
-        let lin = dram_cost(s_r, false);
-        let scr = dram_cost(s_r, true);
+        let lin = dram_cost(s_r, false, interrupt.as_ref())
+            .map_err(|e| BenchError::run("ablate_row_size", e))?;
+        let scr = dram_cost(s_r, true, interrupt.as_ref())
+            .map_err(|e| BenchError::run("ablate_row_size", e))?;
         points.push(Point {
             s_r_bits: s_r,
             pscan_bus_cycles: cycles,

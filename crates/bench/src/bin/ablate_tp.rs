@@ -31,20 +31,25 @@ fn main() -> Result<(), BenchError> {
     .pscan_cycles();
 
     // Eight independent simulations: sweep the t_p axis in parallel.
+    let interrupt = ex.interrupt();
     let points: Vec<Point> = (1u64..9)
         .into_par_iter()
         .map(|t_p| {
             eprintln!("t_p = {t_p}...");
             let cfg = MeshConfig::table3(procs, t_p).with_threads(threads);
             let mut mesh = load_transpose(cfg, procs, row_len);
-            let cycles = mesh.run().expect("deadlock").cycles;
-            Point {
+            if let Some(intr) = &interrupt {
+                mesh.set_interrupt(intr.clone());
+            }
+            let cycles = mesh.run().map(|r| r.cycles).map_err(|e| (t_p, e));
+            cycles.map(|cycles| Point {
                 t_p,
                 mesh_cycles: cycles,
                 multiplier: cycles as f64 / pscan as f64,
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, _>>()
+        .map_err(|(t_p, e)| BenchError::run(&format!("ablate_tp t_p={t_p}"), e))?;
     let cells: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

@@ -27,16 +27,24 @@ struct Point {
     ratio: f64,
 }
 
-fn mesh_energy_pj_per_bit(nodes: usize, words_per_node: usize, threads: usize) -> f64 {
+fn mesh_energy_pj_per_bit(
+    nodes: usize,
+    words_per_node: usize,
+    threads: usize,
+    interrupt: Option<&sim_core::cancel::Interrupt>,
+) -> Result<f64, emesh::mesh::MeshError> {
     let cfg = MeshConfig::paper_default()
         .with_topology(Topology::square(nodes, MemifPlacement::FourCorners))
         .with_policy(RoutingPolicy::Xy)
         .with_max_cycles(1 << 34)
         .with_threads(threads);
     let mut mesh = load_gather_energy(cfg, words_per_node);
-    let res = mesh.run().expect("gather deadlocked");
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
+    let res = mesh.run()?;
     let payload_bits = (nodes * words_per_node) as u64 * 64;
-    OrionParams::default().pj_per_payload_bit(&res.energy, nodes, payload_bits)
+    Ok(OrionParams::default().pj_per_payload_bit(&res.energy, nodes, payload_bits))
 }
 
 fn main() -> Result<(), BenchError> {
@@ -53,9 +61,11 @@ fn main() -> Result<(), BenchError> {
     let photonic = PhotonicEnergyModel::default();
     let mut points = Vec::new();
     let mut cells = Vec::new();
+    let interrupt = ex.interrupt();
     for &n in sizes {
         eprintln!("simulating {n}-node mesh gather ({words} words/node)...");
-        let mesh = mesh_energy_pj_per_bit(n, words, threads);
+        let mesh = mesh_energy_pj_per_bit(n, words, threads, interrupt.as_ref())
+            .map_err(|e| BenchError::run("fig5_energy", e))?;
         let pscan = photonic.sca_pj_per_bit(20.0, n);
         let ratio = mesh / pscan;
         points.push(Point {

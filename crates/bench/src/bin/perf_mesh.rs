@@ -17,9 +17,10 @@
 use std::time::Instant;
 
 use bench::{f, BenchError, Experiment};
-use emesh::mesh::{MeshConfig, RoutingPolicy};
+use emesh::mesh::{MeshConfig, MeshError, RoutingPolicy};
 use emesh::workloads::load_transpose;
 use serde::Serialize;
+use sim_core::cancel::Interrupt;
 
 /// Seed-scheduler wall-times for the full 2²⁰ transpose (global
 /// `BinaryHeap` wakeups + `VecDeque` buffers, commit f071ec2), measured
@@ -56,13 +57,17 @@ fn run_one(
     policy: RoutingPolicy,
     t_p: u64,
     threads: usize,
-) -> PerfRow {
+    interrupt: Option<&Interrupt>,
+) -> Result<PerfRow, MeshError> {
     let cfg = MeshConfig::table3(procs, t_p)
         .with_policy(policy)
         .with_threads(threads);
     let mut mesh = load_transpose(cfg, procs, row_len);
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
     let t0 = Instant::now();
-    let res = mesh.run().expect("transpose completes");
+    let res = mesh.run()?;
     let wall_s = t0.elapsed().as_secs_f64();
     let flit_moves = res.energy.router_traversals;
     let policy = format!("{policy:?}");
@@ -78,7 +83,7 @@ fn run_one(
     } else {
         None
     };
-    PerfRow {
+    Ok(PerfRow {
         procs,
         row_len,
         elements: procs * row_len,
@@ -93,7 +98,7 @@ fn run_one(
         seed_wall_s,
         speedup_vs_seed: seed_wall_s.map(|s| s / wall_s),
         speedup_vs_1t: None,
-    }
+    })
 }
 
 /// Thread counts to sweep: always 1 (the baseline), the 2/4 ladder the CI
@@ -113,6 +118,7 @@ fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("perf_mesh");
     let (procs, row_len) = if ex.quick() { (256, 256) } else { (1024, 1024) };
     let sweep = thread_sweep(ex.quick(), ex.threads());
+    let interrupt = ex.interrupt();
 
     let mut rows: Vec<PerfRow> = Vec::new();
     for policy in [RoutingPolicy::MinimalAdaptive, RoutingPolicy::Xy] {
@@ -121,7 +127,8 @@ fn main() -> Result<(), BenchError> {
             eprintln!(
                 "perf_mesh: {procs}x{row_len} transpose, {policy:?}, t_p=1, {threads} thread(s) ..."
             );
-            let mut row = run_one(procs, row_len, policy, 1, threads);
+            let mut row = run_one(procs, row_len, policy, 1, threads, interrupt.as_ref())
+                .map_err(|e| BenchError::run("perf_mesh", e))?;
             match base {
                 None => base = Some((row.cycles, row.wall_s)),
                 Some((cycles_1t, wall_1t)) => {

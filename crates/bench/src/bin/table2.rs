@@ -25,17 +25,25 @@ struct Row {
 
 /// Measure delivery efficiency by simulating one round of blocked scatter
 /// on a real mesh and comparing to the zero-latency injection bound.
-fn simulated_delivery_efficiency(p: usize, block_words: usize, threads: usize) -> f64 {
+fn simulated_delivery_efficiency(
+    p: usize,
+    block_words: usize,
+    threads: usize,
+    interrupt: Option<&sim_core::cancel::Interrupt>,
+) -> Result<f64, emesh::mesh::MeshError> {
     let cfg = MeshConfig::paper_default()
         .with_topology(Topology::square(p, MemifPlacement::SingleCorner))
         .with_policy(RoutingPolicy::Xy)
         .with_threads(threads);
     let mut mesh = load_scatter(cfg, block_words, 1);
-    let res = mesh.run().expect("scatter deadlocked");
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
+    let res = mesh.run()?;
     // Zero-latency bound: (P-1) packets x (block + header) flits injected
     // serially from the memory corner.
     let ideal = ((p - 1) * (block_words + 1)) as f64;
-    ideal / res.cycles as f64
+    Ok(ideal / res.cycles as f64)
 }
 
 fn main() -> Result<(), BenchError> {
@@ -47,11 +55,13 @@ fn main() -> Result<(), BenchError> {
     // slower; --quick uses a 64-node mesh.
     let sim_p = if ex.quick() { 64 } else { 256 };
 
+    let interrupt = ex.interrupt();
     let mut out_rows = Vec::new();
     let mut cells = Vec::new();
     for (r, &(_, _, paper_eta)) in rows.iter().zip(&PAPER_TABLE2) {
         let block = params.block_samples(r.k) as usize;
-        let sim = simulated_delivery_efficiency(sim_p, block, threads);
+        let sim = simulated_delivery_efficiency(sim_p, block, threads, interrupt.as_ref())
+            .map_err(|e| BenchError::run("table2", e))?;
         out_rows.push(Row {
             k: r.k,
             eta_d_pct: r.eta_d_pct,

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin table3_transpose [--quick] \
-//!     [--trace-out trace.json] [--metrics-out metrics.json]
+//!     [--timeout-s <secs>] [--trace-out trace.json] [--metrics-out metrics.json]
 //! ```
 //!
 //! `--quick` runs a 256-processor / 256-sample-row configuration (the full
@@ -16,49 +16,15 @@
 //! the mesh runs instrumented (per-router spans, memif/DRAM series) and a
 //! small P-sync machine executes the SCA writeback for real so the trace
 //! also carries per-CP drive and per-phase spans.
+//!
+//! The workload itself lives in [`bench::jobs`] so the supervised batch
+//! driver (`run_batch`) produces byte-identical result files.
 
-use analytic::table3::{
-    table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
-};
+use bench::jobs::{run_table3, Table3Config};
 use bench::{f, BenchError, Experiment};
-use emesh::mesh::MeshConfig;
-use emesh::workloads::load_transpose;
 use pscan::compiler::{GatherSpec, ScatterSpec};
 use psync::machine::{Machine, MachineConfig};
-use rayon::prelude::*;
-use serde::Serialize;
 use sim_core::telemetry::Registry;
-
-#[derive(Serialize)]
-struct Result {
-    procs: usize,
-    row_len: usize,
-    pscan_cycles: u64,
-    mesh_cycles_tp1: u64,
-    mesh_cycles_tp4: u64,
-    multiplier_tp1: f64,
-    multiplier_tp4: f64,
-    paper_multiplier_tp1: f64,
-    paper_multiplier_tp4: f64,
-}
-
-fn mesh_transpose_cycles(
-    procs: usize,
-    row_len: usize,
-    t_p: u64,
-    tracing: bool,
-    threads: usize,
-) -> (u64, Option<Registry>) {
-    let cfg = MeshConfig::table3(procs, t_p).with_threads(threads);
-    let mut mesh = load_transpose(cfg, procs, row_len);
-    if tracing {
-        mesh.enable_telemetry();
-    }
-    let res = mesh.run().expect("transpose deadlocked");
-    let s = res.memif_stats[0];
-    assert_eq!(s.elements as usize, procs * row_len, "lost elements");
-    (res.cycles, mesh.take_telemetry())
-}
 
 /// Trace-mode companion: the default PSCAN number is closed-form
 /// arithmetic, so to get per-CP drive and per-phase spans into the trace
@@ -86,39 +52,18 @@ fn traced_machine_writeback() -> Registry {
 
 fn main() -> std::result::Result<(), BenchError> {
     let mut ex = Experiment::new("table3");
-    let (procs, row_len) = if ex.quick() { (256, 256) } else { (1024, 1024) };
+    let mut cfg = if ex.quick() {
+        Table3Config::quick()
+    } else {
+        Table3Config::paper()
+    };
+    cfg.threads = ex.threads();
     let tracing = ex.tracing();
-    let threads = ex.threads();
 
-    // PSCAN closed form, scaled to this configuration.
-    let params = Table3Params {
-        n: row_len as u64,
-        p: procs as u64,
-        ..Default::default()
-    };
-    let pscan = params.pscan_cycles();
-
-    // The two t_p points are independent simulations: run them in parallel.
-    let mesh_runs: Vec<(u64, Option<Registry>)> = [1u64, 4]
-        .into_par_iter()
-        .map(|t_p| {
-            eprintln!("simulating mesh transpose (P = {procs}, N = {row_len}, t_p = {t_p})...");
-            mesh_transpose_cycles(procs, row_len, t_p, tracing && t_p == 1, threads)
-        })
-        .collect();
-    let (mesh1, mesh4) = (mesh_runs[0].0, mesh_runs[1].0);
-
-    let result = Result {
-        procs,
-        row_len,
-        pscan_cycles: pscan,
-        mesh_cycles_tp1: mesh1,
-        mesh_cycles_tp4: mesh4,
-        multiplier_tp1: mesh1 as f64 / pscan as f64,
-        multiplier_tp4: mesh4 as f64 / pscan as f64,
-        paper_multiplier_tp1: PAPER_MESH_WRITEBACK_TP1 as f64 / table3_pscan_cycles() as f64,
-        paper_multiplier_tp4: PAPER_MESH_WRITEBACK_TP4 as f64 / table3_pscan_cycles() as f64,
-    };
+    let interrupt = ex.interrupt();
+    let (result, registries) =
+        run_table3(&cfg, tracing, interrupt.as_ref()).map_err(|e| BenchError::run("table3", e))?;
+    let (procs, row_len) = (cfg.procs, cfg.row_len);
 
     let cells = vec![
         vec![
@@ -160,14 +105,12 @@ fn main() -> std::result::Result<(), BenchError> {
     if !ex.quick() {
         ex = ex.note(format!(
             "paper PSCAN cycles: {} (ours: {})",
-            table3_pscan_cycles(),
+            analytic::table3::table3_pscan_cycles(),
             result.pscan_cycles
         ));
     }
-    for (_, reg) in mesh_runs {
-        if let Some(reg) = reg {
-            ex = ex.telemetry(reg);
-        }
+    for reg in registries {
+        ex = ex.telemetry(reg);
     }
     if tracing {
         ex = ex.telemetry(traced_machine_writeback());

@@ -1,0 +1,222 @@
+//! Experiment workloads shared between the standalone harness binaries and
+//! the supervised batch driver (`run_batch`).
+//!
+//! The Table III transpose is the reference workload: `table3_transpose`
+//! runs it directly, and `run_batch` runs the *same* function under the
+//! [`crate::supervisor`], so a supervised result file is byte-identical to
+//! a direct one. Every knob that affects the numbers lives in
+//! [`Table3Config`], which serializes canonically for the result cache's
+//! config hash.
+
+use analytic::table3::{
+    table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
+};
+use emesh::mesh::{MeshConfig, MeshError};
+use emesh::workloads::load_transpose;
+use rayon::prelude::*;
+use serde::Serialize;
+use sim_core::cancel::Interrupt;
+use sim_core::telemetry::Registry;
+
+/// The Table III workload configuration: everything that determines the
+/// resulting cycle counts.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Config {
+    /// Mesh/PSCAN processor count `P` (a perfect square for the mesh).
+    pub procs: usize,
+    /// Samples per processor row, `N`.
+    pub row_len: usize,
+    /// Worker threads for the deterministic parallel mesh scheduler.
+    /// Results are bit-identical for any value.
+    pub threads: usize,
+}
+
+impl Table3Config {
+    /// The `--quick` configuration (256 processors, 256-sample rows).
+    pub fn quick() -> Self {
+        Table3Config {
+            procs: 256,
+            row_len: 256,
+            threads: 1,
+        }
+    }
+
+    /// The full paper configuration (P = 1024, N = 1024).
+    pub fn paper() -> Self {
+        Table3Config {
+            procs: 1024,
+            row_len: 1024,
+            threads: 1,
+        }
+    }
+
+    /// Canonical JSON for config hashing ([`crate::cache`]).
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("Table3Config serializes")
+    }
+}
+
+/// One Table III result row, serialized to `results/table3.json` (direct
+/// run) or `results/batch/table3.json` (supervised run) — the field set and
+/// order are the byte-identity contract between the two paths.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Processor count.
+    pub procs: usize,
+    /// Samples per row.
+    pub row_len: usize,
+    /// PSCAN SCA writeback, closed form Eq. (23)/(24).
+    pub pscan_cycles: u64,
+    /// Simulated mesh writeback at `t_p = 1`.
+    pub mesh_cycles_tp1: u64,
+    /// Simulated mesh writeback at `t_p = 4`.
+    pub mesh_cycles_tp4: u64,
+    /// `mesh_cycles_tp1 / pscan_cycles`.
+    pub multiplier_tp1: f64,
+    /// `mesh_cycles_tp4 / pscan_cycles`.
+    pub multiplier_tp4: f64,
+    /// The paper's Table III multiplier at `t_p = 1`.
+    pub paper_multiplier_tp1: f64,
+    /// The paper's Table III multiplier at `t_p = 4`.
+    pub paper_multiplier_tp4: f64,
+}
+
+/// Simulate the mesh transpose writeback at `t_p`, optionally instrumented
+/// and optionally under an interrupt (cancellation surfaces as
+/// [`MeshError::Cancelled`]).
+pub fn mesh_transpose_cycles(
+    cfg: &Table3Config,
+    t_p: u64,
+    tracing: bool,
+    interrupt: Option<&Interrupt>,
+) -> Result<(u64, Option<Registry>), MeshError> {
+    let mesh_cfg = MeshConfig::table3(cfg.procs, t_p).with_threads(cfg.threads);
+    let mut mesh = load_transpose(mesh_cfg, cfg.procs, cfg.row_len);
+    if tracing {
+        mesh.enable_telemetry();
+    }
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
+    let res = mesh.run()?;
+    let s = res.memif_stats[0];
+    assert_eq!(
+        s.elements as usize,
+        cfg.procs * cfg.row_len,
+        "lost elements"
+    );
+    Ok((res.cycles, mesh.take_telemetry()))
+}
+
+/// Run the complete Table III workload: the PSCAN closed form plus the two
+/// mesh simulations (`t_p = 1` and `t_p = 4`, in parallel), assembled into
+/// the canonical row.
+///
+/// With `interrupt` installed, each mesh polls its own clone; a deadline or
+/// token cancels both, and the `t_p = 1` error is the one reported (index
+/// order, so the failure is deterministic). Telemetry registries (when
+/// `tracing`) come back alongside the row in `t_p` order.
+pub fn run_table3(
+    cfg: &Table3Config,
+    tracing: bool,
+    interrupt: Option<&Interrupt>,
+) -> Result<(Table3Row, Vec<Registry>), MeshError> {
+    let params = Table3Params {
+        n: cfg.row_len as u64,
+        p: cfg.procs as u64,
+        ..Default::default()
+    };
+    let pscan = params.pscan_cycles();
+
+    // The two t_p points are independent simulations: run them in parallel.
+    let mesh_runs: Vec<Result<(u64, Option<Registry>), MeshError>> = [1u64, 4]
+        .into_par_iter()
+        .map(|t_p| {
+            eprintln!(
+                "simulating mesh transpose (P = {}, N = {}, t_p = {t_p})...",
+                cfg.procs, cfg.row_len
+            );
+            // Trace only the t_p = 1 run: one fully-instrumented mesh is
+            // what the trace viewer wants, not two interleaved ones.
+            mesh_transpose_cycles(cfg, t_p, tracing && t_p == 1, interrupt)
+        })
+        .collect();
+    let mut cycles = Vec::new();
+    let mut registries = Vec::new();
+    for run in mesh_runs {
+        let (c, reg) = run?;
+        cycles.push(c);
+        registries.extend(reg);
+    }
+    let (mesh1, mesh4) = (cycles[0], cycles[1]);
+
+    let row = Table3Row {
+        procs: cfg.procs,
+        row_len: cfg.row_len,
+        pscan_cycles: pscan,
+        mesh_cycles_tp1: mesh1,
+        mesh_cycles_tp4: mesh4,
+        multiplier_tp1: mesh1 as f64 / pscan as f64,
+        multiplier_tp4: mesh4 as f64 / pscan as f64,
+        paper_multiplier_tp1: PAPER_MESH_WRITEBACK_TP1 as f64 / table3_pscan_cycles() as f64,
+        paper_multiplier_tp4: PAPER_MESH_WRITEBACK_TP4 as f64 / table3_pscan_cycles() as f64,
+    };
+    Ok((row, registries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::cancel::CancelCause;
+
+    fn tiny() -> Table3Config {
+        Table3Config {
+            procs: 16,
+            row_len: 8,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn uninterrupted_run_produces_consistent_row() {
+        let (row, regs) = run_table3(&tiny(), false, None).expect("tiny transpose completes");
+        assert_eq!(row.procs, 16);
+        assert!(row.pscan_cycles > 0);
+        assert!(row.mesh_cycles_tp1 > 0);
+        assert!(row.multiplier_tp1 > 0.0);
+        assert!(regs.is_empty(), "no tracing requested");
+    }
+
+    #[test]
+    fn interrupt_is_ignored_when_nothing_fires() {
+        let idle = Interrupt::new().with_cycle_bound(u64::MAX);
+        let (a, _) = run_table3(&tiny(), false, None).unwrap();
+        let (b, _) = run_table3(&tiny(), false, Some(&idle)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "an armed-but-silent interrupt must not perturb the numbers"
+        );
+    }
+
+    #[test]
+    fn cycle_bound_cancels_with_structured_error() {
+        let intr = Interrupt::new().with_cycle_bound(0);
+        let err = run_table3(&tiny(), false, Some(&intr)).expect_err("bound 0 fires immediately");
+        match err {
+            MeshError::Cancelled { cause, .. } => {
+                assert_eq!(cause, CancelCause::CycleReached { bound: 0 });
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        assert!(err.to_string().contains("Cancelled"));
+    }
+
+    #[test]
+    fn canonical_json_is_stable() {
+        assert_eq!(
+            Table3Config::quick().canonical_json(),
+            r#"{"procs":256,"row_len":256,"threads":1}"#
+        );
+    }
+}

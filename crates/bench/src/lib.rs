@@ -15,6 +15,9 @@
 //!   trace-event JSON (`chrome://tracing` / Perfetto loadable),
 //! * `--metrics-out <path>` — write the attached telemetry's metric
 //!   series as flat JSON,
+//! * `--timeout-s <secs>` — wall-clock deadline for the simulated
+//!   workload; an expired deadline surfaces as a structured `Cancelled`
+//!   error and a nonzero exit ([`Experiment::interrupt`]),
 //!
 //! — so no binary parses arguments or writes JSON on its own. Unknown
 //! flags are rejected with a usage message and exit code 2, so a typo
@@ -36,9 +39,13 @@
 use serde::Serialize;
 use std::path::PathBuf;
 
+use sim_core::cancel::{Deadline, Interrupt};
 use sim_core::telemetry::Registry;
 
+pub mod cache;
 pub mod crosscheck;
+pub mod jobs;
+pub mod supervisor;
 
 /// Harness plumbing failure: the experiment ran, but its rows could not be
 /// recorded. Binaries propagate this out of `main` for a nonzero exit.
@@ -58,6 +65,25 @@ pub enum BenchError {
         /// The underlying serializer error.
         source: serde_json::Error,
     },
+    /// The simulated workload itself failed or was cancelled — e.g. a mesh
+    /// run hit its `--timeout-s` deadline. The source's `Display` carries
+    /// the structured cancellation payload.
+    Run {
+        /// The experiment name.
+        name: String,
+        /// The underlying fabric error.
+        source: Box<dyn std::error::Error + Send + Sync>,
+    },
+}
+
+impl BenchError {
+    /// Wrap a fabric error from the experiment named `name`.
+    pub fn run(name: &str, source: impl std::error::Error + Send + Sync + 'static) -> Self {
+        BenchError::Run {
+            name: name.to_string(),
+            source: Box::new(source),
+        }
+    }
 }
 
 impl std::fmt::Display for BenchError {
@@ -69,6 +95,9 @@ impl std::fmt::Display for BenchError {
             BenchError::Serialize { name, source } => {
                 write!(f, "serialize {name} rows: {source}")
             }
+            BenchError::Run { name, source } => {
+                write!(f, "{name} run failed: {source}")
+            }
         }
     }
 }
@@ -78,6 +107,7 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::Io { source, .. } => Some(source),
             BenchError::Serialize { source, .. } => Some(source),
+            BenchError::Run { source, .. } => Some(source.as_ref()),
         }
     }
 }
@@ -92,6 +122,7 @@ struct Cli {
     threads: usize,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    timeout_s: Option<f64>,
 }
 
 impl Default for Cli {
@@ -102,13 +133,15 @@ impl Default for Cli {
             threads: 1,
             trace_out: None,
             metrics_out: None,
+            timeout_s: None,
         }
     }
 }
 
 /// One line per accepted flag, printed on a parse error.
 const USAGE: &str = "usage: <bin> [--quick] [--no-json] [--threads <n>] \
-                     [--trace-out <path>] [--metrics-out <path>]";
+                     [--trace-out <path>] [--metrics-out <path>] \
+                     [--timeout-s <secs>]";
 
 impl Cli {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
@@ -139,6 +172,17 @@ impl Cli {
                 }
                 "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut it)?)),
                 "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value(&mut it)?)),
+                "--timeout-s" => {
+                    let v = value(&mut it)?;
+                    cli.timeout_s = Some(
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|s| s.is_finite() && *s >= 0.0)
+                            .ok_or_else(|| {
+                                format!("--timeout-s needs a finite non-negative number, got {v:?}")
+                            })?,
+                    );
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
             if inline.is_some() {
@@ -235,6 +279,26 @@ impl Experiment {
     /// workload that actually produces spans).
     pub fn tracing(&self) -> bool {
         self.cli.trace_out.is_some() || self.cli.metrics_out.is_some()
+    }
+
+    /// Wall-clock budget requested with `--timeout-s`, if any.
+    pub fn timeout_s(&self) -> Option<f64> {
+        self.cli.timeout_s
+    }
+
+    /// The interrupt to install on this run's fabrics, or `None` when no
+    /// `--timeout-s` was passed (the common, zero-overhead case).
+    ///
+    /// Each call arms a fresh [`Deadline`] measured from *now*, so build
+    /// the interrupt right before the workload starts. Binaries hand it to
+    /// `Mesh::set_interrupt` / `Machine::set_interrupt` /
+    /// `run_trace_supervised`; a cancellation then propagates out of the
+    /// fabric as a structured error the binary wraps with
+    /// [`BenchError::run`].
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.cli
+            .timeout_s
+            .map(|s| Interrupt::new().with_deadline(Deadline::after_secs_f64(s)))
     }
 
     /// The experiment-wide telemetry registry, for binaries that record
@@ -355,7 +419,13 @@ fn write_results_file(name: &str, json: &str) -> Result<(), BenchError> {
     write_file(&path, json)
 }
 
-/// Write `contents` to `path` (creating parent directories) and log it.
+/// Write `contents` to `path` atomically (creating parent directories) and
+/// log it.
+///
+/// The contents land in a sibling temporary file first and are renamed into
+/// place, so a reader — or a supervisor killing the process mid-write —
+/// never observes a truncated result file: `path` either holds its previous
+/// contents or the complete new ones.
 fn write_file(path: &std::path::Path, contents: &str) -> Result<(), BenchError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -365,12 +435,40 @@ fn write_file(path: &std::path::Path, contents: &str) -> Result<(), BenchError> 
             })?;
         }
     }
-    std::fs::write(path, contents).map_err(|source| BenchError::Io {
-        path: path.to_path_buf(),
-        source,
-    })?;
+    // Same directory as the destination so the rename cannot cross a
+    // filesystem boundary; pid-qualified so concurrent harness processes
+    // writing the same file cannot collide on the temporary.
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("out"));
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let io_err = |p: &std::path::Path| {
+        let path = p.to_path_buf();
+        move |source| BenchError::Io { path, source }
+    };
+    std::fs::write(&tmp, contents).map_err(io_err(&tmp))?;
+    if let Err(source) = std::fs::rename(&tmp, path) {
+        // Leave no orphan temporary behind on a failed publish.
+        let _ = std::fs::remove_file(&tmp);
+        return Err(BenchError::Io {
+            path: path.to_path_buf(),
+            source,
+        });
+    }
     eprintln!("wrote {}", path.display());
     Ok(())
+}
+
+/// Write `contents` atomically to `<results dir>/<rel>` (e.g.
+/// `batch/table3.json`), creating directories as needed; returns the path
+/// written. The batch driver uses this for per-job result files that must
+/// land beside — not inside — the experiment's own `results/<name>.json`.
+pub fn write_results_at(rel: &str, contents: &str) -> Result<PathBuf, BenchError> {
+    let path = results_dir_path().join(rel);
+    write_file(&path, contents)?;
+    Ok(path)
 }
 
 /// Render an aligned text table.
@@ -479,5 +577,55 @@ mod tests {
         assert!(parse(&["--threads", "many"]).is_err(), "non-numeric");
         assert!(parse(&["--trace-out"]).is_err(), "missing path");
         assert!(parse(&["--quick=1"]).is_err(), "flag takes no value");
+    }
+
+    #[test]
+    fn cli_parses_timeout() {
+        assert_eq!(parse(&[]).unwrap().timeout_s, None);
+        assert_eq!(parse(&["--timeout-s", "2.5"]).unwrap().timeout_s, Some(2.5));
+        assert_eq!(parse(&["--timeout-s=0"]).unwrap().timeout_s, Some(0.0));
+    }
+
+    #[test]
+    fn cli_rejects_bad_timeout() {
+        assert!(parse(&["--timeout-s"]).is_err(), "missing value");
+        assert!(parse(&["--timeout-s", "-1"]).is_err(), "negative");
+        assert!(parse(&["--timeout-s", "nan"]).is_err(), "NaN");
+        assert!(parse(&["--timeout-s", "inf"]).is_err(), "infinite");
+        assert!(parse(&["--timeout-s", "soon"]).is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn experiment_interrupt_follows_timeout_flag() {
+        let ex = Experiment::with_args("t", vec![]).unwrap();
+        assert!(ex.interrupt().is_none(), "no flag, no interrupt");
+        let ex = Experiment::with_args("t", vec!["--timeout-s".into(), "3600".into()]).unwrap();
+        let mut intr = ex.interrupt().expect("flag arms a deadline");
+        assert!(intr.is_armed());
+        assert_eq!(intr.check(0), None, "an hour out, nothing fires");
+        let ex = Experiment::with_args("t", vec!["--timeout-s".into(), "0".into()]).unwrap();
+        let mut intr = ex.interrupt().expect("zero timeout still arms");
+        assert_eq!(
+            intr.check(0),
+            Some(sim_core::cancel::CancelCause::DeadlineExceeded),
+            "expired deadline fires at the first poll"
+        );
+    }
+
+    #[test]
+    fn write_file_is_atomic_and_leaves_no_temporaries() {
+        let dir = std::env::temp_dir().join(format!("bench-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.json");
+        write_file(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_file(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("out.json")]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

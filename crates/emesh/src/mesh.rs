@@ -47,6 +47,7 @@ mod soa;
 use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
+use sim_core::cancel::{CancelCause, Interrupt};
 use sim_core::invariant;
 use sim_core::stats::Histogram;
 use sim_core::telemetry::{Registry, SeriesHistogram};
@@ -224,6 +225,23 @@ pub enum MeshError {
         /// Cycle the router died.
         killed_at: u64,
     },
+    /// The run was interrupted by the installed [`sim_core::cancel::Interrupt`]
+    /// (token, deadline, or deterministic cycle bound). Carries the partial
+    /// progress reached, so a supervisor can report how far the run got.
+    /// The mesh itself is left mid-flight; cancelled runs are not resumable
+    /// — re-run from a fresh mesh (determinism makes the rerun exact).
+    Cancelled {
+        /// The serviced cycle the interrupt fired at.
+        at_cycle: u64,
+        /// Which interrupt source fired.
+        cause: CancelCause,
+        /// Flits still buffered in the network at cancellation.
+        in_flight: u64,
+        /// Flits still queued for injection at cancellation.
+        pending_inject: u64,
+        /// Energy counters accumulated up to cancellation.
+        energy: EnergyCounters,
+    },
 }
 
 impl std::fmt::Display for MeshError {
@@ -239,16 +257,21 @@ impl std::fmt::Display for MeshError {
                 )
             }
             MeshError::CycleLimit { limit } => write!(f, "mesh exceeded {limit} cycles"),
-            MeshError::NoProgress { at_cycle, report } => write!(
-                f,
-                "mesh livelocked (no flit movement) at cycle {at_cycle}: \
-                 {} in flight, {} pending injection, {} pending retransmits, \
-                 killed routers {:?}",
-                report.in_flight,
-                report.pending_inject,
-                report.pending_retransmits,
-                report.killed_routers,
-            ),
+            MeshError::NoProgress { at_cycle, report } => {
+                write!(
+                    f,
+                    "mesh livelocked (no flit movement) at cycle {at_cycle}: \
+                     {} in flight, {} pending injection, {} pending retransmits, \
+                     killed routers {:?}; stuck routers (id, flits): {:?}; \
+                     fault stats: {:?}",
+                    report.in_flight,
+                    report.pending_inject,
+                    report.pending_retransmits,
+                    report.killed_routers,
+                    report.stuck_routers,
+                    report.stats,
+                )
+            }
             MeshError::BadInjection { node, nodes } => {
                 write!(f, "injection at node {node} outside the {nodes}-node mesh")
             }
@@ -258,6 +281,17 @@ impl std::fmt::Display for MeshError {
                     "injection at node {node}, which was hard-killed at cycle {killed_at}"
                 )
             }
+            MeshError::Cancelled {
+                at_cycle,
+                cause,
+                in_flight,
+                pending_inject,
+                ..
+            } => write!(
+                f,
+                "mesh run Cancelled at cycle {at_cycle} ({cause}); \
+                 {in_flight} flits in flight, {pending_inject} pending injection"
+            ),
         }
     }
 }
@@ -482,6 +516,12 @@ pub struct Mesh {
     progress_cycle: u64,
     /// Warnings accumulated by the current run (cleared at run start).
     run_warnings: Vec<RunWarning>,
+    /// Cooperative interrupt, polled once per serviced cycle on the master
+    /// loop (which both the sequential path and the epoch-parallel waves
+    /// run through). `None` (the default) costs one branch per serviced
+    /// cycle and keeps the run bit-identical to a build without the
+    /// feature.
+    interrupt: Option<Interrupt>,
 }
 
 const NEVER: u64 = u64::MAX;
@@ -543,7 +583,23 @@ impl Mesh {
             progress_metric: 0,
             progress_cycle: 0,
             run_warnings: Vec::new(),
+            interrupt: None,
         }
+    }
+
+    /// Install a cooperative [`Interrupt`]: the run loop polls it once per
+    /// serviced cycle and aborts with [`MeshError::Cancelled`] (carrying
+    /// the cycle reached and partial progress counters) when a source
+    /// fires. Replaces any earlier interrupt. With no interrupt installed
+    /// the poll site is a single `None` branch — results stay
+    /// bit-identical and the perf gate sees no regression.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = Some(interrupt);
+    }
+
+    /// Remove the installed interrupt, restoring the zero-cost path.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
     }
 
     /// Attach (or replace) a telemetry registry. Costs nothing on the hot

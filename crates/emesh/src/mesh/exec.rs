@@ -846,6 +846,21 @@ impl Mesh {
                 next = Some(next.map_or(due, |n| n.min(due)));
             }
             let Some(c) = next else { break };
+            // Cooperative cancellation: one branch per serviced cycle when
+            // no interrupt is installed. Sits on the master loop, so it
+            // covers the sequential path and the parallel waves alike —
+            // a wave is never torn mid-cycle.
+            if let Some(intr) = self.interrupt.as_mut() {
+                if let Some(cause) = intr.check(c) {
+                    return Err(MeshError::Cancelled {
+                        at_cycle: c,
+                        cause,
+                        in_flight: self.in_flight,
+                        pending_inject: self.pending_inject,
+                        energy: self.energy,
+                    });
+                }
+            }
             if c > self.cfg.max_cycles {
                 return Err(MeshError::CycleLimit {
                     limit: self.cfg.max_cycles,

@@ -13,6 +13,34 @@ use crate::addr::AddrMap;
 use crate::bank::{Bank, RowOutcome};
 use crate::config::DramConfig;
 
+/// How often (in accesses) [`DramController::run_trace_supervised`] polls its
+/// interrupt. Coarse enough to keep the poll off the critical path, fine
+/// enough that cancellation latency is bounded by ~1k bank accesses.
+pub const TRACE_POLL_PERIOD: u64 = 1024;
+
+/// A supervised trace run was interrupted before the stream was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCancelled {
+    /// Accesses fully costed before the interrupt fired.
+    pub accesses_done: u64,
+    /// DRAM cycle the completed prefix reached.
+    pub cycle: u64,
+    /// Which interrupt source fired.
+    pub cause: sim_core::cancel::CancelCause,
+}
+
+impl std::fmt::Display for TraceCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace Cancelled after {} accesses at cycle {} ({})",
+            self.accesses_done, self.cycle, self.cause
+        )
+    }
+}
+
+impl std::error::Error for TraceCancelled {}
+
 /// Read or write. The timing model is symmetric; the distinction feeds
 /// statistics and (in `psync`) data movement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +142,34 @@ impl DramController {
         t
     }
 
+    /// [`Self::run_trace`] under an [`Interrupt`](sim_core::cancel::Interrupt):
+    /// the interrupt is polled every [`TRACE_POLL_PERIOD`] accesses (with
+    /// accesses-completed as the deterministic progress counter), so a deadline
+    /// or token can stop a long trace mid-stream. On cancellation the error
+    /// carries how far the trace got; the controller's statistics remain valid
+    /// for the completed prefix.
+    pub fn run_trace_supervised(
+        &mut self,
+        addrs: impl IntoIterator<Item = u64>,
+        kind: AccessKind,
+        interrupt: &mut sim_core::cancel::Interrupt,
+    ) -> Result<u64, TraceCancelled> {
+        let mut t = 0;
+        for (done, a) in (0u64..).zip(addrs) {
+            if done.is_multiple_of(TRACE_POLL_PERIOD) {
+                if let Some(cause) = interrupt.check(done) {
+                    return Err(TraceCancelled {
+                        accesses_done: done,
+                        cycle: t,
+                        cause,
+                    });
+                }
+            }
+            t = self.access(t, a, kind);
+        }
+        Ok(t)
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> DramStats {
         self.stats
@@ -144,6 +200,47 @@ mod tests {
         assert_eq!(s.hits, 1024 - 32);
         assert!(s.hit_rate() > 0.95);
         assert!(total > 0);
+    }
+
+    #[test]
+    fn supervised_trace_matches_unsupervised_when_uninterrupted() {
+        let mut plain = DramController::new(DramConfig::default(), 64);
+        let mut sup = DramController::new(DramConfig::default(), 64);
+        let t0 = plain.run_trace(0..4096u64, AccessKind::Read);
+        let mut intr = sim_core::cancel::Interrupt::new();
+        let t1 = sup
+            .run_trace_supervised(0..4096u64, AccessKind::Read, &mut intr)
+            .expect("no interrupt source armed");
+        assert_eq!(t0, t1);
+        assert_eq!(plain.stats(), sup.stats());
+    }
+
+    #[test]
+    fn supervised_trace_cancels_with_valid_prefix_stats() {
+        let mut c = DramController::new(DramConfig::default(), 64);
+        let mut intr = sim_core::cancel::Interrupt::new().with_cycle_bound(TRACE_POLL_PERIOD);
+        let err = c
+            .run_trace_supervised(0..1_000_000u64, AccessKind::Read, &mut intr)
+            .expect_err("bound well inside the trace");
+        assert_eq!(err.accesses_done, TRACE_POLL_PERIOD);
+        assert_eq!(c.stats().accesses, TRACE_POLL_PERIOD);
+        assert_eq!(err.cycle, c.stats().last_done);
+        assert!(matches!(
+            err.cause,
+            sim_core::cancel::CancelCause::CycleReached { .. }
+        ));
+        assert!(err.to_string().contains("Cancelled"));
+    }
+
+    #[test]
+    fn supervised_trace_cancel_at_zero_costs_nothing() {
+        let mut c = DramController::new(DramConfig::default(), 64);
+        let mut intr = sim_core::cancel::Interrupt::new().with_cycle_bound(0);
+        let err = c
+            .run_trace_supervised(0..128u64, AccessKind::Read, &mut intr)
+            .expect_err("bound 0 fires before the first access");
+        assert_eq!(err.accesses_done, 0);
+        assert_eq!(c.stats().accesses, 0);
     }
 
     #[test]

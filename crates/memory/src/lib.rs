@@ -24,7 +24,7 @@ pub mod frfcfs;
 pub use addr::{AddrMap, Decoded};
 pub use bank::Bank;
 pub use config::DramConfig;
-pub use controller::{AccessKind, DramController, DramStats};
+pub use controller::{AccessKind, DramController, DramStats, TraceCancelled};
 pub use frfcfs::{FrFcfsConfig, FrFcfsController};
 
 /// One-stop import for DRAM experiments:

@@ -177,6 +177,14 @@ pub enum PscanError {
         /// Corrupted words observed over all attempts.
         corrupted_words: u64,
     },
+    /// The transaction was interrupted by the installed
+    /// [`sim_core::cancel::Interrupt`] between gather attempts.
+    Cancelled {
+        /// The attempt the interrupt fired before (1 = before any pass).
+        attempt: u32,
+        /// Which interrupt source fired.
+        cause: sim_core::cancel::CancelCause,
+    },
 }
 
 impl std::fmt::Display for PscanError {
@@ -190,6 +198,9 @@ impl std::fmt::Display for PscanError {
                 f,
                 "gather CRC failed on all {attempts} attempts ({corrupted_words} corrupted words)"
             ),
+            PscanError::Cancelled { attempt, cause } => {
+                write!(f, "gather Cancelled before attempt {attempt} ({cause})")
+            }
         }
     }
 }
@@ -198,7 +209,7 @@ impl std::error::Error for PscanError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PscanError::Bus(e) => Some(e),
-            PscanError::RetriesExhausted { .. } => None,
+            PscanError::RetriesExhausted { .. } | PscanError::Cancelled { .. } => None,
         }
     }
 }

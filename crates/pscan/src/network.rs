@@ -20,6 +20,7 @@ use photonics::wdm::WavelengthPlan;
 use std::cell::Cell;
 
 use serde::{Deserialize, Serialize};
+use sim_core::cancel::Interrupt;
 use sim_core::invariant;
 use sim_core::telemetry::Registry;
 use sim_core::time::Duration;
@@ -104,6 +105,11 @@ pub struct Pscan {
     /// bus-slot timeline (`tel_cursor`, one slot = one trace microsecond).
     telemetry: Option<Registry>,
     tel_cursor: Cell<u64>,
+    /// Cooperative interrupt, polled once per retry attempt inside
+    /// [`Pscan::gather_reliable`]. `None` (the default) leaves the
+    /// transaction paths untouched. The single-pass [`Pscan::gather`] and
+    /// [`Pscan::scatter`] are one bounded burst each and are not polled.
+    interrupt: Option<Interrupt>,
 }
 
 /// Cap on per-CP drive/listen spans recorded for one transaction: a
@@ -145,7 +151,21 @@ impl Pscan {
             faults: None,
             telemetry: None,
             tel_cursor: Cell::new(0),
+            interrupt: None,
         }
+    }
+
+    /// Install a cooperative [`Interrupt`]: [`Pscan::gather_reliable`]
+    /// polls it before each CRC attempt and aborts with
+    /// [`PscanError::Cancelled`] when a source fires. Replaces any earlier
+    /// interrupt; with none installed the retry loop is untouched.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = Some(interrupt);
+    }
+
+    /// Remove the installed interrupt.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
     }
 
     /// Attach (or replace) a telemetry registry. Each subsequent
@@ -276,6 +296,11 @@ impl Pscan {
         let mut slots_on_bus = 0u64;
 
         for attempt in 1..=max_attempts {
+            if let Some(intr) = self.interrupt.as_mut() {
+                if let Some(cause) = intr.check(u64::from(attempt - 1)) {
+                    return Err(PscanError::Cancelled { attempt, cause });
+                }
+            }
             slots_on_bus += burst_slots;
             let mut received = clean.received.clone();
             let mut corrupted_this_pass = 0u64;

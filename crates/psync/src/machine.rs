@@ -45,6 +45,16 @@ pub enum MachineError {
         /// Corrupted words observed on the final pass.
         last_corrupted: u64,
     },
+    /// The machine was interrupted by the installed
+    /// [`sim_core::cancel::Interrupt`] at a phase boundary. (Cancellations
+    /// that fire *inside* a gather's retry loop surface as
+    /// [`MachineError::Pscan`] wrapping [`PscanError::Cancelled`].)
+    Cancelled {
+        /// Phases completed before the interrupt fired.
+        phases_done: usize,
+        /// Which interrupt source fired.
+        cause: sim_core::cancel::CancelCause,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -67,6 +77,10 @@ impl std::fmt::Display for MachineError {
                 f,
                 "SCA pass failed {passes} times (link-layer retries exhausted each \
                  time; {last_corrupted} corrupted words on the final pass)"
+            ),
+            MachineError::Cancelled { phases_done, cause } => write!(
+                f,
+                "machine Cancelled after {phases_done} completed phases ({cause})"
             ),
         }
     }
@@ -200,6 +214,10 @@ pub struct Machine {
     /// untouched. Phase spans live on the machine's wall-clock timeline,
     /// rendered at one microsecond of trace time per simulated microsecond.
     telemetry: Option<Registry>,
+    /// Cooperative interrupt, polled at every phase boundary (scatter /
+    /// gather entry). `None` (the default) leaves the phase paths
+    /// untouched.
+    interrupt: Option<sim_core::cancel::Interrupt>,
 }
 
 impl Machine {
@@ -220,7 +238,38 @@ impl Machine {
             phases: Vec::new(),
             sca_reissue_limit: 3,
             telemetry: None,
+            interrupt: None,
         }
+    }
+
+    /// Install a cooperative [`sim_core::cancel::Interrupt`] on the machine
+    /// *and* (a clone of it) on its PSCAN: phase boundaries abort with
+    /// [`MachineError::Cancelled`], and a gather's link-layer retry loop
+    /// aborts with [`PscanError::Cancelled`] between attempts. Replaces
+    /// any earlier interrupt; with none installed every protocol path is
+    /// untouched.
+    pub fn set_interrupt(&mut self, interrupt: sim_core::cancel::Interrupt) {
+        self.pscan.set_interrupt(interrupt.clone());
+        self.interrupt = Some(interrupt);
+    }
+
+    /// Remove the installed interrupt from the machine and its PSCAN.
+    pub fn clear_interrupt(&mut self) {
+        self.pscan.clear_interrupt();
+        self.interrupt = None;
+    }
+
+    /// Poll the interrupt at a phase boundary.
+    fn check_interrupt(&mut self) -> Result<(), MachineError> {
+        if let Some(intr) = self.interrupt.as_mut() {
+            if let Some(cause) = intr.check(self.phases.len() as u64) {
+                return Err(MachineError::Cancelled {
+                    phases_done: self.phases.len(),
+                    cause,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Attach (or replace) a telemetry registry on the machine *and* its
@@ -306,6 +355,7 @@ impl Machine {
         spec: &ScatterSpec,
     ) -> Result<Vec<Vec<u64>>, MachineError> {
         assert_eq!(addrs.len() as u64, spec.total_slots());
+        self.check_interrupt()?;
         let (burst, dram_cycles) = self.head.stream_out(addrs.iter().copied());
         let out = self.pscan.scatter(spec, &burst).map_err(PscanError::from)?;
         let payload = spec.total_slots();
@@ -350,6 +400,7 @@ impl Machine {
         addrs: &[u64],
     ) -> Result<Vec<u64>, MachineError> {
         assert_eq!(addrs.len() as u64, spec.total_slots());
+        self.check_interrupt()?;
         let burst = spec.total_slots();
         let mut passes = 0u32;
         let mut retries_total = 0u64;
@@ -388,7 +439,11 @@ impl Machine {
                         });
                     }
                 }
-                Err(e @ PscanError::Bus(_)) => return Err(e.into()),
+                // Bus rejections and mid-retry cancellations are not
+                // recoverable by re-issuing the pass.
+                Err(e @ (PscanError::Bus(_) | PscanError::Cancelled { .. })) => {
+                    return Err(e.into())
+                }
             }
         };
         if let Some(slot) = out.received.iter().position(|w| w.is_none()) {

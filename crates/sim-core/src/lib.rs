@@ -23,6 +23,10 @@
 //! * [`parallel`] — epoch-synchronous worker pool ([`parallel::EpochPool`])
 //!   and deterministic partitioner for the barrier-synchronous parallel
 //!   execution modes of the fabric simulators.
+//! * [`cancel`] — cooperative cancellation: generation-counter
+//!   [`cancel::CancelToken`]s, wall-clock [`cancel::Deadline`]s and the
+//!   [`cancel::Interrupt`] bundle the fabrics poll at chunk granularity;
+//!   zero-cost when uninstalled.
 //! * [`invariants`] — the [`invariant!`] runtime-checking macro for the
 //!   fabric conservation laws (flit conservation, buffer bounds, staging
 //!   accounting, bus-slot exclusivity); on in debug builds and under the
@@ -33,6 +37,7 @@
 //! enforced by the stable tie-breaking in [`event::EventQueue`] and by using
 //! only explicitly-seeded RNGs.
 
+pub mod cancel;
 pub mod engine;
 pub mod event;
 pub mod faults;
@@ -44,6 +49,7 @@ pub mod telemetry;
 pub mod time;
 pub mod vcd;
 
+pub use cancel::{CancelCause, CancelToken, CancelWatch, Deadline, Interrupt};
 pub use engine::CycleEngine;
 pub use event::{EventQueue, EventScheduled};
 pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};
@@ -56,6 +62,7 @@ pub use vcd::VcdWriter;
 /// Canonical public surface of `sim-core`, for glob import:
 /// `use sim_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::cancel::{CancelCause, CancelToken, CancelWatch, Deadline, Interrupt};
     pub use crate::engine::CycleEngine;
     pub use crate::event::{EventQueue, EventScheduled};
     pub use crate::faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};

@@ -41,6 +41,7 @@ BINS = [
     "fig14_reorg",
     "fig5_energy",
     "perf_mesh",
+    "run_batch",
     "table1",
     "table2",
     "table3_transpose",
