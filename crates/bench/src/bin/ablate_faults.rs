@@ -12,132 +12,24 @@
 //! cargo run --release -p bench --bin ablate_faults [--quick]
 //! ```
 
+use bench::jobs::{run_ablate_faults, AblateFaultsSpec, FaultPoint};
 use bench::{f, BenchError, Experiment};
-use emesh::energy::OrionParams;
-use emesh::mesh::MeshConfig;
-use emesh::workloads::load_transpose;
-use emesh::MeshFaultConfig;
-use pscan::compiler::GatherSpec;
-use pscan::faults::PscanFaultConfig;
-use psync::machine::{Machine, MachineConfig};
-use rayon::prelude::*;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    rate: f64,
-    // Electronic mesh, Table III transpose.
-    mesh_cycles: u64,
-    mesh_energy_uj: f64,
-    mesh_corrupted_flits: u64,
-    mesh_retransmits: u64,
-    mesh_link_down_events: u64,
-    mesh_dropped_elements: u64,
-    // Photonic machine, SCA writeback sequence.
-    pscan_bus_slots: u64,
-    pscan_retries: u64,
-    pscan_corrupted_words: u64,
-    pscan_giveups: u64,
-    // Headline: recovery actions across both fabrics.
-    total_retries: u64,
-}
-
-/// Word/flit error probabilities swept. Spacing is ≥ 2× so the retry counts
-/// separate cleanly under the fixed seeds.
-const RATES: &[f64] = &[0.0, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2];
-
-fn mesh_point(
-    rate: f64,
-    procs: usize,
-    row_len: usize,
-    threads: usize,
-    interrupt: Option<&sim_core::cancel::Interrupt>,
-) -> Result<(u64, f64, emesh::MeshFaultStats), emesh::mesh::MeshError> {
-    let cfg = MeshConfig::table3(procs, 1).with_threads(threads);
-    let mut mesh = load_transpose(cfg, procs, row_len);
-    if let Some(intr) = interrupt {
-        mesh.set_interrupt(intr.clone());
-    }
-    mesh.enable_faults(MeshFaultConfig {
-        seed: 0xFA_u64,
-        corrupt_rate: rate,
-        link_down_rate: rate / 10.0,
-        max_retransmits: 64,
-        ..Default::default()
-    });
-    let res = mesh.run()?;
-    let energy_uj = OrionParams::default().total_j(&res.energy, procs) * 1e6;
-    Ok((res.cycles, energy_uj, res.faults.expect("layer attached")))
-}
-
-/// `gathers` SCA writebacks of one 64-slot burst each. Bursts are kept small
-/// so even the harshest swept rate stays recoverable within the link-layer
-/// retry budget (CRC granularity = burst).
-fn machine_point(
-    rate: f64,
-    gathers: usize,
-    interrupt: Option<&sim_core::cancel::Interrupt>,
-) -> Result<(u64, u64, u64, u64), psync::machine::MachineError> {
-    const NODES: usize = 8;
-    let spec = GatherSpec::interleaved(NODES, 4, 2); // 64 slots
-    let burst = spec.total_slots() as usize;
-    let mut m = Machine::new(MachineConfig::paper_default(NODES, gathers * burst));
-    if let Some(intr) = interrupt {
-        m.set_interrupt(intr.clone());
-    }
-    m.enable_faults(PscanFaultConfig {
-        seed: 0xFA_u64,
-        word_error_rate: rate,
-        max_retries: 256,
-        ..Default::default()
-    });
-    for g in 0..gathers {
-        let words: Vec<Vec<u64>> = (0..NODES)
-            .map(|n| vec![(g * NODES + n) as u64; burst / NODES])
-            .collect();
-        let addrs: Vec<u64> = (0..burst as u64).map(|k| (g * burst) as u64 + k).collect();
-        // Swept rates stay within the retry budget; only a cancellation
-        // (or a genuinely exhausted budget) propagates.
-        m.try_gather_to_memory(&format!("wb{g}"), &spec, &words, &addrs)?;
-    }
-    let bus_slots: u64 = m.phases.iter().map(|p| p.bus_slots).sum();
-    let retries: u64 = m.phases.iter().map(|p| p.retries).sum();
-    let stats = m.fault_stats().expect("layer attached");
-    Ok((bus_slots, retries, stats.injected, stats.giveups))
-}
 
 fn main() -> Result<(), BenchError> {
     let ex = Experiment::new("ablate_faults");
-    let threads = ex.threads();
     let quick = ex.quick();
-    let (procs, row_len, gathers) = if quick { (16, 16, 4) } else { (64, 64, 16) };
+    let mut spec = if quick {
+        AblateFaultsSpec::quick()
+    } else {
+        AblateFaultsSpec::paper()
+    };
+    spec.threads = ex.threads();
+    let (procs, gathers) = (spec.procs, spec.gathers);
     let interrupt = ex.interrupt();
-    let points: Vec<Point> = RATES
-        .par_iter()
-        .map(|&rate| {
-            eprintln!("rate = {rate:.0e}...");
-            let (mesh_cycles, mesh_energy_uj, ms) =
-                mesh_point(rate, procs, row_len, threads, interrupt.as_ref())
-                    .map_err(|e| BenchError::run("ablate_faults", e))?;
-            let (pscan_bus_slots, pscan_retries, pscan_corrupted_words, pscan_giveups) =
-                machine_point(rate, gathers, interrupt.as_ref())
-                    .map_err(|e| BenchError::run("ablate_faults", e))?;
-            Ok(Point {
-                rate,
-                mesh_cycles,
-                mesh_energy_uj,
-                mesh_corrupted_flits: ms.corrupted_flits,
-                mesh_retransmits: ms.retransmits,
-                mesh_link_down_events: ms.link_down_events,
-                mesh_dropped_elements: ms.dropped_elements,
-                pscan_bus_slots,
-                pscan_retries,
-                pscan_corrupted_words,
-                pscan_giveups,
-                total_retries: ms.retransmits + pscan_retries,
-            })
-        })
-        .collect::<Result<_, BenchError>>()?;
+    // The sweep itself lives in [`bench::jobs`] so the supervised paths
+    // (`run_batch`, `psyncd`) produce byte-identical rows.
+    let points: Vec<FaultPoint> = run_ablate_faults(&spec, interrupt.as_ref())
+        .map_err(|e| BenchError::run("ablate_faults", e))?;
 
     let cells: Vec<Vec<String>> = points
         .iter()

@@ -14,11 +14,9 @@
 //! `--quick` drops to P = N = 256 for smoke runs; `--threads <n>` adds
 //! `n` to the sweep.
 
-use std::time::Instant;
-
+use bench::jobs::perf_mesh_point;
 use bench::{f, BenchError, Experiment};
-use emesh::mesh::{MeshConfig, MeshError, RoutingPolicy};
-use emesh::workloads::load_transpose;
+use emesh::mesh::{MeshError, RoutingPolicy};
 use serde::Serialize;
 use sim_core::cancel::Interrupt;
 
@@ -59,17 +57,10 @@ fn run_one(
     threads: usize,
     interrupt: Option<&Interrupt>,
 ) -> Result<PerfRow, MeshError> {
-    let cfg = MeshConfig::table3(procs, t_p)
-        .with_policy(policy)
-        .with_threads(threads);
-    let mut mesh = load_transpose(cfg, procs, row_len);
-    if let Some(intr) = interrupt {
-        mesh.set_interrupt(intr.clone());
-    }
-    let t0 = Instant::now();
-    let res = mesh.run()?;
-    let wall_s = t0.elapsed().as_secs_f64();
-    let flit_moves = res.energy.router_traversals;
+    // The simulation core is shared with the `perf_mesh` job family in
+    // [`bench::jobs`]; this bin adds the wall-clock-derived columns.
+    let point = perf_mesh_point(procs, row_len, policy, t_p, threads, interrupt)?;
+    let (cycles, flit_moves, wall_s) = (point.cycles, point.flit_moves, point.wall_s);
     let policy = format!("{policy:?}");
     // The seed baseline is a property of the configuration, not the thread
     // count (the seed scheduler was sequential-only), so threaded rows get
@@ -90,11 +81,11 @@ fn run_one(
         policy,
         t_p,
         threads,
-        cycles: res.cycles,
+        cycles,
         wall_s,
         flit_moves,
         flit_moves_per_s: flit_moves as f64 / wall_s,
-        cycles_per_s: res.cycles as f64 / wall_s,
+        cycles_per_s: cycles as f64 / wall_s,
         seed_wall_s,
         speedup_vs_seed: seed_wall_s.map(|s| s / wall_s),
         speedup_vs_1t: None,

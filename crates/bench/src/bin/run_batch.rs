@@ -33,13 +33,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bench::cache::{fingerprint_hex, fnv1a64, ResultCache};
-use bench::jobs::{run_table3, Table3Config};
-use bench::supervisor::{
-    JobError, JobReport, JobSuccess, Supervisor, SupervisorConfig, Work, WorkError,
-};
+use bench::cache::{fingerprint_hex, ResultCache};
+use bench::jobs::{supervised_work, JobSpec, Table3Spec};
+use bench::supervisor::{JobError, JobReport, JobSuccess, Supervisor, SupervisorConfig, Work};
 use bench::{BenchError, Experiment};
-use emesh::mesh::MeshError;
 use serde::Serialize;
 
 /// SIGINT latch + handler installation (no-op off unix).
@@ -127,49 +124,12 @@ fn row_for(report: &JobReport) -> BatchRow {
     }
 }
 
-/// A supervised Table III job: cache lookup keyed on the canonical config
-/// JSON plus the deadline bits, simulation on miss, per-job result file on
-/// a fresh pass.
-fn table3_work(cfg: Table3Config, timeout_s: Option<f64>, cache: Arc<ResultCache>) -> Arc<Work> {
-    Arc::new(move |interrupt| {
-        // The deadline is part of the key: a run cancelled at 0 s must not
-        // poison (or be served from) the untimed entry.
-        let key = fnv1a64(
-            format!(
-                "{}|timeout={:?}",
-                cfg.canonical_json(),
-                timeout_s.map(f64::to_bits)
-            )
-            .as_bytes(),
-        );
-        let built = cache.get_or_build(key, || {
-            let (row, _telemetry) = run_table3(&cfg, false, interrupt.as_ref()).map_err(|e| {
-                match &e {
-                    MeshError::Cancelled { .. } => WorkError::Cancelled {
-                        detail: e.to_string(),
-                    },
-                    // A mesh that deadlocks or trips its watchdog under a
-                    // fault layer is worth one more try; real bugs fail
-                    // again identically.
-                    MeshError::NoProgress { .. } => WorkError::Transient {
-                        detail: e.to_string(),
-                    },
-                    _ => WorkError::Fatal {
-                        detail: e.to_string(),
-                    },
-                }
-            })?;
-            serde_json::to_string_pretty(&row).map_err(|e| WorkError::Fatal {
-                detail: format!("serialize table3 row: {e}"),
-            })
-        });
-        let (entry, cached) = built?;
-        Ok(JobSuccess {
-            json: entry.result_json.clone(),
-            cached,
-            fingerprint: entry.fingerprint,
-        })
-    })
+/// A supervised Table III job body via the shared [`bench::jobs`] builder:
+/// cache lookup keyed on the canonical spec JSON plus the deadline bits,
+/// simulation on miss — the same code path `psyncd` routes daemon jobs
+/// through.
+fn table3_work(cfg: Table3Spec, timeout_s: Option<f64>, cache: Arc<ResultCache>) -> Arc<Work> {
+    supervised_work(JobSpec::Table3(cfg), timeout_s, cache, None, None)
 }
 
 fn main() -> Result<(), BenchError> {
@@ -188,12 +148,12 @@ fn main() -> Result<(), BenchError> {
     }));
 
     let mut cfg = if ex.quick() {
-        Table3Config::quick()
+        Table3Spec::quick()
     } else {
         // Paper-scale Table III: long-lived enough that an external
         // `timeout -s INT` lands mid-simulation (procs must stay a perfect
         // square for the mesh topology).
-        Table3Config::paper()
+        Table3Spec::paper()
     };
     cfg.threads = ex.threads();
 
@@ -299,6 +259,11 @@ fn main() -> Result<(), BenchError> {
             ]
         })
         .collect();
+    // Cache accounting goes out with the batch's telemetry (visible under
+    // `--metrics-out` as the `service.cache.*` counters, same names the
+    // psyncd `status` verb reports).
+    let cache_reg = sim_core::telemetry::Registry::new();
+    cache.record_telemetry(&cache_reg);
     ex.table(
         &format!(
             "Supervised batch: {} jobs, P = {}, N = {} ({} respawned worker(s))",
@@ -310,6 +275,7 @@ fn main() -> Result<(), BenchError> {
         &["job", "outcome", "attempts", "backoff ms", "fingerprint"],
         &cells,
     )
+    .telemetry(cache_reg)
     .rows(&rows)
     .run()?;
 

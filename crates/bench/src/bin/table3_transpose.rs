@@ -20,7 +20,7 @@
 //! The workload itself lives in [`bench::jobs`] so the supervised batch
 //! driver (`run_batch`) produces byte-identical result files.
 
-use bench::jobs::{run_table3, Table3Config};
+use bench::jobs::{run_table3, Table3Spec};
 use bench::{f, BenchError, Experiment};
 use pscan::compiler::{GatherSpec, ScatterSpec};
 use psync::machine::{Machine, MachineConfig};
@@ -53,9 +53,9 @@ fn traced_machine_writeback() -> Registry {
 fn main() -> std::result::Result<(), BenchError> {
     let mut ex = Experiment::new("table3");
     let mut cfg = if ex.quick() {
-        Table3Config::quick()
+        Table3Spec::quick()
     } else {
-        Table3Config::paper()
+        Table3Spec::paper()
     };
     cfg.threads = ex.threads();
     let tracing = ex.tracing();

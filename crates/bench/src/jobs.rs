@@ -1,27 +1,67 @@
-//! Experiment workloads shared between the standalone harness binaries and
-//! the supervised batch driver (`run_batch`).
+//! Typed experiment job specifications shared by the standalone harness
+//! binaries, the supervised batch driver (`run_batch`), and the experiment
+//! daemon (`psyncd`).
 //!
-//! The Table III transpose is the reference workload: `table3_transpose`
-//! runs it directly, and `run_batch` runs the *same* function under the
-//! [`crate::supervisor`], so a supervised result file is byte-identical to
-//! a direct one. Every knob that affects the numbers lives in
-//! [`Table3Config`], which serializes canonically for the result cache's
-//! config hash.
+//! [`JobSpec`] is the one request surface: a versioned
+//! ([`SCHEMA_VERSION`]) enum covering every experiment family the
+//! supervision layer can route —
+//!
+//! * **`table3`** — the Table III transpose (PSCAN closed form plus the
+//!   `t_p = 1`/`t_p = 4` mesh simulations), the reference workload whose
+//!   supervised result file is byte-identical to the direct
+//!   `table3_transpose` bin;
+//! * **`perf_mesh`** — one mesh transpose at a chosen routing policy and
+//!   thread count, reduced to its deterministic witness (cycles and flit
+//!   moves; the `perf_mesh` bin adds wall-clock around the same core);
+//! * **`ablate_faults`** — the fault-rate degradation sweep over both
+//!   fabrics (shared point functions with the `ablate_faults` bin);
+//! * **`crosscheck_models`** — the Eq. 11/14 conformance checks of the
+//!   cycle-accurate Model II machine against the §V closed forms.
+//!
+//! Every family's result is a deterministic JSON document, which is what
+//! makes the exact result cache ([`crate::cache`]) sound: the cache key is
+//! [`JobSpec::canonical_json`] (plus the deadline bits), and a hit returns
+//! the exact bytes a fresh run would have produced.
+//!
+//! [`supervised_work`] packages a spec as a [`crate::supervisor`] job body
+//! with cache lookup, per-job cancellation, and partial-progress
+//! reporting — the single code path `run_batch` and `psyncd` both route
+//! through.
+
+use std::sync::Arc;
 
 use analytic::table3::{
     table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
 };
-use emesh::mesh::{MeshConfig, MeshError};
+use emesh::energy::OrionParams;
+use emesh::mesh::{MeshConfig, MeshError, RoutingPolicy};
 use emesh::workloads::load_transpose;
+use emesh::{MeshFaultConfig, MeshFaultStats};
+use fft::Complex64;
+use pscan::compiler::GatherSpec;
+use pscan::faults::PscanFaultConfig;
+use psync::machine::{Machine, MachineConfig, MachineError};
 use rayon::prelude::*;
-use serde::Serialize;
-use sim_core::cancel::Interrupt;
+use serde::{Serialize, Value};
+use sim_core::cancel::{CancelToken, Interrupt, Progress};
 use sim_core::telemetry::Registry;
+
+use crate::cache::{fnv1a64, ResultCache};
+use crate::supervisor::{JobSuccess, Work, WorkError};
+
+/// Version of the [`JobSpec`] request schema. Bumped when a field changes
+/// meaning; embedded in [`JobSpec::canonical_json`] so cache keys from
+/// different schema generations can never collide.
+pub const SCHEMA_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Per-family specifications
+// ---------------------------------------------------------------------------
 
 /// The Table III workload configuration: everything that determines the
 /// resulting cycle counts.
-#[derive(Debug, Clone, Serialize)]
-pub struct Table3Config {
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3Spec {
     /// Mesh/PSCAN processor count `P` (a perfect square for the mesh).
     pub procs: usize,
     /// Samples per processor row, `N`.
@@ -31,10 +71,15 @@ pub struct Table3Config {
     pub threads: usize,
 }
 
-impl Table3Config {
+/// Deprecated name of [`Table3Spec`], kept so external callers get a
+/// warning, not a break.
+#[deprecated(since = "0.2.0", note = "renamed to Table3Spec (JobSpec redesign)")]
+pub type Table3Config = Table3Spec;
+
+impl Table3Spec {
     /// The `--quick` configuration (256 processors, 256-sample rows).
     pub fn quick() -> Self {
-        Table3Config {
+        Table3Spec {
             procs: 256,
             row_len: 256,
             threads: 1,
@@ -43,18 +88,482 @@ impl Table3Config {
 
     /// The full paper configuration (P = 1024, N = 1024).
     pub fn paper() -> Self {
-        Table3Config {
+        Table3Spec {
             procs: 1024,
             row_len: 1024,
             threads: 1,
         }
     }
 
-    /// Canonical JSON for config hashing ([`crate::cache`]).
+    /// Canonical JSON of this spec alone (the [`JobSpec::canonical_json`]
+    /// envelope adds the schema version and family tag).
     pub fn canonical_json(&self) -> String {
-        serde_json::to_string(self).expect("Table3Config serializes")
+        serde_json::to_string(self).expect("Table3Spec serializes")
     }
 }
+
+/// One mesh-transpose performance point, reduced to deterministic fields.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PerfMeshSpec {
+    /// Mesh processor count (a perfect square).
+    pub procs: usize,
+    /// Samples per processor row.
+    pub row_len: usize,
+    /// Routing policy: `"MinimalAdaptive"` or `"Xy"`.
+    pub policy: String,
+    /// Memory port service time `t_p`.
+    pub t_p: u64,
+    /// Worker threads (bit-identical results for any value).
+    pub threads: usize,
+}
+
+impl PerfMeshSpec {
+    /// The `--quick` configuration.
+    pub fn quick() -> Self {
+        PerfMeshSpec {
+            procs: 256,
+            row_len: 256,
+            policy: "MinimalAdaptive".to_string(),
+            t_p: 1,
+            threads: 1,
+        }
+    }
+
+    /// The full paper-scale configuration (the 2²⁰-element transpose).
+    pub fn paper() -> Self {
+        PerfMeshSpec {
+            procs: 1024,
+            row_len: 1024,
+            ..PerfMeshSpec::quick()
+        }
+    }
+
+    /// Parse the policy string.
+    pub fn routing_policy(&self) -> Result<RoutingPolicy, String> {
+        match self.policy.as_str() {
+            "MinimalAdaptive" | "minimal_adaptive" => Ok(RoutingPolicy::MinimalAdaptive),
+            "Xy" | "xy" => Ok(RoutingPolicy::Xy),
+            other => Err(format!(
+                "unknown routing policy {other:?} (expected MinimalAdaptive or Xy)"
+            )),
+        }
+    }
+}
+
+/// The fault-injection degradation sweep over both fabrics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AblateFaultsSpec {
+    /// Word/flit error probabilities to sweep, each in `[0, 1)`.
+    pub rates: Vec<f64>,
+    /// Mesh processor count for the transpose (a perfect square).
+    pub procs: usize,
+    /// Samples per processor row.
+    pub row_len: usize,
+    /// SCA writeback bursts on the photonic machine.
+    pub gathers: usize,
+    /// Mesh worker threads.
+    pub threads: usize,
+}
+
+impl AblateFaultsSpec {
+    /// The `--quick` configuration the `ablate_faults` bin uses.
+    pub fn quick() -> Self {
+        AblateFaultsSpec {
+            rates: FAULT_RATES.to_vec(),
+            procs: 16,
+            row_len: 16,
+            gathers: 4,
+            threads: 1,
+        }
+    }
+
+    /// The full configuration the `ablate_faults` bin uses.
+    pub fn paper() -> Self {
+        AblateFaultsSpec {
+            procs: 64,
+            row_len: 64,
+            gathers: 16,
+            ..AblateFaultsSpec::quick()
+        }
+    }
+}
+
+/// The Eq. 11/14 conformance check: the overlapped Model II machine vs the
+/// §V closed forms, at a grid of block counts.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CrosscheckSpec {
+    /// Processor count.
+    pub procs: usize,
+    /// Samples per row.
+    pub n: usize,
+    /// Blocks-per-row values to check.
+    pub ks: Vec<usize>,
+}
+
+impl CrosscheckSpec {
+    /// The `--quick` grid the `crosscheck_models` bin uses for check 1.
+    pub fn quick() -> Self {
+        CrosscheckSpec {
+            procs: 8,
+            n: 64,
+            ks: vec![1, 4, 8],
+        }
+    }
+
+    /// The full grid the `crosscheck_models` bin uses for check 1.
+    pub fn paper() -> Self {
+        CrosscheckSpec {
+            procs: 16,
+            n: 1024,
+            ks: vec![1, 8, 64],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified JobSpec enum
+// ---------------------------------------------------------------------------
+
+/// A typed experiment request: one variant per routable experiment family.
+///
+/// This is the single request surface shared by `run_batch`, the `psyncd`
+/// daemon, and the direct harness binaries — anything that can run under
+/// the supervisor pool is expressed as a `JobSpec`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// The Table III transpose (reference workload).
+    Table3(Table3Spec),
+    /// One deterministic mesh performance point.
+    PerfMesh(PerfMeshSpec),
+    /// The fault-rate degradation sweep.
+    AblateFaults(AblateFaultsSpec),
+    /// The Model II conformance checks.
+    CrosscheckModels(CrosscheckSpec),
+}
+
+impl JobSpec {
+    /// The wire name of this spec's experiment family.
+    pub fn family(&self) -> &'static str {
+        match self {
+            JobSpec::Table3(_) => "table3",
+            JobSpec::PerfMesh(_) => "perf_mesh",
+            JobSpec::AblateFaults(_) => "ablate_faults",
+            JobSpec::CrosscheckModels(_) => "crosscheck_models",
+        }
+    }
+
+    /// Every routable family name, in wire spelling.
+    pub const FAMILIES: [&'static str; 4] =
+        ["table3", "perf_mesh", "ablate_faults", "crosscheck_models"];
+
+    /// The preset spec for `family`: the quick or full configuration the
+    /// corresponding harness bin runs. `None` for an unknown family.
+    pub fn preset(family: &str, quick: bool) -> Option<JobSpec> {
+        let spec = match family {
+            "table3" => JobSpec::Table3(if quick {
+                Table3Spec::quick()
+            } else {
+                Table3Spec::paper()
+            }),
+            "perf_mesh" => JobSpec::PerfMesh(if quick {
+                PerfMeshSpec::quick()
+            } else {
+                PerfMeshSpec::paper()
+            }),
+            "ablate_faults" => JobSpec::AblateFaults(if quick {
+                AblateFaultsSpec::quick()
+            } else {
+                AblateFaultsSpec::paper()
+            }),
+            "crosscheck_models" => JobSpec::CrosscheckModels(if quick {
+                CrosscheckSpec::quick()
+            } else {
+                CrosscheckSpec::paper()
+            }),
+            _ => return None,
+        };
+        Some(spec)
+    }
+
+    /// Canonical JSON for config hashing and the wire: a versioned envelope
+    /// with a stable field order, so equal specs always serialize to equal
+    /// bytes.
+    pub fn canonical_json(&self) -> String {
+        let spec = match self {
+            JobSpec::Table3(s) => serde_json::to_string(s),
+            JobSpec::PerfMesh(s) => serde_json::to_string(s),
+            JobSpec::AblateFaults(s) => serde_json::to_string(s),
+            JobSpec::CrosscheckModels(s) => serde_json::to_string(s),
+        }
+        .expect("job specs serialize");
+        format!(
+            "{{\"schema\":{SCHEMA_VERSION},\"family\":\"{}\",\"spec\":{spec}}}",
+            self.family()
+        )
+    }
+
+    /// Parse a spec from a decoded JSON object, e.g. the `spec` field of a
+    /// daemon `submit` request:
+    ///
+    /// ```json
+    /// {"family": "table3", "preset": "quick", "procs": 64, "row_len": 16}
+    /// ```
+    ///
+    /// `family` selects the variant; the optional `preset`
+    /// (`"quick"`/`"paper"`, default quick) supplies defaults; any known
+    /// field then overrides its default. Unknown fields are **ignored** —
+    /// newer clients can decorate requests without breaking older daemons.
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending field (surfaced on the
+    /// wire as a `bad_spec` error).
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        if v.as_object().is_none() {
+            return Err("spec must be a JSON object".to_string());
+        }
+        let family = v
+            .get("family")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "spec.family must be a string".to_string())?;
+        let quick = match v.get("preset").and_then(Value::as_str) {
+            None => true,
+            Some("quick") => true,
+            Some("paper") | Some("full") => false,
+            Some(other) => {
+                return Err(format!(
+                    "spec.preset {other:?} unknown (expected \"quick\" or \"paper\")"
+                ))
+            }
+        };
+        let mut spec = JobSpec::preset(family, quick).ok_or_else(|| {
+            format!(
+                "unknown family {family:?} (expected one of {:?})",
+                JobSpec::FAMILIES
+            )
+        })?;
+        let usize_field = |key: &str, default: usize| -> Result<usize, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(f) => f
+                    .as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| format!("spec.{key} must be a non-negative integer")),
+            }
+        };
+        match &mut spec {
+            JobSpec::Table3(s) => {
+                s.procs = usize_field("procs", s.procs)?;
+                s.row_len = usize_field("row_len", s.row_len)?;
+                s.threads = usize_field("threads", s.threads)?;
+            }
+            JobSpec::PerfMesh(s) => {
+                s.procs = usize_field("procs", s.procs)?;
+                s.row_len = usize_field("row_len", s.row_len)?;
+                s.threads = usize_field("threads", s.threads)?;
+                if let Some(t) = v.get("t_p") {
+                    s.t_p = t
+                        .as_u64()
+                        .ok_or_else(|| "spec.t_p must be a non-negative integer".to_string())?;
+                }
+                if let Some(p) = v.get("policy") {
+                    s.policy = p
+                        .as_str()
+                        .ok_or_else(|| "spec.policy must be a string".to_string())?
+                        .to_string();
+                }
+            }
+            JobSpec::AblateFaults(s) => {
+                s.procs = usize_field("procs", s.procs)?;
+                s.row_len = usize_field("row_len", s.row_len)?;
+                s.gathers = usize_field("gathers", s.gathers)?;
+                s.threads = usize_field("threads", s.threads)?;
+                if let Some(r) = v.get("rates") {
+                    let items = r
+                        .as_array()
+                        .ok_or_else(|| "spec.rates must be an array of numbers".to_string())?;
+                    s.rates = items
+                        .iter()
+                        .map(|x| {
+                            x.as_f64()
+                                .ok_or_else(|| "spec.rates must be an array of numbers".to_string())
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            JobSpec::CrosscheckModels(s) => {
+                s.procs = usize_field("procs", s.procs)?;
+                s.n = usize_field("n", s.n)?;
+                if let Some(k) = v.get("ks") {
+                    let items = k
+                        .as_array()
+                        .ok_or_else(|| "spec.ks must be an array of integers".to_string())?;
+                    s.ks = items
+                        .iter()
+                        .map(|x| {
+                            x.as_u64()
+                                .and_then(|n| usize::try_from(n).ok())
+                                .ok_or_else(|| {
+                                    "spec.ks must be an array of non-negative integers".to_string()
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Reject configurations the fabrics would panic on, so a bad request
+    /// is a structured error instead of a `Panicked` job report.
+    pub fn validate(&self) -> Result<(), String> {
+        let mesh_geometry = |procs: usize, row_len: usize, threads: usize| {
+            if procs == 0 || row_len == 0 {
+                return Err("procs and row_len must be positive".to_string());
+            }
+            let side = (procs as f64).sqrt() as usize;
+            if side * side != procs {
+                return Err(format!("procs must be a perfect square, got {procs}"));
+            }
+            if threads == 0 {
+                return Err("threads must be at least 1".to_string());
+            }
+            Ok(())
+        };
+        match self {
+            JobSpec::Table3(s) => mesh_geometry(s.procs, s.row_len, s.threads),
+            JobSpec::PerfMesh(s) => {
+                mesh_geometry(s.procs, s.row_len, s.threads)?;
+                s.routing_policy().map(|_| ())
+            }
+            JobSpec::AblateFaults(s) => {
+                mesh_geometry(s.procs, s.row_len, s.threads)?;
+                if s.gathers == 0 {
+                    return Err("gathers must be at least 1".to_string());
+                }
+                if s.rates.is_empty() {
+                    return Err("rates must be non-empty".to_string());
+                }
+                for &r in &s.rates {
+                    if !r.is_finite() || !(0.0..1.0).contains(&r) {
+                        return Err(format!("rates must be finite in [0, 1), got {r}"));
+                    }
+                }
+                Ok(())
+            }
+            JobSpec::CrosscheckModels(s) => {
+                if s.procs == 0 || s.n == 0 {
+                    return Err("procs and n must be positive".to_string());
+                }
+                if !s.n.is_power_of_two() {
+                    return Err(format!("n must be a power of two, got {}", s.n));
+                }
+                if s.ks.is_empty() {
+                    return Err("ks must be non-empty".to_string());
+                }
+                for &k in &s.ks {
+                    if k == 0 || k > s.n || !k.is_power_of_two() {
+                        return Err(format!(
+                            "each k must be a power of two in [1, n={}], got {k}",
+                            s.n
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Run the experiment this spec describes to its deterministic result
+    /// JSON (the bytes the cache stores and the daemon streams), plus any
+    /// telemetry registries when `tracing`.
+    ///
+    /// # Errors
+    /// A classified [`WorkError`]: `Cancelled` when the interrupt fired,
+    /// `Transient` for conditions worth a retry (mesh no-progress
+    /// watchdog), `Fatal` for everything else.
+    pub fn run(
+        &self,
+        tracing: bool,
+        interrupt: Option<&Interrupt>,
+    ) -> Result<(String, Vec<Registry>), WorkError> {
+        match self {
+            JobSpec::Table3(s) => {
+                let (row, regs) = run_table3(s, tracing, interrupt).map_err(classify_mesh)?;
+                let json = serde_json::to_string_pretty(&row).map_err(serialize_err)?;
+                Ok((json, regs))
+            }
+            JobSpec::PerfMesh(s) => {
+                let policy = s
+                    .routing_policy()
+                    .map_err(|detail| WorkError::Fatal { detail })?;
+                let point =
+                    perf_mesh_point(s.procs, s.row_len, policy, s.t_p, s.threads, interrupt)
+                        .map_err(classify_mesh)?;
+                let row = PerfMeshRow {
+                    procs: s.procs,
+                    row_len: s.row_len,
+                    elements: s.procs * s.row_len,
+                    policy: s.policy.clone(),
+                    t_p: s.t_p,
+                    threads: s.threads,
+                    cycles: point.cycles,
+                    flit_moves: point.flit_moves,
+                };
+                let json = serde_json::to_string_pretty(&row).map_err(serialize_err)?;
+                Ok((json, Vec::new()))
+            }
+            JobSpec::AblateFaults(s) => {
+                let points = run_ablate_faults(s, interrupt)?;
+                let json = serde_json::to_string_pretty(&points).map_err(serialize_err)?;
+                Ok((json, Vec::new()))
+            }
+            JobSpec::CrosscheckModels(s) => {
+                let rows = run_crosscheck_model2(s, interrupt)?;
+                let json = serde_json::to_string_pretty(&rows).map_err(serialize_err)?;
+                Ok((json, Vec::new()))
+            }
+        }
+    }
+}
+
+/// Classify a fabric error for the retry policy.
+fn classify_mesh(e: MeshError) -> WorkError {
+    match &e {
+        MeshError::Cancelled { .. } => WorkError::Cancelled {
+            detail: e.to_string(),
+        },
+        // A mesh that deadlocks or trips its watchdog under a fault layer
+        // is worth one more try; real bugs fail again identically.
+        MeshError::NoProgress { .. } => WorkError::Transient {
+            detail: e.to_string(),
+        },
+        _ => WorkError::Fatal {
+            detail: e.to_string(),
+        },
+    }
+}
+
+fn classify_machine(e: MachineError) -> WorkError {
+    match &e {
+        MachineError::Cancelled { .. } => WorkError::Cancelled {
+            detail: e.to_string(),
+        },
+        _ => WorkError::Fatal {
+            detail: e.to_string(),
+        },
+    }
+}
+
+fn serialize_err(e: serde_json::Error) -> WorkError {
+    WorkError::Fatal {
+        detail: format!("serialize result rows: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// table3 family
+// ---------------------------------------------------------------------------
 
 /// One Table III result row, serialized to `results/table3.json` (direct
 /// run) or `results/batch/table3.json` (supervised run) — the field set and
@@ -85,7 +594,7 @@ pub struct Table3Row {
 /// and optionally under an interrupt (cancellation surfaces as
 /// [`MeshError::Cancelled`]).
 pub fn mesh_transpose_cycles(
-    cfg: &Table3Config,
+    cfg: &Table3Spec,
     t_p: u64,
     tracing: bool,
     interrupt: Option<&Interrupt>,
@@ -117,7 +626,7 @@ pub fn mesh_transpose_cycles(
 /// order, so the failure is deterministic). Telemetry registries (when
 /// `tracing`) come back alongside the row in `t_p` order.
 pub fn run_table3(
-    cfg: &Table3Config,
+    cfg: &Table3Spec,
     tracing: bool,
     interrupt: Option<&Interrupt>,
 ) -> Result<(Table3Row, Vec<Registry>), MeshError> {
@@ -164,13 +673,370 @@ pub fn run_table3(
     Ok((row, registries))
 }
 
+// ---------------------------------------------------------------------------
+// perf_mesh family
+// ---------------------------------------------------------------------------
+
+/// Deterministic witness of one mesh performance point.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfMeshRow {
+    /// Processor count.
+    pub procs: usize,
+    /// Samples per row.
+    pub row_len: usize,
+    /// Total elements moved.
+    pub elements: usize,
+    /// Routing policy name.
+    pub policy: String,
+    /// Memory port service time.
+    pub t_p: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Simulated completion cycles.
+    pub cycles: u64,
+    /// Router traversals (the scheduler-work witness).
+    pub flit_moves: u64,
+}
+
+/// Measured core of one `perf_mesh` point: deterministic witness plus the
+/// wall-clock of the `run()` call (construction excluded, matching the
+/// `perf_mesh` bin's historical timing window).
+#[derive(Debug, Clone, Copy)]
+pub struct MeshPerfPoint {
+    /// Simulated completion cycles (bit-identical for any thread count).
+    pub cycles: u64,
+    /// Router traversals.
+    pub flit_moves: u64,
+    /// Wall-clock seconds of the simulation itself.
+    pub wall_s: f64,
+}
+
+/// Run one mesh transpose and report its deterministic witness and wall
+/// time. Shared by the `perf_mesh` bin and the `perf_mesh` job family.
+pub fn perf_mesh_point(
+    procs: usize,
+    row_len: usize,
+    policy: RoutingPolicy,
+    t_p: u64,
+    threads: usize,
+    interrupt: Option<&Interrupt>,
+) -> Result<MeshPerfPoint, MeshError> {
+    let cfg = MeshConfig::table3(procs, t_p)
+        .with_policy(policy)
+        .with_threads(threads);
+    let mut mesh = load_transpose(cfg, procs, row_len);
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
+    let t0 = std::time::Instant::now();
+    let res = mesh.run()?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    Ok(MeshPerfPoint {
+        cycles: res.cycles,
+        flit_moves: res.energy.router_traversals,
+        wall_s,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ablate_faults family
+// ---------------------------------------------------------------------------
+
+/// Word/flit error probabilities the `ablate_faults` bin sweeps. Spacing is
+/// ≥ 2× so the retry counts separate cleanly under the fixed seeds.
+pub const FAULT_RATES: &[f64] = &[0.0, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2];
+
+/// One point of the degradation sweep (field order is the
+/// `results/ablate_faults.json` byte contract).
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultPoint {
+    /// Swept error probability.
+    pub rate: f64,
+    // Electronic mesh, Table III transpose.
+    /// Completion cycles.
+    pub mesh_cycles: u64,
+    /// Orion energy estimate, microjoules.
+    pub mesh_energy_uj: f64,
+    /// Flits corrupted in flight.
+    pub mesh_corrupted_flits: u64,
+    /// NACK-triggered retransmissions.
+    pub mesh_retransmits: u64,
+    /// Link outage events.
+    pub mesh_link_down_events: u64,
+    /// Elements lost past the retry budget (must be 0).
+    pub mesh_dropped_elements: u64,
+    // Photonic machine, SCA writeback sequence.
+    /// Bus slots consumed.
+    pub pscan_bus_slots: u64,
+    /// Link-layer retries.
+    pub pscan_retries: u64,
+    /// Words corrupted by the injected faults.
+    pub pscan_corrupted_words: u64,
+    /// Gathers abandoned past the retry budget (must be 0).
+    pub pscan_giveups: u64,
+    /// Headline: recovery actions across both fabrics.
+    pub total_retries: u64,
+}
+
+/// Mesh half of one sweep point: the Table III transpose under transient
+/// flit corruption plus occasional link outages.
+pub fn mesh_fault_point(
+    rate: f64,
+    procs: usize,
+    row_len: usize,
+    threads: usize,
+    interrupt: Option<&Interrupt>,
+) -> Result<(u64, f64, MeshFaultStats), MeshError> {
+    let cfg = MeshConfig::table3(procs, 1).with_threads(threads);
+    let mut mesh = load_transpose(cfg, procs, row_len);
+    if let Some(intr) = interrupt {
+        mesh.set_interrupt(intr.clone());
+    }
+    mesh.enable_faults(MeshFaultConfig {
+        seed: 0xFA_u64,
+        corrupt_rate: rate,
+        link_down_rate: rate / 10.0,
+        max_retransmits: 64,
+        ..Default::default()
+    });
+    let res = mesh.run()?;
+    let energy_uj = OrionParams::default().total_j(&res.energy, procs) * 1e6;
+    Ok((res.cycles, energy_uj, res.faults.expect("layer attached")))
+}
+
+/// Machine half of one sweep point: `gathers` SCA writebacks of one 64-slot
+/// burst each. Bursts are kept small so even the harshest swept rate stays
+/// recoverable within the link-layer retry budget (CRC granularity =
+/// burst). Returns `(bus_slots, retries, corrupted_words, giveups)`.
+pub fn machine_fault_point(
+    rate: f64,
+    gathers: usize,
+    interrupt: Option<&Interrupt>,
+) -> Result<(u64, u64, u64, u64), MachineError> {
+    const NODES: usize = 8;
+    let spec = GatherSpec::interleaved(NODES, 4, 2); // 64 slots
+    let burst = spec.total_slots() as usize;
+    let mut m = Machine::new(MachineConfig::paper_default(NODES, gathers * burst));
+    if let Some(intr) = interrupt {
+        m.set_interrupt(intr.clone());
+    }
+    m.enable_faults(PscanFaultConfig {
+        seed: 0xFA_u64,
+        word_error_rate: rate,
+        max_retries: 256,
+        ..Default::default()
+    });
+    for g in 0..gathers {
+        let words: Vec<Vec<u64>> = (0..NODES)
+            .map(|n| vec![(g * NODES + n) as u64; burst / NODES])
+            .collect();
+        let addrs: Vec<u64> = (0..burst as u64).map(|k| (g * burst) as u64 + k).collect();
+        // Swept rates stay within the retry budget; only a cancellation
+        // (or a genuinely exhausted budget) propagates.
+        m.try_gather_to_memory(&format!("wb{g}"), &spec, &words, &addrs)?;
+    }
+    let bus_slots: u64 = m.phases.iter().map(|p| p.bus_slots).sum();
+    let retries: u64 = m.phases.iter().map(|p| p.retries).sum();
+    let stats = m.fault_stats().expect("layer attached");
+    Ok((bus_slots, retries, stats.injected, stats.giveups))
+}
+
+/// The full degradation sweep: every rate in the spec, both fabrics, in
+/// parallel across rates (order preserved).
+pub fn run_ablate_faults(
+    spec: &AblateFaultsSpec,
+    interrupt: Option<&Interrupt>,
+) -> Result<Vec<FaultPoint>, WorkError> {
+    spec.rates
+        .par_iter()
+        .map(|&rate| {
+            eprintln!("rate = {rate:.0e}...");
+            let (mesh_cycles, mesh_energy_uj, ms) =
+                mesh_fault_point(rate, spec.procs, spec.row_len, spec.threads, interrupt)
+                    .map_err(classify_mesh)?;
+            let (pscan_bus_slots, pscan_retries, pscan_corrupted_words, pscan_giveups) =
+                machine_fault_point(rate, spec.gathers, interrupt).map_err(classify_machine)?;
+            Ok(FaultPoint {
+                rate,
+                mesh_cycles,
+                mesh_energy_uj,
+                mesh_corrupted_flits: ms.corrupted_flits,
+                mesh_retransmits: ms.retransmits,
+                mesh_link_down_events: ms.link_down_events,
+                mesh_dropped_elements: ms.dropped_elements,
+                pscan_bus_slots,
+                pscan_retries,
+                pscan_corrupted_words,
+                pscan_giveups,
+                total_retries: ms.retransmits + pscan_retries,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// crosscheck_models family
+// ---------------------------------------------------------------------------
+
+/// One Eq. 11/14 conformance row (deterministic: no wall-clock fields, so
+/// repeated runs produce identical bytes the cache can vouch for).
+#[derive(Debug, Clone, Serialize)]
+pub struct CrosscheckRow {
+    /// Which identity was checked (`eq11_total_time` / `eq14_efficiency`).
+    pub check: String,
+    /// Operating point, `P=..,N=..,k=..`.
+    pub point: String,
+    /// Machine-side measurement.
+    pub measured: f64,
+    /// Closed-form prediction.
+    pub predicted: f64,
+    /// `|measured − predicted| / |predicted|`.
+    pub rel_err: f64,
+    /// Tolerance the row is held to.
+    pub tol: f64,
+    /// `rel_err <= tol`.
+    pub pass: bool,
+    /// Fixed-point witness of the measured value.
+    pub witness: u64,
+}
+
+/// Deterministic test signal: one `n`-sample row per processor (same
+/// generator as the `crosscheck_models` bin).
+pub fn crosscheck_signal_rows(procs: usize, n: usize) -> Vec<Vec<Complex64>> {
+    (0..procs)
+        .map(|p| {
+            (0..n)
+                .map(|i| {
+                    Complex64::new(
+                        ((p * 31 + i) as f64 * 0.1).sin(),
+                        ((i * 17 + p) as f64 * 0.05).cos(),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The Eq. 11/14 conformance checks at every `k` in the spec, polled for
+/// cancellation between points (the machine runs are short; per-point
+/// granularity keeps cancellation prompt without threading an interrupt
+/// through `run_model2_rows`).
+pub fn run_crosscheck_model2(
+    spec: &CrosscheckSpec,
+    interrupt: Option<&Interrupt>,
+) -> Result<Vec<CrosscheckRow>, WorkError> {
+    use crate::crosscheck::{predict_model2, witness, TOL_ALGEBRAIC};
+    let rows = crosscheck_signal_rows(spec.procs, spec.n);
+    let mut intr = interrupt.cloned();
+    let mut out = Vec::new();
+    for (done, &k) in spec.ks.iter().enumerate() {
+        if let Some(cause) = intr.as_mut().and_then(|i| i.check(done as u64)) {
+            return Err(WorkError::Cancelled {
+                detail: format!("crosscheck Cancelled after {done} point(s) ({cause})"),
+            });
+        }
+        let point = format!("P={},N={},k={k}", spec.procs, spec.n);
+        eprintln!("crosscheck: eq11 machine at {point} ...");
+        let run = psync::run_model2_rows(spec.procs, spec.n, k, &rows);
+        let pred = predict_model2(spec.procs, spec.n, k, run.serialized_seconds);
+        let mut push = |check: &str, measured: f64, predicted: f64| {
+            let rel_err = if predicted == 0.0 {
+                measured.abs()
+            } else {
+                (measured - predicted).abs() / predicted.abs()
+            };
+            out.push(CrosscheckRow {
+                check: check.to_string(),
+                point: point.clone(),
+                measured,
+                predicted,
+                rel_err,
+                tol: TOL_ALGEBRAIC,
+                pass: rel_err <= TOL_ALGEBRAIC,
+                witness: witness(measured),
+            });
+        };
+        push(
+            "eq11_total_time",
+            run.overlapped_seconds,
+            pred.overlapped_seconds,
+        );
+        push("eq14_efficiency", run.efficiency, pred.efficiency);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Supervised execution: the shared work-closure builder
+// ---------------------------------------------------------------------------
+
+/// The cache key for `spec` under `timeout_s`: FNV-1a over the canonical
+/// spec JSON plus the deadline bits. The deadline is part of the key so a
+/// run cancelled at 0 s can never poison (or be served from) the untimed
+/// entry.
+pub fn cache_key(spec: &JobSpec, timeout_s: Option<f64>) -> u64 {
+    fnv1a64(
+        format!(
+            "{}|timeout={:?}",
+            spec.canonical_json(),
+            timeout_s.map(f64::to_bits)
+        )
+        .as_bytes(),
+    )
+}
+
+/// Package `spec` as a supervised job body: single-flight cache lookup
+/// keyed on [`cache_key`], simulation on miss, structured error
+/// classification — the one code path `run_batch` and `psyncd` both route
+/// jobs through.
+///
+/// * `job_token` — an optional per-job cancel source (the daemon's `cancel`
+///   verb). The watch is armed **now**, at build time, so a cancel that
+///   lands while the job is still queued is honored before any simulation
+///   starts. It composes with whatever interrupt the supervisor arms
+///   (per-attempt deadline + batch-wide cancel).
+/// * `progress` — an optional probe every fabric poll publishes its
+///   position to (the daemon's `progress` event stream).
+pub fn supervised_work(
+    spec: JobSpec,
+    timeout_s: Option<f64>,
+    cache: Arc<ResultCache>,
+    job_token: Option<&CancelToken>,
+    progress: Option<Progress>,
+) -> Arc<Work> {
+    let watch = job_token.map(CancelToken::watch);
+    Arc::new(move |interrupt| {
+        let mut intr = interrupt.unwrap_or_default();
+        if let Some(w) = &watch {
+            if w.is_cancelled() {
+                return Err(WorkError::Cancelled {
+                    detail: "job cancelled before the attempt started".to_string(),
+                });
+            }
+            intr = intr.with_watch(w.clone());
+        }
+        if let Some(p) = &progress {
+            intr = intr.with_progress(p.clone());
+        }
+        let intr = intr.is_armed().then_some(&intr);
+        let key = cache_key(&spec, timeout_s);
+        let (entry, cached) =
+            cache.get_or_build(key, || spec.run(false, intr).map(|(json, _)| json))?;
+        Ok(JobSuccess {
+            json: entry.result_json.clone(),
+            cached,
+            fingerprint: entry.fingerprint,
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sim_core::cancel::CancelCause;
 
-    fn tiny() -> Table3Config {
-        Table3Config {
+    fn tiny() -> Table3Spec {
+        Table3Spec {
             procs: 16,
             row_len: 8,
             threads: 1,
@@ -215,8 +1081,229 @@ mod tests {
     #[test]
     fn canonical_json_is_stable() {
         assert_eq!(
-            Table3Config::quick().canonical_json(),
+            Table3Spec::quick().canonical_json(),
             r#"{"procs":256,"row_len":256,"threads":1}"#
         );
+        assert_eq!(
+            JobSpec::Table3(Table3Spec::quick()).canonical_json(),
+            r#"{"schema":1,"family":"table3","spec":{"procs":256,"row_len":256,"threads":1}}"#
+        );
+    }
+
+    #[test]
+    fn deprecated_alias_still_compiles() {
+        #[allow(deprecated)]
+        let cfg: Table3Config = Table3Spec::quick();
+        assert_eq!(cfg, Table3Spec::quick());
+    }
+
+    #[test]
+    fn presets_cover_every_family() {
+        for family in JobSpec::FAMILIES {
+            for quick in [true, false] {
+                let spec = JobSpec::preset(family, quick).expect("preset exists");
+                assert_eq!(spec.family(), family);
+                spec.validate().expect("presets validate");
+                assert!(spec.canonical_json().contains(family));
+            }
+        }
+        assert!(JobSpec::preset("nonsense", true).is_none());
+    }
+
+    fn parse(s: &str) -> Result<JobSpec, String> {
+        JobSpec::from_value(&serde_json::from_str(s).expect("test specs are valid JSON"))
+    }
+
+    #[test]
+    fn from_value_applies_preset_then_overrides() {
+        let spec = parse(r#"{"family":"table3","procs":16,"row_len":8}"#).unwrap();
+        assert_eq!(
+            spec,
+            JobSpec::Table3(Table3Spec {
+                procs: 16,
+                row_len: 8,
+                threads: 1
+            })
+        );
+        let spec = parse(r#"{"family":"table3","preset":"paper"}"#).unwrap();
+        assert_eq!(spec, JobSpec::Table3(Table3Spec::paper()));
+    }
+
+    #[test]
+    fn from_value_tolerates_unknown_fields() {
+        let spec = parse(
+            r#"{"family":"table3","procs":16,"row_len":8,"future_field":{"x":1},"note":"hi"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.family(), "table3");
+    }
+
+    #[test]
+    fn from_value_parses_every_family() {
+        let pm = parse(r#"{"family":"perf_mesh","policy":"xy","t_p":4,"procs":16,"row_len":4}"#)
+            .unwrap();
+        match &pm {
+            JobSpec::PerfMesh(s) => {
+                assert_eq!(s.routing_policy().unwrap(), RoutingPolicy::Xy);
+                assert_eq!(s.t_p, 4);
+            }
+            other => panic!("expected PerfMesh, got {other:?}"),
+        }
+        let af = parse(
+            r#"{"family":"ablate_faults","rates":[0.0,0.01],"procs":16,"row_len":8,"gathers":2}"#,
+        )
+        .unwrap();
+        match &af {
+            JobSpec::AblateFaults(s) => assert_eq!(s.rates, vec![0.0, 0.01]),
+            other => panic!("expected AblateFaults, got {other:?}"),
+        }
+        let cc = parse(r#"{"family":"crosscheck_models","procs":4,"n":16,"ks":[1,2]}"#).unwrap();
+        match &cc {
+            JobSpec::CrosscheckModels(s) => assert_eq!(s.ks, vec![1, 2]),
+            other => panic!("expected CrosscheckModels, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_value_rejects_bad_specs_with_named_fields() {
+        for (bad, needle) in [
+            (r#"{"procs":16}"#, "family"),
+            (r#"{"family":"warp_drive"}"#, "unknown family"),
+            (r#"{"family":"table3","preset":"slow"}"#, "preset"),
+            (r#"{"family":"table3","procs":"many"}"#, "procs"),
+            (r#"{"family":"table3","procs":15}"#, "perfect square"),
+            (r#"{"family":"table3","procs":0}"#, "positive"),
+            (r#"{"family":"table3","threads":0}"#, "threads"),
+            (r#"{"family":"perf_mesh","policy":"warp"}"#, "policy"),
+            (r#"{"family":"ablate_faults","rates":[2.0]}"#, "rates"),
+            (r#"{"family":"ablate_faults","rates":[]}"#, "rates"),
+            (r#"{"family":"ablate_faults","gathers":0}"#, "gathers"),
+            (r#"{"family":"crosscheck_models","ks":[3]}"#, "power of two"),
+            (r#"{"family":"crosscheck_models","n":100}"#, "power of two"),
+        ] {
+            let err = parse(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad}: {err:?} lacks {needle:?}");
+        }
+        assert!(JobSpec::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn canonical_json_distinguishes_specs_and_is_reparseable() {
+        let a = JobSpec::Table3(tiny());
+        let b = JobSpec::Table3(Table3Spec {
+            procs: 64,
+            ..tiny()
+        });
+        assert_ne!(a.canonical_json(), b.canonical_json());
+        assert_ne!(cache_key(&a, None), cache_key(&b, None));
+        assert_ne!(cache_key(&a, None), cache_key(&a, Some(1.0)));
+        // The canonical envelope itself parses as JSON.
+        let v = serde_json::from_str(&a.canonical_json()).unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("family").and_then(Value::as_str), Some("table3"));
+    }
+
+    #[test]
+    fn tiny_specs_run_to_deterministic_json() {
+        let specs = [
+            JobSpec::Table3(tiny()),
+            JobSpec::PerfMesh(PerfMeshSpec {
+                procs: 16,
+                row_len: 4,
+                policy: "Xy".to_string(),
+                t_p: 1,
+                threads: 1,
+            }),
+            JobSpec::AblateFaults(AblateFaultsSpec {
+                rates: vec![0.0, 0.01],
+                procs: 16,
+                row_len: 8,
+                gathers: 2,
+                threads: 1,
+            }),
+            JobSpec::CrosscheckModels(CrosscheckSpec {
+                procs: 4,
+                n: 16,
+                ks: vec![1, 2],
+            }),
+        ];
+        for spec in specs {
+            let (a, regs) = spec.run(false, None).expect("tiny spec runs");
+            let (b, _) = spec.run(false, None).expect("rerun");
+            assert_eq!(
+                a,
+                b,
+                "{}: result bytes must be deterministic",
+                spec.family()
+            );
+            assert!(regs.is_empty());
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn crosscheck_rows_pass_their_tolerance() {
+        let rows = run_crosscheck_model2(
+            &CrosscheckSpec {
+                procs: 4,
+                n: 16,
+                ks: vec![1, 4],
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 4, "two checks per k");
+        for r in &rows {
+            assert!(r.pass, "{}@{}: rel_err {}", r.check, r.point, r.rel_err);
+        }
+    }
+
+    #[test]
+    fn supervised_work_caches_and_honors_job_token() {
+        let cache = Arc::new(ResultCache::new());
+        let spec = JobSpec::Table3(tiny());
+        let work = supervised_work(spec.clone(), None, Arc::clone(&cache), None, None);
+        let first = work(None).expect("tiny job runs");
+        assert!(!first.cached);
+        let again = work(None).expect("cache hit");
+        assert!(again.cached);
+        assert_eq!(first.json, again.json, "byte-identical from the cache");
+        assert_eq!(first.fingerprint, again.fingerprint);
+
+        // A token cancelled while the job is still queued prevents any run.
+        let token = CancelToken::new();
+        let cancelled = supervised_work(
+            JobSpec::Table3(Table3Spec {
+                procs: 64,
+                ..tiny()
+            }),
+            None,
+            Arc::clone(&cache),
+            Some(&token),
+            None,
+        );
+        token.cancel();
+        match cancelled(None) {
+            Err(WorkError::Cancelled { detail }) => {
+                assert!(detail.contains("before the attempt"), "{detail}")
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_work_reports_progress() {
+        let cache = Arc::new(ResultCache::new());
+        let probe = Progress::new();
+        let work = supervised_work(
+            JobSpec::Table3(tiny()),
+            None,
+            cache,
+            None,
+            Some(probe.clone()),
+        );
+        work(None).expect("tiny job runs");
+        assert!(probe.polls() > 0, "fabric polls published progress");
+        assert!(probe.cycle().is_some());
     }
 }

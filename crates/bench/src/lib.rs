@@ -45,6 +45,7 @@ use sim_core::telemetry::Registry;
 pub mod cache;
 pub mod crosscheck;
 pub mod jobs;
+pub mod service;
 pub mod supervisor;
 
 /// Harness plumbing failure: the experiment ran, but its rows could not be

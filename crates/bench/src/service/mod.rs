@@ -1,0 +1,21 @@
+//! The experiment service: a long-running daemon (`psyncd`) that serves
+//! experiment requests over a Unix domain socket, routing jobs through the
+//! [`crate::supervisor`] worker pool and keeping the [`crate::cache`]
+//! exact result cache warm across batches.
+//!
+//! The module splits into:
+//!
+//! * [`protocol`] — the versioned newline-delimited JSON wire format:
+//!   request parsing (tolerant of unknown fields), event construction, and
+//!   the machine-readable error-code vocabulary. Pure functions, fully
+//!   unit-tested without a socket.
+//! * [`daemon`] — the runtime: accept loop, per-connection handler
+//!   threads, the report reaper, the progress pump, and SIGTERM graceful
+//!   drain. The `psyncd` bin is a thin argument parser over
+//!   [`daemon::serve`].
+//!
+//! The wire schema is documented in DESIGN.md §14; EXPERIMENTS.md has
+//! client recipes.
+
+pub mod daemon;
+pub mod protocol;

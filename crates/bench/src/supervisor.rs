@@ -122,6 +122,18 @@ pub enum WorkError {
     },
 }
 
+impl std::fmt::Display for WorkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkError::Cancelled { detail } => write!(f, "Cancelled: {detail}"),
+            WorkError::Transient { detail } => write!(f, "transient: {detail}"),
+            WorkError::Fatal { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkError {}
+
 /// Terminal failure recorded in a [`JobReport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobError {
@@ -234,7 +246,10 @@ impl Shared {
 /// closes the queue and detaches the workers (they finish the backlog).
 pub struct Supervisor {
     shared: Arc<Shared>,
-    reports: mpsc::Receiver<JobReport>,
+    /// Behind a mutex so a `Supervisor` can be shared (`Arc`) across the
+    /// daemon's connection handlers and reaper thread; only one consumer
+    /// drains reports at a time.
+    reports: Mutex<mpsc::Receiver<JobReport>>,
     next_id: AtomicU64,
     submitted: AtomicU64,
 }
@@ -271,7 +286,7 @@ impl Supervisor {
         }
         Supervisor {
             shared,
-            reports: rx,
+            reports: Mutex::new(rx),
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
         }
@@ -330,7 +345,11 @@ impl Supervisor {
     /// Wait up to `timeout` for the next report. `None` on timeout or when
     /// every worker has exited and no report is pending.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<JobReport> {
-        self.reports.recv_timeout(timeout).ok()
+        self.reports
+            .lock()
+            .expect("report receiver lock poisoned")
+            .recv_timeout(timeout)
+            .ok()
     }
 
     /// Close the queue, wait for the workers to finish the backlog, and
@@ -358,7 +377,11 @@ impl Supervisor {
                     .expect("worker count lock poisoned");
             }
         }
-        self.reports.try_iter().collect()
+        self.reports
+            .lock()
+            .expect("report receiver lock poisoned")
+            .try_iter()
+            .collect()
     }
 }
 

@@ -34,11 +34,90 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Object field lookup by key (last occurrence wins, so a duplicate key
+    /// behaves like most JSON parsers). `None` for non-objects and missing
+    /// keys — lookups on a request envelope chain without panicking.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (including a
+    /// float with an exact non-negative integer value, e.g. `3.0`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The item slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types that can render themselves into a [`Value`] tree.
 pub trait Serialize {
     /// The value tree for `self`.
     fn to_value(&self) -> Value;
 }
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {}
 
 /// Marker trait: this workspace never deserializes, but types still write
 /// `#[derive(Deserialize)]` so the bound must exist.
@@ -192,5 +271,30 @@ mod tests {
             vec![1u64, 2].to_value(),
             Value::Array(vec![Value::UInt(1), Value::UInt(2)])
         );
+    }
+
+    #[test]
+    fn value_accessors_navigate_trees() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::UInt(3)),
+            ("s".into(), Value::Str("x".into())),
+            ("f".into(), Value::Float(2.0)),
+            ("neg".into(), Value::Int(-1)),
+            ("a".into(), Value::Array(vec![Value::Bool(true)])),
+            ("n".into(), Value::UInt(4)), // duplicate: last wins
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("f").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.get("neg").and_then(Value::as_u64), None);
+        assert_eq!(v.get("neg").and_then(Value::as_f64), Some(-1.0));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("x"), None);
+        assert!(Value::Null.is_null());
     }
 }
