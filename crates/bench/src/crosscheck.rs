@@ -29,6 +29,8 @@ use analytic::model::ModelIi;
 use fft::BlockedFft;
 use serde::Serialize;
 
+use crate::fidelity::{ValidatedRegion, ValidationEnvelope};
+
 /// Same-arithmetic tolerance: cycle-accurate Model II vs Eq. 11.
 pub const TOL_ALGEBRAIC: f64 = 1e-9;
 /// Closed-form-vs-closed-form tolerance (pure f64 round-off).
@@ -37,6 +39,73 @@ pub const TOL_CLOSED_FORM: f64 = 1e-12;
 pub const TOL_EQ21_MESH: f64 = 0.35;
 /// Sustained SCA line rate vs the WDM plan's nominal bandwidth.
 pub const TOL_LINE_RATE: f64 = 0.05;
+
+/// The validation claims this oracle earns: which closed form tracks which
+/// fabric, how tightly, and over exactly which configuration region.
+///
+/// This is the source of truth behind `ci/validation_envelopes.json` and
+/// the fidelity engine's analytic fast path (`crate::fidelity`,
+/// DESIGN.md §15). Regions are the unions of the grids the oracle actually
+/// sweeps — the `crosscheck_models` bin's quick grid (gated per-PR), its
+/// full grid (gated nightly), and the unit/differential tests in this
+/// crate — with inclusive bounds, so the validated maxima themselves are
+/// answerable analytically and anything beyond them is not. Tolerances are
+/// the same constants the oracle gates on; loosening one here without the
+/// corresponding oracle change fails the byte-equality machine check.
+pub fn envelope_catalog() -> Vec<ValidationEnvelope> {
+    let model2_region = ValidatedRegion {
+        p_min: 4,
+        p_max: 16,
+        n_min: 16,
+        n_max: 1024,
+        fault_rate: 0.0,
+        policies: vec!["sca".to_string()],
+    };
+    vec![
+        ValidationEnvelope {
+            family: "model2_eq11".to_string(),
+            check: "eq11_total_time".to_string(),
+            rel_err: TOL_ALGEBRAIC,
+            region: model2_region.clone(),
+            source: "bench::crosscheck::TOL_ALGEBRAIC (conformance CI job)".to_string(),
+        },
+        ValidationEnvelope {
+            family: "model2_eq14".to_string(),
+            check: "eq14_efficiency".to_string(),
+            rel_err: TOL_ALGEBRAIC,
+            region: model2_region,
+            source: "bench::crosscheck::TOL_ALGEBRAIC (conformance CI job)".to_string(),
+        },
+        ValidationEnvelope {
+            family: "mesh_eq21".to_string(),
+            check: "eq21_delivery".to_string(),
+            rel_err: TOL_EQ21_MESH,
+            region: ValidatedRegion {
+                p_min: 64,
+                p_max: 64,
+                n_min: 16,
+                n_max: 256,
+                fault_rate: 0.0,
+                policies: vec!["Xy".to_string()],
+            },
+            source: "bench::crosscheck::TOL_EQ21_MESH (conformance CI job)".to_string(),
+        },
+        ValidationEnvelope {
+            family: "table3_pscan".to_string(),
+            check: "table3_cycles".to_string(),
+            rel_err: 0.0,
+            region: ValidatedRegion {
+                p_min: 32,
+                p_max: 1024,
+                n_min: 32,
+                n_max: 1024,
+                fault_rate: 0.0,
+                policies: vec!["sca".to_string()],
+            },
+            source: "bench::crosscheck::check_exact_u64 (conformance CI job)".to_string(),
+        },
+    ]
+}
 
 /// One model-vs-simulator comparison, shaped to double as a perf-gate row:
 /// `perf_gate.py` keys on `(policy, threads)`, requires `cycles` equality,

@@ -16,7 +16,11 @@
 //! * **`ablate_faults`** — the fault-rate degradation sweep over both
 //!   fabrics (shared point functions with the `ablate_faults` bin);
 //! * **`crosscheck_models`** — the Eq. 11/14 conformance checks of the
-//!   cycle-accurate Model II machine against the §V closed forms.
+//!   cycle-accurate Model II machine against the §V closed forms;
+//! * **`full_matrix`** — the complete 21-row ablation matrix under the
+//!   multi-fidelity engine ([`crate::fidelity`]): each row answered from
+//!   the validated closed form where an envelope covers it, simulated
+//!   where not, with a [`crate::fidelity::FidelityDecision`] on every row.
 //!
 //! Every family's result is a deterministic JSON document, which is what
 //! makes the exact result cache ([`crate::cache`]) sound: the cache key is
@@ -30,16 +34,21 @@
 
 use std::sync::Arc;
 
+use analytic::surrogate::{
+    mesh_scatter_cycles, model2_point, table3_writeback_cycles, Model2TimingParams,
+};
 use analytic::table3::{
     table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
 };
 use emesh::energy::OrionParams;
 use emesh::mesh::{MeshConfig, MeshError, RoutingPolicy};
-use emesh::workloads::load_transpose;
+use emesh::topology::{MemifPlacement, Topology};
+use emesh::workloads::{load_scatter, load_transpose};
 use emesh::{MeshFaultConfig, MeshFaultStats};
 use fft::Complex64;
 use pscan::compiler::GatherSpec;
 use pscan::faults::PscanFaultConfig;
+use pscan::network::{Pscan, PscanConfig};
 use psync::machine::{Machine, MachineConfig, MachineError};
 use rayon::prelude::*;
 use serde::{Serialize, Value};
@@ -47,12 +56,19 @@ use sim_core::cancel::{CancelToken, Interrupt, Progress};
 use sim_core::telemetry::Registry;
 
 use crate::cache::{fnv1a64, ResultCache};
+use crate::fidelity::{
+    decide, record_decision, FidelityDecision, FidelityPolicy, PointConfig, ValidationRegistry,
+};
 use crate::supervisor::{JobSuccess, Work, WorkError};
 
 /// Version of the [`JobSpec`] request schema. Bumped when a field changes
 /// meaning; embedded in [`JobSpec::canonical_json`] so cache keys from
 /// different schema generations can never collide.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the `full_matrix` family and its `fidelity` field — results now
+/// depend on the fidelity policy, so specs carrying one must never share a
+/// cache generation with v1 keys that could not express it.
+pub const SCHEMA_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Per-family specifications
@@ -220,6 +236,50 @@ impl CrosscheckSpec {
     }
 }
 
+/// The 21-row ablation matrix under the multi-fidelity engine.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FullMatrixSpec {
+    /// Point sizing: `"quick"` (per-PR) or `"paper"` (full scale).
+    pub scale: String,
+    /// Fidelity policy, in [`FidelityPolicy::parse`] spelling
+    /// (`analytic` / `cycle_accurate` / `auto` / `auto:<rel_err>`). Part
+    /// of the canonical JSON, so runs at different fidelities can never
+    /// share a cache entry.
+    pub fidelity: String,
+    /// Also run the all-cycle-accurate reference pass and attach
+    /// per-row disagreement columns.
+    pub reference: bool,
+}
+
+impl FullMatrixSpec {
+    /// The `--quick` configuration: small points, Auto fidelity, with the
+    /// cycle-accurate reference pass (cheap at this scale, and it is what
+    /// lets CI assert every analytic row sits inside its envelope).
+    pub fn quick() -> Self {
+        FullMatrixSpec {
+            scale: "quick".to_string(),
+            fidelity: "auto".to_string(),
+            reference: true,
+        }
+    }
+
+    /// The full-scale configuration: paper-size points, Auto fidelity, no
+    /// reference pass — the whole point is that full scale no longer costs
+    /// a full simulation sweep.
+    pub fn paper() -> Self {
+        FullMatrixSpec {
+            scale: "paper".to_string(),
+            fidelity: "auto".to_string(),
+            reference: false,
+        }
+    }
+
+    /// Parse the fidelity field.
+    pub fn policy(&self) -> Result<FidelityPolicy, String> {
+        FidelityPolicy::parse(&self.fidelity)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The unified JobSpec enum
 // ---------------------------------------------------------------------------
@@ -239,6 +299,8 @@ pub enum JobSpec {
     AblateFaults(AblateFaultsSpec),
     /// The Model II conformance checks.
     CrosscheckModels(CrosscheckSpec),
+    /// The 21-row multi-fidelity ablation matrix.
+    FullMatrix(FullMatrixSpec),
 }
 
 impl JobSpec {
@@ -249,12 +311,18 @@ impl JobSpec {
             JobSpec::PerfMesh(_) => "perf_mesh",
             JobSpec::AblateFaults(_) => "ablate_faults",
             JobSpec::CrosscheckModels(_) => "crosscheck_models",
+            JobSpec::FullMatrix(_) => "full_matrix",
         }
     }
 
     /// Every routable family name, in wire spelling.
-    pub const FAMILIES: [&'static str; 4] =
-        ["table3", "perf_mesh", "ablate_faults", "crosscheck_models"];
+    pub const FAMILIES: [&'static str; 5] = [
+        "table3",
+        "perf_mesh",
+        "ablate_faults",
+        "crosscheck_models",
+        "full_matrix",
+    ];
 
     /// The preset spec for `family`: the quick or full configuration the
     /// corresponding harness bin runs. `None` for an unknown family.
@@ -280,6 +348,11 @@ impl JobSpec {
             } else {
                 CrosscheckSpec::paper()
             }),
+            "full_matrix" => JobSpec::FullMatrix(if quick {
+                FullMatrixSpec::quick()
+            } else {
+                FullMatrixSpec::paper()
+            }),
             _ => return None,
         };
         Some(spec)
@@ -294,6 +367,7 @@ impl JobSpec {
             JobSpec::PerfMesh(s) => serde_json::to_string(s),
             JobSpec::AblateFaults(s) => serde_json::to_string(s),
             JobSpec::CrosscheckModels(s) => serde_json::to_string(s),
+            JobSpec::FullMatrix(s) => serde_json::to_string(s),
         }
         .expect("job specs serialize");
         format!(
@@ -390,6 +464,26 @@ impl JobSpec {
                         .collect::<Result<_, _>>()?;
                 }
             }
+            JobSpec::FullMatrix(s) => {
+                if let Some(f) = v.get("fidelity") {
+                    s.fidelity = f
+                        .as_str()
+                        .ok_or_else(|| "spec.fidelity must be a string".to_string())?
+                        .to_string();
+                }
+                if let Some(r) = v.get("reference") {
+                    s.reference = r
+                        .as_bool()
+                        .ok_or_else(|| "spec.reference must be a boolean".to_string())?;
+                }
+                // `scale` follows the preset; an explicit field overrides.
+                if let Some(sc) = v.get("scale") {
+                    s.scale = sc
+                        .as_str()
+                        .ok_or_else(|| "spec.scale must be a string".to_string())?
+                        .to_string();
+                }
+            }
             JobSpec::CrosscheckModels(s) => {
                 s.procs = usize_field("procs", s.procs)?;
                 s.n = usize_field("n", s.n)?;
@@ -471,6 +565,15 @@ impl JobSpec {
                 }
                 Ok(())
             }
+            JobSpec::FullMatrix(s) => {
+                if s.scale != "quick" && s.scale != "paper" {
+                    return Err(format!(
+                        "scale must be \"quick\" or \"paper\", got {:?}",
+                        s.scale
+                    ));
+                }
+                s.policy().map(|_| ()).map_err(|e| format!("fidelity: {e}"))
+            }
         }
     }
 
@@ -522,6 +625,12 @@ impl JobSpec {
                 let rows = run_crosscheck_model2(s, interrupt)?;
                 let json = serde_json::to_string_pretty(&rows).map_err(serialize_err)?;
                 Ok((json, Vec::new()))
+            }
+            JobSpec::FullMatrix(s) => {
+                let reg = tracing.then(Registry::new);
+                let (result, _timing) = run_full_matrix(s, interrupt, reg.as_ref())?;
+                let json = serde_json::to_string_pretty(&result).map_err(serialize_err)?;
+                Ok((json, reg.into_iter().collect()))
             }
         }
     }
@@ -967,6 +1076,396 @@ pub fn run_crosscheck_model2(
 }
 
 // ---------------------------------------------------------------------------
+// full_matrix family
+// ---------------------------------------------------------------------------
+
+/// Static definition of one matrix row: which model family, at which
+/// operating point, under which delivery policy and fault rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixPointSpec {
+    /// Row number, 1-based and stable across scales.
+    pub id: usize,
+    /// Model family (a `ci/validation_envelopes.json` family name).
+    pub family: &'static str,
+    /// Processor / mesh-node count.
+    pub p: u64,
+    /// Size parameter: FFT length (model2), block words (mesh), row
+    /// length (table3).
+    pub n: u64,
+    /// Blocks per row (model2 families; 1 elsewhere).
+    pub k: u64,
+    /// Injected fault rate (cycle-accurate only — no closed form exists).
+    pub fault_rate: f64,
+    /// Delivery policy (`"sca"`, `"Xy"`, `"MinimalAdaptive"`).
+    pub policy: &'static str,
+}
+
+impl MatrixPointSpec {
+    /// The point's coordinates in the fidelity registry's key space.
+    pub fn point_config(&self) -> PointConfig {
+        PointConfig {
+            family: self.family.to_string(),
+            p: self.p,
+            n: self.n,
+            fault_rate: self.fault_rate,
+            policy: self.policy.to_string(),
+        }
+    }
+
+    /// Human-readable operating point, crosscheck-style.
+    pub fn point_label(&self) -> String {
+        let mut s = format!("P={},N={}", self.p, self.n);
+        if self.family.starts_with("model2") {
+            s.push_str(&format!(",k={}", self.k));
+        }
+        if self.fault_rate > 0.0 {
+            s.push_str(&format!(",rate={:.0e}", self.fault_rate));
+        }
+        s
+    }
+}
+
+/// The 21-row ablation matrix (perf-gate shaped: every historical sweep
+/// dimension represented).
+///
+/// Rows 1–18 sweep the three validated families across their regions —
+/// Model II Eq. 11 total time (P × k grid), Eq. 14 efficiency, the Eq. 21
+/// mesh scatter across block sizes, and the Table III PSCAN writeback —
+/// and are analytic-answerable under `auto`. Rows 19–21 are deliberately
+/// outside every validated region (an unvalidated mesh geometry, an
+/// unvalidated routing policy, a nonzero fault rate), so any policy that
+/// consults the registry must take the cycle-accurate fallback there: the
+/// matrix itself guarantees the fallback path is exercised on every run.
+pub fn matrix_points(quick: bool) -> Vec<MatrixPointSpec> {
+    let n_fft = if quick { 64 } else { 1024 };
+    let mut rows = Vec::with_capacity(21);
+    let mut id = 0;
+    let mut push = |family, p, n, k, fault_rate, policy| {
+        id += 1;
+        rows.push(MatrixPointSpec {
+            id,
+            family,
+            p,
+            n,
+            k,
+            fault_rate,
+            policy,
+        });
+    };
+    // 1–6: Eq. 11 overlapped time, P × k.
+    for p in [4u64, 8, 16] {
+        for k in [1u64, 8] {
+            push("model2_eq11", p, n_fft, k, 0.0, "sca");
+        }
+    }
+    // 7–9: Eq. 14 efficiency at k = 4.
+    for p in [4u64, 8, 16] {
+        push("model2_eq14", p, n_fft, 4, 0.0, "sca");
+    }
+    // 10–14: Eq. 21 mesh scatter across block sizes.
+    for block in [16u64, 32, 64, 128, 256] {
+        push("mesh_eq21", 64, block, 1, 0.0, "Xy");
+    }
+    // 15–18: Table III PSCAN writeback.
+    let t3: [(u64, u64); 4] = if quick {
+        [(32, 32), (32, 64), (64, 32), (64, 64)]
+    } else {
+        [(128, 128), (256, 256), (512, 512), (1024, 1024)]
+    };
+    for (p, n) in t3 {
+        push("table3_pscan", p, n, 1, 0.0, "sca");
+    }
+    // 19–21: outside validated territory — cycle-accurate fallbacks.
+    push("mesh_eq21", 16, 8, 1, 0.0, "Xy"); // unvalidated geometry
+    push("mesh_eq21", 64, 16, 1, 0.0, "MinimalAdaptive"); // unvalidated policy
+    push("mesh_eq21", 16, 8, 1, 1e-2, "Xy"); // faulted fabric
+    rows
+}
+
+/// One answered matrix row. Every field is deterministic — wall-clock
+/// lives in [`FullMatrixTiming`], outside the cacheable result.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixRow {
+    /// Row number (1–21).
+    pub id: usize,
+    /// Model family.
+    pub family: String,
+    /// Operating point label.
+    pub point: String,
+    /// Processor / node count.
+    pub p: u64,
+    /// Size parameter.
+    pub n: u64,
+    /// Blocks per row.
+    pub k: u64,
+    /// Injected fault rate.
+    pub fault_rate: f64,
+    /// Delivery policy.
+    pub policy: String,
+    /// The fidelity that answered this row (`decision.chosen`).
+    pub fidelity: String,
+    /// The answered quantity.
+    pub value: f64,
+    /// What `value` measures (`seconds`, `cycles`, `efficiency`).
+    pub unit: String,
+    /// The validated envelope attached to an analytic answer — the error
+    /// bar within which the cycle-accurate fabric is known to agree.
+    pub envelope_rel_err: Option<f64>,
+    /// The full audit record of the fidelity selection.
+    pub decision: FidelityDecision,
+    /// The all-cycle-accurate reference value (reference runs only).
+    pub reference_value: Option<f64>,
+    /// `|value − reference| / |reference|` (reference runs only).
+    pub reference_rel_err: Option<f64>,
+    /// Whether an analytic answer landed inside its envelope against the
+    /// measured reference (`None` for cycle-accurate rows).
+    pub within_envelope: Option<bool>,
+}
+
+/// The deterministic result document of a `full_matrix` job.
+#[derive(Debug, Clone, Serialize)]
+pub struct FullMatrixResult {
+    /// Point sizing used.
+    pub scale: String,
+    /// Requested fidelity policy (wire spelling).
+    pub fidelity: String,
+    /// Whether the reference pass ran.
+    pub reference: bool,
+    /// Rows answered from the closed forms.
+    pub analytic_rows: usize,
+    /// Rows answered by simulation.
+    pub cycle_accurate_rows: usize,
+    /// The 21 rows.
+    pub rows: Vec<MatrixRow>,
+}
+
+/// Wall-clock accounting of one matrix run, kept out of the result
+/// document so cached bytes stay machine-independent. The `full_matrix`
+/// bin derives its speedup assertions from these.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullMatrixTiming {
+    /// Wall seconds of the fidelity-selected pass (all 21 rows).
+    pub selected_wall_s: f64,
+    /// Wall seconds spent inside analytic evaluations alone.
+    pub analytic_wall_s: f64,
+    /// Wall seconds of the cycle-accurate reference pass (all rows).
+    pub reference_wall_s: f64,
+    /// Reference wall seconds over just the analytic-answered rows — the
+    /// simulation time the fast path actually displaced.
+    pub reference_analytic_wall_s: f64,
+}
+
+/// Evaluate one matrix point analytically (the validated closed forms).
+/// Returns `(value, unit)`.
+fn analytic_value(pt: &MatrixPointSpec) -> Result<(f64, &'static str), WorkError> {
+    match pt.family {
+        "model2_eq11" => Ok((
+            model2_point(pt.p, pt.n, pt.k, &Model2TimingParams::default()).overlapped_seconds,
+            "seconds",
+        )),
+        "model2_eq14" => Ok((
+            model2_point(pt.p, pt.n, pt.k, &Model2TimingParams::default()).efficiency,
+            "efficiency",
+        )),
+        "mesh_eq21" => Ok((mesh_scatter_cycles(pt.p, pt.n, 1) as f64, "cycles")),
+        "table3_pscan" => Ok((table3_writeback_cycles(pt.p, pt.n) as f64, "cycles")),
+        other => Err(WorkError::Fatal {
+            detail: format!("no closed form for family {other:?}"),
+        }),
+    }
+}
+
+/// Evaluate one matrix point on its cycle-accurate fabric. Returns
+/// `(value, unit)`.
+fn cycle_accurate_value(
+    pt: &MatrixPointSpec,
+    interrupt: Option<&Interrupt>,
+) -> Result<(f64, &'static str), WorkError> {
+    match pt.family {
+        "model2_eq11" | "model2_eq14" => {
+            let (procs, n, k) = (pt.p as usize, pt.n as usize, pt.k as usize);
+            let rows = crosscheck_signal_rows(procs, n);
+            let run = psync::run_model2_rows(procs, n, k, &rows);
+            if pt.family == "model2_eq11" {
+                Ok((run.overlapped_seconds, "seconds"))
+            } else {
+                Ok((run.efficiency, "efficiency"))
+            }
+        }
+        "mesh_eq21" => {
+            let policy = match pt.policy {
+                "Xy" => RoutingPolicy::Xy,
+                "MinimalAdaptive" => RoutingPolicy::MinimalAdaptive,
+                other => {
+                    return Err(WorkError::Fatal {
+                        detail: format!("unknown mesh policy {other:?}"),
+                    })
+                }
+            };
+            let cfg = MeshConfig {
+                topology: Topology::square(pt.p as usize, MemifPlacement::SingleCorner),
+                t_r: 1,
+                policy,
+                memif: Default::default(),
+                buffer_depth: 2,
+                max_cycles: 1 << 30,
+                threads: 1,
+            };
+            let mut mesh = load_scatter(cfg, pt.n as usize, pt.k as usize);
+            if pt.fault_rate > 0.0 {
+                mesh.enable_faults(MeshFaultConfig {
+                    seed: 0xFA_u64,
+                    corrupt_rate: pt.fault_rate,
+                    link_down_rate: pt.fault_rate / 10.0,
+                    max_retransmits: 64,
+                    ..Default::default()
+                });
+            }
+            if let Some(intr) = interrupt {
+                mesh.set_interrupt(intr.clone());
+            }
+            let res = mesh.run().map_err(classify_mesh)?;
+            Ok((res.cycles as f64, "cycles"))
+        }
+        "table3_pscan" => {
+            let (procs, row_len) = (pt.p as usize, pt.n as usize);
+            let pscan = Pscan::new(PscanConfig::paper_default().with_nodes(procs));
+            let spec = GatherSpec {
+                slot_source: (0..procs * row_len).map(|k| k % procs).collect(),
+            };
+            let data: Vec<Vec<u64>> = (0..procs).map(|p| vec![p as u64; row_len]).collect();
+            let out = pscan.gather(&spec, &data).map_err(|e| WorkError::Fatal {
+                detail: format!("pscan gather: {e}"),
+            })?;
+            // The measured writeback: the SCA's slot span plus one header
+            // slot per DRAM row — the same composition the conformance
+            // oracle holds equal to Eqs. 23/24.
+            let span_slots =
+                out.last_arrival.since(out.first_arrival).as_ps() / pscan.slot().as_ps() + 1;
+            let t3 = Table3Params {
+                n: pt.n,
+                p: pt.p,
+                ..Default::default()
+            };
+            let headers = ((procs * row_len) as u64).div_ceil(t3.s_r / t3.s_b);
+            Ok(((span_slots + headers) as f64, "cycles"))
+        }
+        other => Err(WorkError::Fatal {
+            detail: format!("no fabric for family {other:?}"),
+        }),
+    }
+}
+
+/// Run the full matrix under `spec`'s fidelity policy.
+///
+/// Per row: consult the validation registry ([`decide`]), evaluate on the
+/// chosen path, and — when `spec.reference` — also evaluate the
+/// cycle-accurate reference and attach the disagreement columns. Rows the
+/// selected pass already simulated reuse that value as their reference
+/// (the fabrics are deterministic, so rerunning them would produce the
+/// same number and twice the bill). Decisions are recorded on `telemetry`
+/// when given; the interrupt is polled between rows and threaded into the
+/// mesh runs.
+pub fn run_full_matrix(
+    spec: &FullMatrixSpec,
+    interrupt: Option<&Interrupt>,
+    telemetry: Option<&Registry>,
+) -> Result<(FullMatrixResult, FullMatrixTiming), WorkError> {
+    let policy = spec
+        .policy()
+        .map_err(|detail| WorkError::Fatal { detail })?;
+    let registry = ValidationRegistry::builtin();
+    let quick = spec.scale == "quick";
+    let points = matrix_points(quick);
+
+    let mut intr = interrupt.cloned();
+    let mut rows = Vec::with_capacity(points.len());
+    let mut timing = FullMatrixTiming::default();
+    for (done, pt) in points.iter().enumerate() {
+        if let Some(cause) = intr.as_mut().and_then(|i| i.check(done as u64)) {
+            return Err(WorkError::Cancelled {
+                detail: format!("full_matrix Cancelled after {done} row(s) ({cause})"),
+            });
+        }
+        let decision = decide(policy, &pt.point_config(), &registry);
+        if let Some(reg) = telemetry {
+            record_decision(reg, &decision);
+        }
+        eprintln!(
+            "full_matrix: row {:>2} {} [{}] -> {} ({})",
+            pt.id,
+            pt.family,
+            pt.point_label(),
+            decision.chosen,
+            decision.reason
+        );
+        let t0 = std::time::Instant::now();
+        let (value, unit) = if decision.is_analytic() {
+            analytic_value(pt)?
+        } else {
+            cycle_accurate_value(pt, interrupt)?
+        };
+        let row_wall = t0.elapsed().as_secs_f64();
+        timing.selected_wall_s += row_wall;
+        if decision.is_analytic() {
+            timing.analytic_wall_s += row_wall;
+        }
+
+        let (reference_value, reference_rel_err, within_envelope) = if spec.reference {
+            let (ref_value, ref_wall) = if decision.is_analytic() {
+                let t1 = std::time::Instant::now();
+                let (v, _) = cycle_accurate_value(pt, interrupt)?;
+                let w = t1.elapsed().as_secs_f64();
+                timing.reference_analytic_wall_s += w;
+                (v, w)
+            } else {
+                (value, row_wall)
+            };
+            timing.reference_wall_s += ref_wall;
+            let rel = if ref_value == 0.0 {
+                (value - ref_value).abs()
+            } else {
+                (value - ref_value).abs() / ref_value.abs()
+            };
+            let inside = decision.envelope_rel_err.map(|env| rel <= env + 1e-12);
+            (Some(ref_value), Some(rel), inside)
+        } else {
+            (None, None, None)
+        };
+
+        rows.push(MatrixRow {
+            id: pt.id,
+            family: pt.family.to_string(),
+            point: pt.point_label(),
+            p: pt.p,
+            n: pt.n,
+            k: pt.k,
+            fault_rate: pt.fault_rate,
+            policy: pt.policy.to_string(),
+            fidelity: decision.chosen.clone(),
+            value,
+            unit: unit.to_string(),
+            envelope_rel_err: decision.envelope_rel_err,
+            decision,
+            reference_value,
+            reference_rel_err,
+            within_envelope,
+        });
+    }
+
+    let analytic_rows = rows.iter().filter(|r| r.fidelity == "analytic").count();
+    let result = FullMatrixResult {
+        scale: spec.scale.clone(),
+        fidelity: spec.fidelity.clone(),
+        reference: spec.reference,
+        analytic_rows,
+        cycle_accurate_rows: rows.len() - analytic_rows,
+        rows,
+    };
+    Ok((result, timing))
+}
+
+// ---------------------------------------------------------------------------
 // Supervised execution: the shared work-closure builder
 // ---------------------------------------------------------------------------
 
@@ -1086,7 +1585,7 @@ mod tests {
         );
         assert_eq!(
             JobSpec::Table3(Table3Spec::quick()).canonical_json(),
-            r#"{"schema":1,"family":"table3","spec":{"procs":256,"row_len":256,"threads":1}}"#
+            r#"{"schema":2,"family":"table3","spec":{"procs":256,"row_len":256,"threads":1}}"#
         );
     }
 
@@ -1162,6 +1661,16 @@ mod tests {
             JobSpec::CrosscheckModels(s) => assert_eq!(s.ks, vec![1, 2]),
             other => panic!("expected CrosscheckModels, got {other:?}"),
         }
+        let fm =
+            parse(r#"{"family":"full_matrix","fidelity":"auto:0.1","reference":false}"#).unwrap();
+        match &fm {
+            JobSpec::FullMatrix(s) => {
+                assert_eq!(s.fidelity, "auto:0.1");
+                assert!(!s.reference);
+                assert_eq!(s.scale, "quick");
+            }
+            other => panic!("expected FullMatrix, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1180,6 +1689,8 @@ mod tests {
             (r#"{"family":"ablate_faults","gathers":0}"#, "gathers"),
             (r#"{"family":"crosscheck_models","ks":[3]}"#, "power of two"),
             (r#"{"family":"crosscheck_models","n":100}"#, "power of two"),
+            (r#"{"family":"full_matrix","fidelity":"warp"}"#, "fidelity"),
+            (r#"{"family":"full_matrix","scale":"huge"}"#, "scale"),
         ] {
             let err = parse(bad).expect_err(bad);
             assert!(err.contains(needle), "{bad}: {err:?} lacks {needle:?}");
@@ -1199,8 +1710,59 @@ mod tests {
         assert_ne!(cache_key(&a, None), cache_key(&a, Some(1.0)));
         // The canonical envelope itself parses as JSON.
         let v = serde_json::from_str(&a.canonical_json()).unwrap();
-        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(2));
         assert_eq!(v.get("family").and_then(Value::as_str), Some("table3"));
+    }
+
+    #[test]
+    fn matrix_composition_is_21_rows_with_3_forced_fallbacks() {
+        let registry = ValidationRegistry::builtin();
+        let auto = FidelityPolicy::auto();
+        for quick in [true, false] {
+            let points = matrix_points(quick);
+            assert_eq!(points.len(), 21);
+            assert!(points.iter().enumerate().all(|(i, p)| p.id == i + 1));
+            let analytic = points
+                .iter()
+                .filter(|p| decide(auto, &p.point_config(), &registry).is_analytic())
+                .count();
+            // Rows 19–21 (unvalidated geometry, unvalidated policy, faults)
+            // must fall back to cycle-accurate at either scale.
+            assert_eq!(analytic, 18, "quick={quick}");
+            assert_eq!(points.iter().filter(|p| p.fault_rate > 0.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn full_matrix_runs_without_reference_and_labels_every_row() {
+        let spec = FullMatrixSpec {
+            reference: false,
+            ..FullMatrixSpec::quick()
+        };
+        let (result, timing) = run_full_matrix(&spec, None, None).unwrap();
+        assert_eq!(result.rows.len(), 21);
+        assert_eq!(result.analytic_rows, 18);
+        assert_eq!(result.cycle_accurate_rows, 3);
+        for row in &result.rows {
+            assert!(row.value > 0.0, "row {} has no answer", row.id);
+            assert_eq!(row.fidelity, row.decision.chosen);
+            assert_eq!(
+                row.fidelity == "analytic",
+                row.envelope_rel_err.is_some(),
+                "row {}: analytic answers carry envelopes, simulated ones don't",
+                row.id
+            );
+            assert!(row.reference_value.is_none());
+            assert!(row.within_envelope.is_none());
+        }
+        assert!(timing.selected_wall_s > 0.0);
+        assert!(timing.analytic_wall_s <= timing.selected_wall_s);
+        // Determinism: a second run produces byte-identical result JSON.
+        let (again, _) = run_full_matrix(&spec, None, None).unwrap();
+        assert_eq!(
+            serde_json::to_string(&result).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * `--timeout-s <secs>` — wall-clock deadline for the simulated
 //!   workload; an expired deadline surfaces as a structured `Cancelled`
 //!   error and a nonzero exit ([`Experiment::interrupt`]),
+//! * `--fidelity <policy>` — `analytic`, `cycle_accurate`, `auto`, or
+//!   `auto:<ceiling>`: how multi-fidelity harnesses choose between the
+//!   validated closed forms and the cycle-accurate fabrics
+//!   ([`Experiment::fidelity`]; default `auto`),
 //!
 //! — so no binary parses arguments or writes JSON on its own. Unknown
 //! flags are rejected with a usage message and exit code 2, so a typo
@@ -44,6 +48,7 @@ use sim_core::telemetry::Registry;
 
 pub mod cache;
 pub mod crosscheck;
+pub mod fidelity;
 pub mod jobs;
 pub mod service;
 pub mod supervisor;
@@ -124,6 +129,7 @@ struct Cli {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     timeout_s: Option<f64>,
+    fidelity: fidelity::FidelityPolicy,
 }
 
 impl Default for Cli {
@@ -135,6 +141,7 @@ impl Default for Cli {
             trace_out: None,
             metrics_out: None,
             timeout_s: None,
+            fidelity: fidelity::FidelityPolicy::auto(),
         }
     }
 }
@@ -142,7 +149,7 @@ impl Default for Cli {
 /// One line per accepted flag, printed on a parse error.
 const USAGE: &str = "usage: <bin> [--quick] [--no-json] [--threads <n>] \
                      [--trace-out <path>] [--metrics-out <path>] \
-                     [--timeout-s <secs>]";
+                     [--timeout-s <secs>] [--fidelity <policy>]";
 
 impl Cli {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
@@ -170,6 +177,11 @@ impl Cli {
                         v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                             format!("--threads needs a positive integer, got {v:?}")
                         })?;
+                }
+                "--fidelity" => {
+                    let v = value(&mut it)?;
+                    cli.fidelity = fidelity::FidelityPolicy::parse(&v)
+                        .map_err(|e| format!("--fidelity: {e}"))?;
                 }
                 "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut it)?)),
                 "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value(&mut it)?)),
@@ -285,6 +297,14 @@ impl Experiment {
     /// Wall-clock budget requested with `--timeout-s`, if any.
     pub fn timeout_s(&self) -> Option<f64> {
         self.cli.timeout_s
+    }
+
+    /// The fidelity policy requested with `--fidelity` (default
+    /// [`fidelity::FidelityPolicy::auto`]). Multi-fidelity harnesses hand
+    /// this to [`fidelity::decide`] per sweep point; single-fidelity
+    /// binaries ignore it.
+    pub fn fidelity(&self) -> fidelity::FidelityPolicy {
+        self.cli.fidelity
     }
 
     /// The interrupt to install on this run's fabrics, or `None` when no
@@ -594,6 +614,29 @@ mod tests {
         assert!(parse(&["--timeout-s", "nan"]).is_err(), "NaN");
         assert!(parse(&["--timeout-s", "inf"]).is_err(), "infinite");
         assert!(parse(&["--timeout-s", "soon"]).is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn cli_parses_fidelity() {
+        use fidelity::FidelityPolicy;
+        assert_eq!(parse(&[]).unwrap().fidelity, FidelityPolicy::auto());
+        assert_eq!(
+            parse(&["--fidelity", "analytic"]).unwrap().fidelity,
+            FidelityPolicy::Analytic
+        );
+        assert_eq!(
+            parse(&["--fidelity=cycle_accurate"]).unwrap().fidelity,
+            FidelityPolicy::CycleAccurate
+        );
+        assert_eq!(
+            parse(&["--fidelity", "auto:0.1"]).unwrap().fidelity,
+            FidelityPolicy::Auto {
+                max_envelope_rel_err: 0.1
+            }
+        );
+        let err = parse(&["--fidelity", "warp"]).unwrap_err();
+        assert!(err.contains("--fidelity"), "{err}");
+        assert!(parse(&["--fidelity"]).is_err(), "missing value");
     }
 
     #[test]

@@ -40,6 +40,7 @@ BINS = [
     "fig13_scaling",
     "fig14_reorg",
     "fig5_energy",
+    "full_matrix",
     "perf_mesh",
     "run_batch",
     "table1",

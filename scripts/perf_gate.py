@@ -4,11 +4,17 @@ against the committed baseline and fail on a >15% cycles/sec regression.
 
 Usage:
     python3 scripts/perf_gate.py <fresh_perf_mesh.json> [<baseline.json>]
+                                 [--summary-out <path>]
 
 The baseline defaults to ci/perf_baseline.json. Rows are matched on
-(policy, threads); only rows present in both files are compared, so adding
-a thread count to the sweep never breaks the gate. The tolerance can be
-overridden with PERF_GATE_TOLERANCE (a fraction, default 0.15).
+(policy, threads); fresh rows absent from the baseline are ignored, so
+adding a thread count to the sweep never breaks the gate. The converse is a
+named failure: a baseline row that the fresh run no longer produces means a
+measurement silently disappeared from the sweep. That check is scoped per
+namespace — crosscheck witness rows (policy starting with "crosscheck:")
+and throughput rows gate independently, so a crosscheck-only fresh file is
+never failed for lacking the perf namespace (and vice versa). The tolerance
+can be overridden with PERF_GATE_TOLERANCE (a fraction, default 0.15).
 
 Besides the regression check, threaded mesh rows (threads > 1) must show a
 minimum speedup over the same policy's 1-thread row in the *fresh* run:
@@ -16,9 +22,11 @@ PERF_GATE_MIN_SPEEDUP (default 1.0 — parallel execution must at least not
 be a slowdown). The speedup check only runs for rows whose thread count
 fits the machine (os.cpu_count() >= max(2, threads)); on smaller runners it
 is skipped with an explicit log line so a 1-core CI box never silently
-"passes" a parallelism gate it could not measure. Crosscheck witness rows
-(policy starting with "crosscheck:") are exempt — they are conformance
-fixtures, not throughput measurements.
+"passes" a parallelism gate it could not measure. Crosscheck rows are
+exempt — they are conformance fixtures, not throughput measurements.
+
+--summary-out writes a machine-readable verdict (status, per-row ratios,
+every failure string) for CI artifact upload; it is written on failure too.
 
 To accept an intentional slowdown (or record a faster scheduler), refresh
 the baseline:
@@ -38,25 +46,67 @@ def rows_by_key(path: Path):
     return {(r["policy"], r["threads"]): r for r in rows}
 
 
+def namespace(policy: str) -> str:
+    """The gating namespace a row belongs to: conformance witnesses and
+    throughput measurements are checked for completeness independently."""
+    return "crosscheck" if policy.startswith("crosscheck:") else "perf"
+
+
+def parse_args(argv):
+    summary_out = None
+    positional = []
+    it = iter(argv)
+    for a in it:
+        if a == "--summary-out":
+            summary_out = Path(next(it, "") or sys.exit("--summary-out needs a path"))
+        elif a.startswith("--summary-out="):
+            summary_out = Path(a.split("=", 1)[1])
+        else:
+            positional.append(a)
+    return positional, summary_out
+
+
 def main() -> int:
-    if len(sys.argv) < 2:
+    positional, summary_out = parse_args(sys.argv[1:])
+    if not positional:
         print(__doc__)
         return 2
-    fresh_path = Path(sys.argv[1])
-    base_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("ci/perf_baseline.json")
+    fresh_path = Path(positional[0])
+    base_path = Path(positional[1]) if len(positional) > 1 else Path("ci/perf_baseline.json")
     tol = float(os.environ.get("PERF_GATE_TOLERANCE", "0.15"))
 
     fresh = rows_by_key(fresh_path)
     base = rows_by_key(base_path)
     shared = sorted(set(fresh) & set(base))
-    if not shared:
+    row_reports = []
+    failures = []
+
+    # Completeness, per namespace actually measured by the fresh run: a
+    # baseline row the sweep no longer produces must fail by name, not
+    # silently shrink the intersection.
+    fresh_namespaces = {namespace(policy) for (policy, _) in fresh}
+    for key in sorted(set(base) - set(fresh)):
+        ns = namespace(key[0])
+        if ns in fresh_namespaces:
+            failures.append(
+                f"{key}: baseline row missing from {fresh_path} "
+                "(a measurement disappeared from the sweep; refresh "
+                "ci/perf_baseline.json if that was intentional)"
+            )
+        else:
+            print(f"perf-gate: {key}: SKIP ({ns} namespace not in fresh results)")
+
+    if not shared and not failures:
         print(f"perf-gate: no (policy, threads) rows shared between {fresh_path} and {base_path}")
+        write_summary(summary_out, "fail", tol, row_reports, ["no shared rows"])
         return 1
 
-    failures = []
     for key in shared:
         f, b = fresh[key], base[key]
+        report = {"policy": key[0], "threads": key[1], "cycles": f["cycles"]}
+        row_reports.append(report)
         if f["cycles"] != b["cycles"]:
+            report["verdict"] = "cycles-drift"
             failures.append(
                 f"{key}: simulated cycles changed {b['cycles']} -> {f['cycles']} "
                 "(the workload itself drifted; this gate only expects wall-clock noise)"
@@ -67,9 +117,12 @@ def main() -> int:
             # that is exactly 0) has no throughput to gate; the cycles
             # equality above already pinned it.
             print(f"perf-gate: {key}: zero-cycle row, equality-only")
+            report["verdict"] = "equality-only"
             continue
         ratio = f["cycles_per_s"] / b["cycles_per_s"]
         verdict = "FAIL" if ratio < 1.0 - tol else "ok"
+        report["throughput_ratio"] = ratio
+        report["verdict"] = verdict
         print(
             f"perf-gate: {key}: {b['cycles_per_s']:.3e} -> {f['cycles_per_s']:.3e} "
             f"cycles/s ({ratio:.2f}x) {verdict}"
@@ -83,9 +136,28 @@ def main() -> int:
         print(f"perf-gate: FAILED (tolerance {tol:.0%}):")
         for f in failures:
             print(f"  {f}")
+        write_summary(summary_out, "fail", tol, row_reports, failures)
         return 1
     print(f"perf-gate: {len(shared)} rows within {tol:.0%} of baseline")
+    write_summary(summary_out, "pass", tol, row_reports, [])
     return 0
+
+
+def write_summary(path, status, tol, rows, failures):
+    """Publish the machine-readable verdict for artifact upload."""
+    if path is None:
+        return
+    summary = {
+        "status": status,
+        "tolerance": tol,
+        "min_speedup": float(os.environ.get("PERF_GATE_MIN_SPEEDUP", "1.0")),
+        "rows_compared": len(rows),
+        "rows": rows,
+        "failures": failures,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"perf-gate: summary written to {path}")
 
 
 def check_parallel_speedup(fresh) -> list:
