@@ -105,12 +105,45 @@ pub fn model2_point(procs: u64, n: u64, k: u64, params: &Model2TimingParams) -> 
 /// exactly.
 ///
 /// # Panics
-/// Panics if `nodes < 2` (a scatter needs at least one receiver).
+/// Panics if `nodes < 2` (a scatter needs at least one receiver), or if
+/// `nodes` is not a perfect square — the truncated `⌊√P⌋` is only the mean
+/// corner distance on a square mesh; rectangular and torus geometries go
+/// through [`mesh_scatter_cycles_dims`].
 pub fn mesh_scatter_cycles(nodes: u64, block_words: u64, t_r: u64) -> u64 {
     assert!(nodes >= 2, "mesh_scatter_cycles: nodes must be >= 2");
+    assert!(
+        nodes.isqrt().pow(2) == nodes,
+        "mesh_scatter_cycles: nodes must be a perfect square, got {nodes}; \
+         use mesh_scatter_cycles_dims for rectangular or torus geometries"
+    );
     let p = nodes - 1;
     let f = block_words + 1;
-    p * f + p * ((p as f64).sqrt() as u64) * t_r
+    p * f + p * p.isqrt() * t_r
+}
+
+/// Eq. 21 delivery cycles generalized to a `width × height` rectangle (or
+/// torus): `P·F + P·H̄·t_r` with `P = width·height − 1` receivers,
+/// `F = block_words + 1` flits, and `H̄` the truncating mean hop distance
+/// from the corner memory interface — per-dimension distance sums
+/// `w(w−1)/2` (mesh) or `⌊w²/4⌋` (torus). Matches
+/// `emesh::workloads::eq21_delivery_cycles_dims` exactly, and
+/// [`mesh_scatter_cycles`] on square meshes.
+pub fn mesh_scatter_cycles_dims(
+    width: u64,
+    height: u64,
+    block_words: u64,
+    t_r: u64,
+    torus: bool,
+) -> u64 {
+    assert!(
+        width >= 1 && height >= 1 && width * height >= 2,
+        "mesh_scatter_cycles_dims: need at least one receiver, got {width}x{height}"
+    );
+    let dim_sum = |w: u64| if torus { w * w / 4 } else { w * (w - 1) / 2 };
+    let mean_hops = (dim_sum(width) * height + dim_sum(height) * width) / (width * height);
+    let p = width * height - 1;
+    let f = block_words + 1;
+    p * f + p * mean_hops * t_r
 }
 
 /// Table III PSCAN writeback cycles (Eqs. 23/24) for a `p × n` transpose
@@ -189,6 +222,34 @@ mod tests {
         assert_eq!(
             mesh_scatter_cycles(64, 16, 4) - mesh_scatter_cycles(64, 16, 0),
             63 * 7 * 4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn mesh_scatter_rejects_non_square_node_counts() {
+        mesh_scatter_cycles(48, 16, 1);
+    }
+
+    #[test]
+    fn mesh_scatter_dims_agrees_with_square_form() {
+        assert_eq!(
+            mesh_scatter_cycles_dims(8, 8, 16, 1, false),
+            mesh_scatter_cycles(64, 16, 1)
+        );
+        assert_eq!(
+            mesh_scatter_cycles_dims(16, 16, 1024, 1, false),
+            mesh_scatter_cycles(256, 1024, 1)
+        );
+        // Rectangle: 8×4, dim sums 28 and 6, H̄ = (28·4 + 6·8)/32 = 5.
+        assert_eq!(
+            mesh_scatter_cycles_dims(8, 4, 16, 1, false),
+            31 * 17 + 31 * 5
+        );
+        // Torus wrap halves the mean: 8×8 torus H̄ = 4.
+        assert_eq!(
+            mesh_scatter_cycles_dims(8, 8, 16, 1, true),
+            63 * 17 + 63 * 4
         );
     }
 

@@ -40,7 +40,7 @@ fn mesh_transpose(
     if let Some(intr) = interrupt {
         mesh.set_interrupt(intr.clone());
     }
-    let mut id = 0u32;
+    let mut id = 0u64;
     for r in 0..procs as u32 {
         let memif = cfg.topology.nearest_memif(r);
         for c in 0..row_len as u64 {

@@ -20,7 +20,10 @@
 //! * **`full_matrix`** — the complete 21-row ablation matrix under the
 //!   multi-fidelity engine ([`crate::fidelity`]): each row answered from
 //!   the validated closed form where an envelope covers it, simulated
-//!   where not, with a [`crate::fidelity::FidelityDecision`] on every row.
+//!   where not, with a [`crate::fidelity::FidelityDecision`] on every row;
+//! * **`collectives`** — all-to-all / all-gather / all-reduce traffic on
+//!   both fabrics over a chosen mesh/torus geometry (shared cores with the
+//!   `collectives` bin).
 //!
 //! Every family's result is a deterministic JSON document, which is what
 //! makes the exact result cache ([`crate::cache`]) sound: the cache key is
@@ -40,6 +43,7 @@ use analytic::surrogate::{
 use analytic::table3::{
     table3_pscan_cycles, Table3Params, PAPER_MESH_WRITEBACK_TP1, PAPER_MESH_WRITEBACK_TP4,
 };
+use emesh::collectives::run_mesh_collective;
 use emesh::energy::OrionParams;
 use emesh::mesh::{MeshConfig, MeshError, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
@@ -49,10 +53,12 @@ use fft::Complex64;
 use pscan::compiler::GatherSpec;
 use pscan::faults::PscanFaultConfig;
 use pscan::network::{Pscan, PscanConfig};
+use psync::collectives::run_sca_collective;
 use psync::machine::{Machine, MachineConfig, MachineError};
 use rayon::prelude::*;
 use serde::{Serialize, Value};
 use sim_core::cancel::{CancelToken, Interrupt, Progress};
+use sim_core::collective::Collective;
 use sim_core::telemetry::Registry;
 
 use crate::cache::{fnv1a64, ResultCache};
@@ -68,7 +74,12 @@ use crate::supervisor::{JobSuccess, Work, WorkError};
 /// v2: the `full_matrix` family and its `fidelity` field — results now
 /// depend on the fidelity policy, so specs carrying one must never share a
 /// cache generation with v1 keys that could not express it.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the `collectives` family (all-to-all / all-gather / all-reduce over
+/// both fabrics) and rectangular/torus geometry fields. Purely additive:
+/// every schema-2 request body still parses (see the
+/// `schema2_requests_still_parse` test), but cache generations must not mix.
+pub const SCHEMA_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // Per-family specifications
@@ -280,6 +291,51 @@ impl FullMatrixSpec {
     }
 }
 
+/// The collective-traffic comparison: all three collectives on both
+/// fabrics over one mesh/torus geometry.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CollectivesSpec {
+    /// Mesh width (columns).
+    pub width: usize,
+    /// Mesh height (rows).
+    pub height: usize,
+    /// Wrap the mesh edges into a torus.
+    pub torus: bool,
+    /// Payload words per node per block.
+    pub words: usize,
+    /// Mesh worker threads (bit-identical results for any value).
+    pub threads: usize,
+}
+
+impl CollectivesSpec {
+    /// The `--quick` configuration (4×4 mesh, 4-word blocks).
+    pub fn quick() -> Self {
+        CollectivesSpec {
+            width: 4,
+            height: 4,
+            torus: false,
+            words: 4,
+            threads: 1,
+        }
+    }
+
+    /// The full configuration (16×16 mesh, 64-word blocks).
+    pub fn paper() -> Self {
+        CollectivesSpec {
+            width: 16,
+            height: 16,
+            words: 64,
+            ..CollectivesSpec::quick()
+        }
+    }
+
+    /// The mesh topology this spec describes (memory interface in the
+    /// single corner, as in the Table III runs).
+    pub fn topology(&self) -> Topology {
+        Topology::rect(self.width, self.height, MemifPlacement::SingleCorner).with_torus(self.torus)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The unified JobSpec enum
 // ---------------------------------------------------------------------------
@@ -301,6 +357,8 @@ pub enum JobSpec {
     CrosscheckModels(CrosscheckSpec),
     /// The 21-row multi-fidelity ablation matrix.
     FullMatrix(FullMatrixSpec),
+    /// The collective-traffic comparison on both fabrics.
+    Collectives(CollectivesSpec),
 }
 
 impl JobSpec {
@@ -312,16 +370,18 @@ impl JobSpec {
             JobSpec::AblateFaults(_) => "ablate_faults",
             JobSpec::CrosscheckModels(_) => "crosscheck_models",
             JobSpec::FullMatrix(_) => "full_matrix",
+            JobSpec::Collectives(_) => "collectives",
         }
     }
 
     /// Every routable family name, in wire spelling.
-    pub const FAMILIES: [&'static str; 5] = [
+    pub const FAMILIES: [&'static str; 6] = [
         "table3",
         "perf_mesh",
         "ablate_faults",
         "crosscheck_models",
         "full_matrix",
+        "collectives",
     ];
 
     /// The preset spec for `family`: the quick or full configuration the
@@ -353,6 +413,11 @@ impl JobSpec {
             } else {
                 FullMatrixSpec::paper()
             }),
+            "collectives" => JobSpec::Collectives(if quick {
+                CollectivesSpec::quick()
+            } else {
+                CollectivesSpec::paper()
+            }),
             _ => return None,
         };
         Some(spec)
@@ -368,6 +433,7 @@ impl JobSpec {
             JobSpec::AblateFaults(s) => serde_json::to_string(s),
             JobSpec::CrosscheckModels(s) => serde_json::to_string(s),
             JobSpec::FullMatrix(s) => serde_json::to_string(s),
+            JobSpec::Collectives(s) => serde_json::to_string(s),
         }
         .expect("job specs serialize");
         format!(
@@ -484,6 +550,17 @@ impl JobSpec {
                         .to_string();
                 }
             }
+            JobSpec::Collectives(s) => {
+                s.width = usize_field("width", s.width)?;
+                s.height = usize_field("height", s.height)?;
+                s.words = usize_field("words", s.words)?;
+                s.threads = usize_field("threads", s.threads)?;
+                if let Some(t) = v.get("torus") {
+                    s.torus = t
+                        .as_bool()
+                        .ok_or_else(|| "spec.torus must be a boolean".to_string())?;
+                }
+            }
             JobSpec::CrosscheckModels(s) => {
                 s.procs = usize_field("procs", s.procs)?;
                 s.n = usize_field("n", s.n)?;
@@ -574,6 +651,22 @@ impl JobSpec {
                 }
                 s.policy().map(|_| ()).map_err(|e| format!("fidelity: {e}"))
             }
+            JobSpec::Collectives(s) => {
+                if s.width < 2 || s.height < 2 {
+                    return Err(format!(
+                        "width and height must each be at least 2 (a corner memif \
+                         must leave collective participants), got {}x{}",
+                        s.width, s.height
+                    ));
+                }
+                if s.words == 0 {
+                    return Err("words must be at least 1".to_string());
+                }
+                if s.threads == 0 {
+                    return Err("threads must be at least 1".to_string());
+                }
+                Ok(())
+            }
         }
     }
 
@@ -631,6 +724,11 @@ impl JobSpec {
                 let (result, _timing) = run_full_matrix(s, interrupt, reg.as_ref())?;
                 let json = serde_json::to_string_pretty(&result).map_err(serialize_err)?;
                 Ok((json, reg.into_iter().collect()))
+            }
+            JobSpec::Collectives(s) => {
+                let (rows, regs) = run_collectives(s, tracing, interrupt)?;
+                let json = serde_json::to_string_pretty(&rows).map_err(serialize_err)?;
+                Ok((json, regs))
             }
         }
     }
@@ -845,6 +943,117 @@ pub fn perf_mesh_point(
         flit_moves: res.energy.router_traversals,
         wall_s,
     })
+}
+
+// ---------------------------------------------------------------------------
+// collectives family
+// ---------------------------------------------------------------------------
+
+/// One collective-traffic result row (field order is the
+/// `results/collectives.json` byte contract). `cycles` is the fabric's
+/// native sequential unit: mesh cycles on the electronic side, bus slots
+/// on the photonic side.
+#[derive(Debug, Clone, Serialize)]
+pub struct CollectiveRow {
+    /// Collective wire label (`alltoall` / `allgather` / `allreduce`).
+    pub collective: String,
+    /// `"mesh"` or `"sca"`.
+    pub fabric: String,
+    /// Geometry label: the mesh topology (`"4x4"`, `"4x4t"`, …) or the
+    /// SCA processor count (`"p16"`).
+    pub geometry: String,
+    /// Participating nodes.
+    pub participants: u64,
+    /// Payload words per node per block.
+    pub words: usize,
+    /// Executed phases.
+    pub phases: usize,
+    /// Mesh completion cycles, or SCA bus slots.
+    pub cycles: u64,
+    /// Golden-determinism fingerprint of the full run observables.
+    pub fingerprint: u64,
+}
+
+/// Run one collective on the electronic mesh described by `spec`.
+pub fn collective_mesh_row(
+    spec: &CollectivesSpec,
+    collective: Collective,
+    telemetry: Option<&Registry>,
+) -> Result<CollectiveRow, MeshError> {
+    let cfg = MeshConfig {
+        topology: spec.topology(),
+        t_r: 1,
+        policy: RoutingPolicy::Xy,
+        memif: Default::default(),
+        buffer_depth: 2,
+        max_cycles: 1 << 30,
+        threads: spec.threads,
+    };
+    let res = run_mesh_collective(collective, cfg, spec.words, telemetry)?;
+    Ok(CollectiveRow {
+        collective: collective.label().to_string(),
+        fabric: "mesh".to_string(),
+        geometry: spec.topology().label(),
+        participants: res.participants,
+        words: spec.words,
+        phases: res.phases.len(),
+        cycles: res.cycles,
+        fingerprint: res.fingerprint(),
+    })
+}
+
+/// Run one collective on the photonic SCA machine sized to `spec` (every
+/// `width × height` processor participates; the head node hosts memory).
+pub fn collective_sca_row(
+    spec: &CollectivesSpec,
+    collective: Collective,
+    tracing: bool,
+) -> Result<(CollectiveRow, Option<Registry>), MachineError> {
+    let procs = spec.width * spec.height;
+    let dram_words = procs * procs * spec.words;
+    let mut machine = Machine::new(MachineConfig::paper_default(procs, dram_words));
+    if tracing {
+        machine.enable_telemetry();
+    }
+    let res = run_sca_collective(&mut machine, collective, spec.words)?;
+    let row = CollectiveRow {
+        collective: collective.label().to_string(),
+        fabric: "sca".to_string(),
+        geometry: format!("p{procs}"),
+        participants: res.participants as u64,
+        words: spec.words,
+        phases: res.phase_names.len(),
+        cycles: res.bus_slots,
+        fingerprint: res.fingerprint(),
+    };
+    Ok((row, machine.take_telemetry()))
+}
+
+/// Run all three collectives on both fabrics: six deterministic rows in
+/// [`Collective::ALL`] × (mesh, sca) order. The interrupt is polled
+/// between rows, so cancellation is collective-granular.
+pub fn run_collectives(
+    spec: &CollectivesSpec,
+    tracing: bool,
+    interrupt: Option<&Interrupt>,
+) -> Result<(Vec<CollectiveRow>, Vec<Registry>), WorkError> {
+    let mut rows = Vec::with_capacity(Collective::ALL.len() * 2);
+    let mut regs = Vec::new();
+    let mesh_reg = tracing.then(Registry::new);
+    let mut intr = interrupt.cloned();
+    for collective in Collective::ALL {
+        if let Some(cause) = intr.as_mut().and_then(|i| i.check(rows.len() as u64)) {
+            return Err(WorkError::Cancelled {
+                detail: format!("collectives cancelled after {} rows: {cause:?}", rows.len()),
+            });
+        }
+        rows.push(collective_mesh_row(spec, collective, mesh_reg.as_ref()).map_err(classify_mesh)?);
+        let (row, reg) = collective_sca_row(spec, collective, tracing).map_err(classify_machine)?;
+        rows.push(row);
+        regs.extend(reg);
+    }
+    regs.extend(mesh_reg);
+    Ok((rows, regs))
 }
 
 // ---------------------------------------------------------------------------
@@ -1585,8 +1794,47 @@ mod tests {
         );
         assert_eq!(
             JobSpec::Table3(Table3Spec::quick()).canonical_json(),
-            r#"{"schema":2,"family":"table3","spec":{"procs":256,"row_len":256,"threads":1}}"#
+            r#"{"schema":3,"family":"table3","spec":{"procs":256,"row_len":256,"threads":1}}"#
         );
+        assert_eq!(
+            JobSpec::Collectives(CollectivesSpec::quick()).canonical_json(),
+            r#"{"schema":3,"family":"collectives","spec":{"width":4,"height":4,"torus":false,"words":4,"threads":1}}"#
+        );
+    }
+
+    #[test]
+    fn schema2_requests_still_parse() {
+        // Exact request bodies schema-2 clients sent (including ones that
+        // decorated the spec with the old schema number — unknown fields
+        // are ignored by contract). The v3 bump is additive only.
+        for body in [
+            r#"{"family":"table3","procs":64,"row_len":64}"#,
+            r#"{"schema":2,"family":"table3","preset":"quick"}"#,
+            r#"{"family":"perf_mesh","policy":"xy","t_p":4,"procs":16,"row_len":4}"#,
+            r#"{"family":"ablate_faults","rates":[0.0,0.01],"procs":16,"row_len":8,"gathers":2}"#,
+            r#"{"family":"crosscheck_models","procs":8,"n":64,"ks":[1,4]}"#,
+            r#"{"family":"full_matrix","fidelity":"auto:0.05","reference":true}"#,
+        ] {
+            let spec = parse(body).unwrap_or_else(|e| panic!("{body}: {e}"));
+            spec.validate().expect("schema-2 bodies stay valid");
+        }
+    }
+
+    #[test]
+    fn from_value_parses_collectives_geometry() {
+        let spec = parse(r#"{"family":"collectives","width":8,"height":2,"torus":true,"words":3}"#)
+            .unwrap();
+        match &spec {
+            JobSpec::Collectives(s) => {
+                assert_eq!((s.width, s.height, s.torus, s.words), (8, 2, true, 3));
+                assert_eq!(s.topology().label(), "8x2t");
+            }
+            other => panic!("expected Collectives, got {other:?}"),
+        }
+        let err = parse(r#"{"family":"collectives","width":1}"#).unwrap_err();
+        assert!(err.contains("at least 2"), "{err}");
+        let err = parse(r#"{"family":"collectives","torus":3}"#).unwrap_err();
+        assert!(err.contains("torus"), "{err}");
     }
 
     #[test]
@@ -1699,6 +1947,36 @@ mod tests {
     }
 
     #[test]
+    fn collectives_family_runs_both_fabrics_deterministically() {
+        let spec = CollectivesSpec::quick();
+        let (rows, regs) = run_collectives(&spec, false, None).expect("quick collectives run");
+        assert_eq!(rows.len(), 6, "3 collectives x 2 fabrics");
+        assert!(regs.is_empty(), "no tracing requested");
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].fabric, "mesh");
+            assert_eq!(pair[1].fabric, "sca");
+            assert_eq!(pair[0].collective, pair[1].collective);
+            assert!(pair[0].cycles > 0 && pair[1].cycles > 0);
+        }
+        let (again, _) = run_collectives(&spec, false, None).unwrap();
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(
+                a.fingerprint, b.fingerprint,
+                "{} {}",
+                a.collective, a.fabric
+            );
+        }
+        // The torus variant is a different deterministic result, not a crash.
+        let torus = CollectivesSpec {
+            torus: true,
+            ..spec
+        };
+        let (trows, _) = run_collectives(&torus, false, None).unwrap();
+        assert_eq!(trows[0].geometry, "4x4t");
+        assert_ne!(trows[0].fingerprint, rows[0].fingerprint);
+    }
+
+    #[test]
     fn canonical_json_distinguishes_specs_and_is_reparseable() {
         let a = JobSpec::Table3(tiny());
         let b = JobSpec::Table3(Table3Spec {
@@ -1710,7 +1988,7 @@ mod tests {
         assert_ne!(cache_key(&a, None), cache_key(&a, Some(1.0)));
         // The canonical envelope itself parses as JSON.
         let v = serde_json::from_str(&a.canonical_json()).unwrap();
-        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("family").and_then(Value::as_str), Some("table3"));
     }
 

@@ -207,7 +207,7 @@ pub struct FaultLayer {
     /// `now + nack_delay` with `now` monotone, so a deque stays sorted).
     pub(crate) retx: VecDeque<Retransmit>,
     /// Retransmission attempts per (source, packet id).
-    pub(crate) attempts: HashMap<(u32, u32), u32>,
+    pub(crate) attempts: HashMap<(u32, u64), u32>,
     /// Counters.
     pub stats: MeshFaultStats,
 }
@@ -219,7 +219,7 @@ pub struct FaultLayer {
 pub(crate) struct FaultMasterView<'m> {
     pub stats: &'m mut MeshFaultStats,
     pub retx: &'m mut VecDeque<Retransmit>,
-    pub attempts: &'m mut HashMap<(u32, u32), u32>,
+    pub attempts: &'m mut HashMap<(u32, u64), u32>,
     pub retransmit: bool,
     pub max_retransmits: u32,
     pub nack_delay: u64,

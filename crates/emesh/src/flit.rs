@@ -45,8 +45,9 @@ pub struct Flit {
     pub payload: u64,
     /// Position within the packet.
     pub kind: FlitKind,
-    /// Packet id (for wormhole bookkeeping and debugging).
-    pub packet: u32,
+    /// Packet id (for wormhole bookkeeping and debugging). 64-bit: at
+    /// 16k–64k-node scale the per-run packet count overflows a `u32`.
+    pub packet: u64,
     /// Earliest cycle this flit may next be forwarded (set on arrival:
     /// `cycle + 1` for body/tail, `cycle + 1 + t_r` for heads).
     pub ready_at: u64,
@@ -61,7 +62,7 @@ pub struct Packet {
     /// Destination node index.
     pub dest: u32,
     /// Packet id.
-    pub id: u32,
+    pub id: u64,
     /// Payload words, one per payload flit.
     pub payload: Vec<u64>,
     /// Whether a separate header flit is prepended (the paper's `S_h`).
@@ -70,7 +71,7 @@ pub struct Packet {
 
 impl Packet {
     /// A packet with a header flit plus one payload flit per word.
-    pub fn with_header(dest: u32, id: u32, payload: Vec<u64>) -> Self {
+    pub fn with_header(dest: u32, id: u64, payload: Vec<u64>) -> Self {
         Packet {
             dest,
             id,
@@ -82,7 +83,7 @@ impl Packet {
     /// A headerless packet (the head flit carries the first payload word),
     /// used where the paper folds the header into the data ("Flit Size =
     /// FFT element size").
-    pub fn headerless(dest: u32, id: u32, payload: Vec<u64>) -> Self {
+    pub fn headerless(dest: u32, id: u64, payload: Vec<u64>) -> Self {
         assert!(!payload.is_empty(), "headerless packet needs payload");
         Packet {
             dest,

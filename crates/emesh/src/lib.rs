@@ -22,6 +22,8 @@
 //! * [`workloads`] — the paper's traffic patterns: transpose gather
 //!   (Table III), blocked scatter delivery (Tables I/II context, Fig. 11),
 //!   and an SCA-equivalent gather for the Fig. 5 energy comparison.
+//! * [`collectives`] — all-to-all / all-gather / all-reduce packet
+//!   schedules over any mesh or torus geometry, phase-by-phase.
 //! * [`faults`] — deterministic fault injection and resilience: transient
 //!   corruption with NACK/retransmit at the memory interface, transient
 //!   link outages, hard router kills, and a no-progress watchdog.
@@ -29,6 +31,7 @@
 //!   2 cm × 2 cm die where the link-repeater count is inversely related to
 //!   the number of network nodes (§III-C).
 
+pub mod collectives;
 pub mod ebus;
 pub mod energy;
 pub mod faults;
@@ -39,6 +42,7 @@ pub mod router;
 pub mod topology;
 pub mod workloads;
 
+pub use collectives::{run_mesh_collective, MeshCollectiveResult, MeshPhase};
 pub use ebus::EbusParams;
 pub use energy::{EnergyCounters, OrionParams};
 pub use faults::{MeshDiagnostic, MeshFaultConfig, MeshFaultStats, RouterKill};

@@ -1038,7 +1038,7 @@ mod tests {
                 for e in 0..32u64 {
                     m.inject_packet(
                         n,
-                        &Packet::with_header(0, n * 32 + e as u32, vec![n as u64 * 32 + e]),
+                        &Packet::with_header(0, n as u64 * 32 + e, vec![n as u64 * 32 + e]),
                     );
                 }
             }
@@ -1059,7 +1059,7 @@ mod tests {
         for n in 0..16u32 {
             for e in 0..64u64 {
                 let addr = n as u64 * 64 + e;
-                m.inject_packet(n, &Packet::with_header(0, n << 8 | e as u32, vec![addr]));
+                m.inject_packet(n, &Packet::with_header(0, (n as u64) << 8 | e, vec![addr]));
             }
         }
         let res = m.run().unwrap();
@@ -1076,7 +1076,7 @@ mod tests {
         let mut m = Mesh::new(small_cfg(RoutingPolicy::Xy));
         m.collect_sink_words(true);
         for n in 1..16u32 {
-            m.inject_packet(0, &Packet::with_header(n, n, vec![n as u64; 4]));
+            m.inject_packet(0, &Packet::with_header(n, n as u64, vec![n as u64; 4]));
         }
         let res = m.run().unwrap();
         for n in 1..16usize {
@@ -1096,7 +1096,7 @@ mod tests {
                 // skip node 0 (memif)
                 let dest = 15 - n;
                 if dest != 0 {
-                    m.inject_packet(n, &Packet::with_header(dest, n, vec![n as u64; 3]));
+                    m.inject_packet(n, &Packet::with_header(dest, n as u64, vec![n as u64; 3]));
                 }
             }
             let res = m.run().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
@@ -1124,7 +1124,7 @@ mod tests {
         let mut m = Mesh::new(small_cfg(RoutingPolicy::MinimalAdaptive));
         for n in 1..16u32 {
             for e in 0..8u64 {
-                m.inject_packet(n, &Packet::with_header(0, n * 8 + e as u32, vec![e]));
+                m.inject_packet(n, &Packet::with_header(0, n as u64 * 8 + e, vec![e]));
             }
         }
         let res = m.run().unwrap();
@@ -1149,7 +1149,7 @@ mod tests {
         let mut m = Mesh::new(small_cfg(RoutingPolicy::Xy));
         m.track_latency(10, 100);
         for n in 1..16u32 {
-            m.inject_packet(n, &Packet::with_header(0, n, vec![n as u64]));
+            m.inject_packet(n, &Packet::with_header(0, n as u64, vec![n as u64]));
         }
         let res = m.run().unwrap();
         let h = res.latency.expect("tracking enabled");
@@ -1190,7 +1190,10 @@ mod tests {
         let mut m = Mesh::new(small_cfg(RoutingPolicy::MinimalAdaptive));
         let mut last = 0;
         for round in 0..5u32 {
-            m.inject_packet(15, &Packet::with_header(0, round, vec![round as u64]));
+            m.inject_packet(
+                15,
+                &Packet::with_header(0, round as u64, vec![round as u64]),
+            );
             let res = m.run().unwrap();
             assert!(res.cycles > last, "round {round} did not advance");
             last = res.cycles;
@@ -1206,7 +1209,7 @@ mod tests {
                 for e in 0..8u64 {
                     m.inject_packet(
                         n,
-                        &Packet::with_header(0, n * 8 + e as u32, vec![n as u64 * 8 + e]),
+                        &Packet::with_header(0, n as u64 * 8 + e, vec![n as u64 * 8 + e]),
                     );
                 }
             }

@@ -75,10 +75,10 @@ pub(crate) trait FxSink {
     fn occ_sample(&mut self, occ: u64);
     /// A head flit of `packet` entered the network at `cycle` (latency
     /// tracking attached).
-    fn head_injected(&mut self, packet: u32, cycle: u64);
+    fn head_injected(&mut self, packet: u64, cycle: u64);
     /// A tail flit of `packet` left the network at `cycle` (latency
     /// tracking attached).
-    fn tail_ejected(&mut self, packet: u32, cycle: u64);
+    fn tail_ejected(&mut self, packet: u64, cycle: u64);
     /// A payload flit was poisoned in flight.
     fn corrupted(&mut self);
     /// A transient link outage fired.
@@ -90,7 +90,7 @@ pub(crate) trait FxSink {
     /// Memory interface at `router` detected a poisoned element from
     /// `src`: account the NACK and (budget permitting) schedule the
     /// retransmission.
-    fn nack(&mut self, router: u32, src: u32, packet: u32, payload: u64, cycle: u64);
+    fn nack(&mut self, router: u32, src: u32, packet: u64, payload: u64, cycle: u64);
 }
 
 /// Entry-owned fault state as seen from inside a service step.
@@ -258,7 +258,7 @@ impl FxSink for MasterFx<'_> {
     }
 
     #[inline]
-    fn head_injected(&mut self, packet: u32, cycle: u64) {
+    fn head_injected(&mut self, packet: u64, cycle: u64) {
         if let Some((t0, _)) = self.lat.as_mut() {
             let id = packet as usize;
             if t0.len() <= id {
@@ -269,7 +269,7 @@ impl FxSink for MasterFx<'_> {
     }
 
     #[inline]
-    fn tail_ejected(&mut self, packet: u32, cycle: u64) {
+    fn tail_ejected(&mut self, packet: u64, cycle: u64) {
         if let Some((t0, h)) = self.lat.as_mut() {
             if let Some(slot) = t0.get_mut(packet as usize) {
                 if *slot != NEVER {
@@ -316,7 +316,7 @@ impl FxSink for MasterFx<'_> {
             .dropped_elements += 1;
     }
 
-    fn nack(&mut self, router: u32, src: u32, packet: u32, payload: u64, cycle: u64) {
+    fn nack(&mut self, router: u32, src: u32, packet: u64, payload: u64, cycle: u64) {
         let fl = self.fault.as_mut().expect("corrupted implies faults");
         fl.stats.nacks += 1;
         if !fl.retransmit {
@@ -390,15 +390,26 @@ impl CoreView<'_> {
     /// Mirror of the mesh's neighbour map.
     #[inline]
     fn neighbor(&self, node: u32, port: Port) -> u32 {
-        let c = self.cfg.topology.coord(node);
-        let (x, y) = match port {
-            Port::North => (c.x, c.y - 1),
-            Port::South => (c.x, c.y + 1),
-            Port::East => (c.x + 1, c.y),
-            Port::West => (c.x - 1, c.y),
-            Port::Local => unreachable!("local has no neighbor"),
+        let t = &self.cfg.topology;
+        let c = t.coord(node);
+        let (x, y) = if t.torus {
+            match port {
+                Port::North => (c.x, (c.y + t.height - 1) % t.height),
+                Port::South => (c.x, (c.y + 1) % t.height),
+                Port::East => ((c.x + 1) % t.width, c.y),
+                Port::West => ((c.x + t.width - 1) % t.width, c.y),
+                Port::Local => unreachable!("local has no neighbor"),
+            }
+        } else {
+            match port {
+                Port::North => (c.x, c.y - 1),
+                Port::South => (c.x, c.y + 1),
+                Port::East => (c.x + 1, c.y),
+                Port::West => (c.x - 1, c.y),
+                Port::Local => unreachable!("local has no neighbor"),
+            }
         };
-        self.cfg.topology.id(crate::topology::NodeCoord { x, y })
+        t.id(crate::topology::NodeCoord { x, y })
     }
 
     /// Route a head flit at `node` toward `dest`. The adaptive arm reads
@@ -411,6 +422,30 @@ impl CoreView<'_> {
         }
         let c = self.cfg.topology.coord(node);
         let d = self.cfg.topology.coord(dest);
+        if self.cfg.topology.torus {
+            // Shortest-direction dimension-order routing over the wrap
+            // links: x resolves first, and an equidistant tie goes East /
+            // South so every hop is deterministic. The west-first turn
+            // model the adaptive arm relies on is unsound on a ring, so
+            // `MinimalAdaptive` also takes this deterministic path on a
+            // torus (documented limitation, DESIGN.md §16: no VCs, so
+            // torus configs rely on the structured deadlock detector).
+            let (w, h) = (self.cfg.topology.width, self.cfg.topology.height);
+            if d.x != c.x {
+                let east = (d.x + w - c.x) % w;
+                return if east <= w - east {
+                    Port::East
+                } else {
+                    Port::West
+                };
+            }
+            let south = (d.y + h - c.y) % h;
+            return if south <= h - south {
+                Port::South
+            } else {
+                Port::North
+            };
+        }
         let want_x = if d.x < c.x {
             Some(Port::West)
         } else if d.x > c.x {

@@ -102,7 +102,7 @@ pub(super) const DISPATCH_GRAIN: usize = 4;
 pub(super) struct NackFx {
     pub router: u32,
     pub src: u32,
-    pub packet: u32,
+    pub packet: u64,
     pub payload: u64,
     pub cycle: u64,
 }
@@ -135,9 +135,9 @@ pub(super) struct EntryFx {
     /// Pre-service occupancy sample (telemetry attached).
     pub occ: Option<u64>,
     /// Head-flit injection timestamp (latency attached; ≤ 1 per cycle).
-    pub head_injected: Option<(u32, u64)>,
+    pub head_injected: Option<(u64, u64)>,
     /// Tail-flit ejection timestamp (latency attached; ≤ 1 per cycle).
-    pub tail_ejected: Option<(u32, u64)>,
+    pub tail_ejected: Option<(u64, u64)>,
     /// Poisoned-element NACK at a memory interface (≤ 1 per cycle).
     pub nack: Option<NackFx>,
 }
@@ -193,13 +193,13 @@ impl FxSink for EntryFx {
     }
 
     #[inline]
-    fn head_injected(&mut self, packet: u32, cycle: u64) {
+    fn head_injected(&mut self, packet: u64, cycle: u64) {
         debug_assert!(self.head_injected.is_none(), "one injection per cycle");
         self.head_injected = Some((packet, cycle));
     }
 
     #[inline]
-    fn tail_ejected(&mut self, packet: u32, cycle: u64) {
+    fn tail_ejected(&mut self, packet: u64, cycle: u64) {
         debug_assert!(self.tail_ejected.is_none(), "one ejection per cycle");
         self.tail_ejected = Some((packet, cycle));
     }
@@ -225,7 +225,7 @@ impl FxSink for EntryFx {
     }
 
     #[inline]
-    fn nack(&mut self, router: u32, src: u32, packet: u32, payload: u64, cycle: u64) {
+    fn nack(&mut self, router: u32, src: u32, packet: u64, payload: u64, cycle: u64) {
         debug_assert!(self.nack.is_none(), "one NACK per entry-cycle");
         self.nack = Some(NackFx {
             router,
@@ -272,21 +272,34 @@ impl WavePlanner {
             let cd = topo.coord(r);
             let mut nbrs = [0u32; 4];
             let mut nn = 0;
+            let push_nbr = |nbrs: &mut [u32; 4], nn: &mut usize, id: u32| {
+                // On a 1- or 2-wide torus dimension, wrap and direct
+                // neighbours coincide; dedupe so the conflict set stays
+                // exact (a duplicate would be harmless but wasteful).
+                if id != r && !nbrs[..*nn].contains(&id) {
+                    nbrs[*nn] = id;
+                    *nn += 1;
+                }
+            };
             if cd.y > 0 {
-                nbrs[nn] = r - topo.width;
-                nn += 1;
+                push_nbr(&mut nbrs, &mut nn, r - topo.width);
+            } else if topo.torus {
+                push_nbr(&mut nbrs, &mut nn, r + (topo.height - 1) * topo.width);
             }
             if cd.y + 1 < topo.height {
-                nbrs[nn] = r + topo.width;
-                nn += 1;
+                push_nbr(&mut nbrs, &mut nn, r + topo.width);
+            } else if topo.torus {
+                push_nbr(&mut nbrs, &mut nn, cd.x);
             }
             if cd.x > 0 {
-                nbrs[nn] = r - 1;
-                nn += 1;
+                push_nbr(&mut nbrs, &mut nn, r - 1);
+            } else if topo.torus {
+                push_nbr(&mut nbrs, &mut nn, r + topo.width - 1);
             }
             if cd.x + 1 < topo.width {
-                nbrs[nn] = r + 1;
-                nn += 1;
+                push_nbr(&mut nbrs, &mut nn, r + 1);
+            } else if topo.torus {
+                push_nbr(&mut nbrs, &mut nn, r - (topo.width - 1));
             }
             let mut latest = 0u32;
             for &id in &nbrs[..nn] {

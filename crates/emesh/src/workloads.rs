@@ -17,7 +17,7 @@ pub fn load_transpose(cfg: MeshConfig, procs: usize, row_len: usize) -> Mesh {
     let mut mesh = Mesh::new(cfg);
     let nodes = cfg.topology.nodes();
     assert!(procs <= nodes, "more processors than mesh nodes");
-    let mut packet_id = 0u32;
+    let mut packet_id = 0u64;
     for r in 0..procs as u32 {
         let memif = cfg.topology.nearest_memif(r);
         for c in 0..row_len as u64 {
@@ -36,7 +36,7 @@ pub fn load_transpose(cfg: MeshConfig, procs: usize, row_len: usize) -> Mesh {
 pub fn load_scatter(cfg: MeshConfig, block_words: usize, k: usize) -> Mesh {
     let mut mesh = Mesh::new(cfg);
     let memif = cfg.topology.memif_nodes()[0];
-    let mut id = 0u32;
+    let mut id = 0u64;
     for _round in 0..k {
         for n in 0..cfg.topology.nodes() as u32 {
             if n == memif {
@@ -54,7 +54,7 @@ pub fn load_scatter(cfg: MeshConfig, block_words: usize, k: usize) -> Mesh {
 /// Addresses are laid out so each interface receives whole DRAM rows.
 pub fn load_gather_energy(cfg: MeshConfig, words: usize) -> Mesh {
     let mut mesh = Mesh::new(cfg);
-    let mut id = 0u32;
+    let mut id = 0u64;
     for n in 0..cfg.topology.nodes() as u32 {
         let memif = cfg.topology.nearest_memif(n);
         for w in 0..words as u64 {
@@ -68,26 +68,66 @@ pub fn load_gather_energy(cfg: MeshConfig, words: usize) -> Mesh {
 }
 
 /// Closed-form Eq. (21): mesh scatter delivery time in cycles,
-/// `P·F + P·√P·t_r`, for `p` processors receiving `f` flits each.
+/// `P·F + P·⌊√P⌋·t_r`, for `p` processors receiving `f` flits each.
+///
+/// The truncating `⌊√P⌋` is only meaningful for the paper's square-mesh
+/// cases: `p` a perfect square (all nodes receive) or `p + 1` a perfect
+/// square (every node but the memory corner receives, e.g. `p = 63` on an
+/// 8×8 mesh, where `⌊√63⌋ = 7` is exactly the mesh's mean corner
+/// distance). For any other `p` the truncation silently undercounts hops.
+///
+/// # Panics
+/// Panics when neither `p` nor `p + 1` is a perfect square — use
+/// [`eq21_delivery_cycles_dims`] with the actual topology dimensions.
 pub fn eq21_delivery_cycles(p: u64, f: u64, t_r: u64) -> u64 {
-    p * f + p * ((p as f64).sqrt() as u64) * t_r
+    let s = p.isqrt();
+    assert!(
+        s * s == p || (p + 1).isqrt().pow(2) == p + 1,
+        "Eq. 21 truncated sqrt is only exact when p or p + 1 is a perfect \
+         square, got p = {p}; use eq21_delivery_cycles_dims for rectangular \
+         or torus geometries"
+    );
+    p * f + p * s * t_r
 }
 
-/// Build a uniform-random permutation workload: every node sends
+/// Closed-form Eq. (21) generalized to a `width × height` rectangle (or
+/// torus): `P·F + P·H̄·t_r`, where `P = width·height − 1` receivers (every
+/// node but the memory corner) and `H̄` is the truncating mean hop distance
+/// from the corner interface to all nodes. Per dimension the distance sum
+/// is `w(w−1)/2` on a mesh and `⌊w²/4⌋` on a torus (wrap links halve the
+/// ring); on a square `W × W` mesh `H̄ = W − 1 = ⌊√(W²−1)⌋`, so this
+/// agrees exactly with [`eq21_delivery_cycles`] on the paper's geometries.
+pub fn eq21_delivery_cycles_dims(width: u64, height: u64, f: u64, t_r: u64, torus: bool) -> u64 {
+    assert!(
+        width >= 1 && height >= 1 && width * height >= 2,
+        "Eq. 21 needs at least one receiver, got {width}x{height}"
+    );
+    let dim_sum = |w: u64| if torus { w * w / 4 } else { w * (w - 1) / 2 };
+    let mean_hops = (dim_sum(width) * height + dim_sum(height) * width) / (width * height);
+    let p = width * height - 1;
+    p * f + p * mean_hops * t_r
+}
+
+/// Build a uniform-random permutation workload: every node sends up to
 /// `packets_per_node` packets of `payload_words` words to destinations
 /// drawn from a seeded random permutation stream (no self-traffic, no
-/// memif destinations). The classic NoC characterization load, used to
+/// memif endpoints). The classic NoC characterization load, used to
 /// validate that the baseline mesh saturates like a mesh should.
+///
+/// Returns the loaded mesh **and the number of packets actually
+/// injected** — self-pairs and pairs touching a memory interface are
+/// skipped, so the injected count is below
+/// `nodes × packets_per_node` and callers must not assume otherwise.
 pub fn load_uniform_random(
     cfg: MeshConfig,
     packets_per_node: usize,
     payload_words: usize,
     seed: u64,
-) -> Mesh {
+) -> (Mesh, u64) {
     let mut mesh = Mesh::new(cfg);
     let n = cfg.topology.nodes();
     let memifs = cfg.topology.memif_nodes();
-    let mut id = 0u32;
+    let mut id = 0u64;
     for round in 0..packets_per_node {
         let perm = sim_core::rng::permutation(n, sim_core::rng::child_seed(seed, round as u64));
         #[allow(clippy::needless_range_loop)] // src is also the injection id
@@ -103,7 +143,7 @@ pub fn load_uniform_random(
             id = id.wrapping_add(1);
         }
     }
-    mesh
+    (mesh, id)
 }
 
 #[cfg(test)]
@@ -199,14 +239,19 @@ mod tests {
             threads: 1,
         };
         let run = || {
-            let mut mesh = load_uniform_random(cfg, 8, 3, 42);
+            let (mut mesh, injected) = load_uniform_random(cfg, 8, 3, 42);
             let res = mesh.run().unwrap();
-            (res.cycles, res.sink_delivered.iter().sum::<u64>())
+            (res.cycles, res.sink_delivered.iter().sum::<u64>(), injected)
         };
-        let (c1, d1) = run();
-        let (c2, d2) = run();
-        assert_eq!((c1, d1), (c2, d2));
+        let (c1, d1, i1) = run();
+        let (c2, d2, i2) = run();
+        assert_eq!((c1, d1, i1), (c2, d2, i2));
         assert!(d1 > 0);
+        // Every injected packet delivers its payload, and the reported
+        // injected count reflects the skipped self/memif pairs: below the
+        // nominal 16 × 8 but not by the whole memif row.
+        assert_eq!(d1, i1 * 3);
+        assert!(i1 < 16 * 8 && i1 > 8 * 8, "injected {i1}");
     }
 
     #[test]
@@ -223,7 +268,7 @@ mod tests {
             threads: 1,
         };
         let spread = {
-            let mut m = load_uniform_random(cfg, 16, 1, 7);
+            let (mut m, _) = load_uniform_random(cfg, 16, 1, 7);
             m.run().unwrap()
         };
         let spread_flits: u64 = spread.sink_delivered.iter().sum::<u64>() * 2;
@@ -232,7 +277,7 @@ mod tests {
             let per_node = (spread_flits / 2 / 15).max(1);
             for n in 1..16u32 {
                 for e in 0..per_node {
-                    m.inject_packet(n, &Packet::with_header(0, n * 1000 + e as u32, vec![e]));
+                    m.inject_packet(n, &Packet::with_header(0, n as u64 * 1000 + e, vec![e]));
                 }
             }
             m.run().unwrap()
@@ -253,5 +298,75 @@ mod tests {
         // small packets drown in per-packet routing).
         let small_f = eq21_delivery_cycles(256, 16, 1);
         assert_eq!(small_f, 2 * 256 * 16);
+        // Square-minus-corner still accepted with the legacy value.
+        assert_eq!(eq21_delivery_cycles(63, 17, 1), 63 * 17 + 63 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect")]
+    fn eq21_rejects_non_square_p() {
+        // 8×4 = 32 receivers: neither 32 nor 33 is a perfect square, so the
+        // truncated ⌊√32⌋ = 5 would silently undercount the real mean
+        // corner distance. Pre-fix this returned a wrong-silent number.
+        eq21_delivery_cycles(32, 17, 1);
+    }
+
+    #[test]
+    fn eq21_dims_matches_legacy_on_squares() {
+        // 8×8 mesh: P = 63, H̄ = 7 = ⌊√63⌋.
+        assert_eq!(
+            eq21_delivery_cycles_dims(8, 8, 17, 1, false),
+            eq21_delivery_cycles(63, 17, 1)
+        );
+        // 16×16 mesh: P = 255, H̄ = 15 = ⌊√255⌋.
+        assert_eq!(
+            eq21_delivery_cycles_dims(16, 16, 1025, 1, false),
+            eq21_delivery_cycles(255, 1025, 1)
+        );
+    }
+
+    #[test]
+    fn eq21_dims_rectangle_and_torus() {
+        // 8×4 mesh: dim sums 28 and 6, H̄ = (28·4 + 6·8)/32 = 5. The
+        // legacy truncated form would also give ⌊√31⌋ = 5 here, but e.g.
+        // 16×4 gives H̄ = (120·4 + 6·16)/64 = 9 vs ⌊√63⌋ = 7.
+        assert_eq!(
+            eq21_delivery_cycles_dims(8, 4, 17, 1, false),
+            31 * 17 + 31 * 5
+        );
+        assert_eq!(
+            eq21_delivery_cycles_dims(16, 4, 17, 1, false),
+            63 * 17 + 63 * 9
+        );
+        // Torus wrap links halve the per-dimension distances: 8×8 torus
+        // H̄ = (16·8 + 16·8)/64 = 4 (vs 7 on the mesh).
+        assert_eq!(
+            eq21_delivery_cycles_dims(8, 8, 17, 1, true),
+            63 * 17 + 63 * 4
+        );
+    }
+
+    #[test]
+    fn eq21_dims_mean_matches_topology_mean() {
+        // The closed-form truncating mean equals the simulator topology's
+        // exact mean corner distance, truncated, on every tested geometry.
+        for (w, h, torus) in [
+            (8usize, 8usize, false),
+            (8, 4, false),
+            (5, 3, false),
+            (8, 8, true),
+            (4, 6, true),
+            (5, 5, true),
+        ] {
+            let base = Topology::rect(w, h, MemifPlacement::SingleCorner).with_torus(torus);
+            let exact: u64 = (0..base.nodes() as u32)
+                .map(|n| base.hops(0, n) as u64)
+                .sum();
+            let expect = exact / (w * h) as u64;
+            let p = (w * h - 1) as u64;
+            // Extract the hop term: (value − P·F) / (P·t_r) with F = 0.
+            let got = eq21_delivery_cycles_dims(w as u64, h as u64, 0, 1, torus) / p;
+            assert_eq!(got, expect, "{w}x{h} torus={torus}");
+        }
     }
 }

@@ -25,7 +25,10 @@ fn inject_all_to_corner(m: &mut Mesh, elements_per_node: u64) {
     for n in 0..16u32 {
         for e in 0..elements_per_node {
             let addr = u64::from(n) * 32 + e;
-            m.inject_packet(n, &Packet::with_header(0, n * 32 + e as u32, vec![addr]));
+            m.inject_packet(
+                n,
+                &Packet::with_header(0, u64::from(n) * 32 + e, vec![addr]),
+            );
         }
     }
 }
@@ -153,8 +156,8 @@ fn watchdog_converts_hard_kill_into_diagnostic() {
         watchdog_cycles: 500,
         ..Default::default()
     });
-    for e in 0..4u32 {
-        m.inject_packet(15, &Packet::with_header(0, e, vec![u64::from(e)]));
+    for e in 0..4u64 {
+        m.inject_packet(15, &Packet::with_header(0, e, vec![e]));
     }
     match m.run() {
         Err(MeshError::NoProgress { at_cycle, report }) => {

@@ -115,7 +115,7 @@ fn parallel_matches_sequential_on_uniform_random() {
         let run = |threads: usize| {
             let mut cfg = MeshConfig::table3(64, 1);
             cfg.policy = policy;
-            let mut mesh = load_uniform_random(cfg.with_threads(threads), 8, 3, 42);
+            let (mut mesh, _) = load_uniform_random(cfg.with_threads(threads), 8, 3, 42);
             mesh.collect_sink_words(true);
             let res = mesh.run().expect("random traffic drains");
             observe(&mesh, &res)

@@ -32,9 +32,13 @@
 //!   row FFTs → SCA transpose → redeliver → column FFTs → writeback, with
 //!   *real data* moving through the simulated photonic bus and numerics
 //!   verified against the monolithic FFT.
+//! * [`collectives`] — all-to-all / all-gather / all-reduce as SCA
+//!   gather/scatter phase schedules through head-node DRAM, with real
+//!   payload data and semantics checked end to end.
 
 pub mod chain;
 pub mod codegen;
+pub mod collectives;
 pub mod fft1d_app;
 pub mod fft_app;
 pub mod head;
@@ -44,6 +48,7 @@ pub mod model2;
 pub mod node;
 pub mod sample;
 
+pub use collectives::{run_sca_collective, ScaCollectiveResult};
 pub use fft1d_app::{run_fft1d, Fft1dRun};
 pub use fft_app::{run_fft2d, Fft2dRun};
 pub use machine::{Machine, MachineConfig, MachineError, PhaseTiming};

@@ -23,6 +23,9 @@
 //! * [`parallel`] — epoch-synchronous worker pool ([`parallel::EpochPool`])
 //!   and deterministic partitioner for the barrier-synchronous parallel
 //!   execution modes of the fabric simulators.
+//! * [`collective`] — the shared collective-operation vocabulary
+//!   ([`collective::Collective`]): labels and phase names both fabrics'
+//!   all-to-all / all-gather / all-reduce traffic generators agree on.
 //! * [`cancel`] — cooperative cancellation: generation-counter
 //!   [`cancel::CancelToken`]s, wall-clock [`cancel::Deadline`]s and the
 //!   [`cancel::Interrupt`] bundle the fabrics poll at chunk granularity;
@@ -38,6 +41,7 @@
 //! only explicitly-seeded RNGs.
 
 pub mod cancel;
+pub mod collective;
 pub mod engine;
 pub mod event;
 pub mod faults;
@@ -50,6 +54,7 @@ pub mod time;
 pub mod vcd;
 
 pub use cancel::{CancelCause, CancelToken, CancelWatch, Deadline, Interrupt};
+pub use collective::Collective;
 pub use engine::CycleEngine;
 pub use event::{EventQueue, EventScheduled};
 pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultSite, FaultStats};

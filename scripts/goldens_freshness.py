@@ -34,6 +34,7 @@ BINS = [
     "ablate_row_size",
     "ablate_tp",
     "ablate_tr",
+    "collectives",
     "crosscheck_fig13",
     "crosscheck_models",
     "fig11_efficiency",

@@ -11,10 +11,11 @@ The baseline defaults to ci/perf_baseline.json. Rows are matched on
 adding a thread count to the sweep never breaks the gate. The converse is a
 named failure: a baseline row that the fresh run no longer produces means a
 measurement silently disappeared from the sweep. That check is scoped per
-namespace — crosscheck witness rows (policy starting with "crosscheck:")
-and throughput rows gate independently, so a crosscheck-only fresh file is
-never failed for lacking the perf namespace (and vice versa). The tolerance
-can be overridden with PERF_GATE_TOLERANCE (a fraction, default 0.15).
+namespace — the policy prefix before ":" ("crosscheck:...", "collective:...")
+or "perf" for plain throughput rows — and namespaces gate independently, so
+a single-family fresh file is never failed for lacking the others. The
+tolerance can be overridden with PERF_GATE_TOLERANCE (a fraction, default
+0.15).
 
 Besides the regression check, threaded mesh rows (threads > 1) must show a
 minimum speedup over the same policy's 1-thread row in the *fresh* run:
@@ -47,9 +48,12 @@ def rows_by_key(path: Path):
 
 
 def namespace(policy: str) -> str:
-    """The gating namespace a row belongs to: conformance witnesses and
-    throughput measurements are checked for completeness independently."""
-    return "crosscheck" if policy.startswith("crosscheck:") else "perf"
+    """The gating namespace a row belongs to: the prefix before ":" for
+    labelled rows ("crosscheck:...", "collective:..."), "perf" for plain
+    throughput rows. Namespaces are checked for completeness independently,
+    so a single-family fresh file is never failed for lacking the others."""
+    prefix, sep, _ = policy.partition(":")
+    return prefix if sep else "perf"
 
 
 def parse_args(argv):
@@ -167,7 +171,9 @@ def check_parallel_speedup(fresh) -> list:
     cores = os.cpu_count() or 1
     failures = []
     for (policy, threads), row in sorted(fresh.items()):
-        if threads <= 1 or policy.startswith("crosscheck:"):
+        if threads <= 1 or namespace(policy) != "perf":
+            # Conformance witnesses and collective fixtures are not
+            # throughput measurements.
             continue
         if cores < max(2, threads):
             print(

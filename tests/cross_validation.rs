@@ -5,7 +5,9 @@ use analytic::model::FftParams;
 use analytic::table3::Table3Params;
 use emesh::mesh::{MeshConfig, RoutingPolicy};
 use emesh::topology::{MemifPlacement, Topology};
-use emesh::workloads::{eq21_delivery_cycles, load_scatter, load_transpose};
+use emesh::workloads::{
+    eq21_delivery_cycles, eq21_delivery_cycles_dims, load_scatter, load_transpose,
+};
 use pscan::compiler::GatherSpec;
 use pscan::network::{Pscan, PscanConfig};
 
@@ -31,6 +33,56 @@ fn mesh_scatter_sim_tracks_eq21() {
         assert!(
             err < 0.35,
             "block {block}: sim {} vs Eq.21 {predicted} ({:.0}% off)",
+            res.cycles,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn eq21_forms_agree_across_crates_and_geometries() {
+    // The emesh closed form and the analytic surrogate must be the same
+    // integer arithmetic — square, rectangular, and torus alike.
+    assert_eq!(
+        eq21_delivery_cycles(63, 17, 1),
+        analytic::surrogate::mesh_scatter_cycles(64, 16, 1)
+    );
+    for (w, h, block, t_r, torus) in [
+        (8u64, 8u64, 16u64, 1u64, false),
+        (8, 4, 64, 1, false),
+        (16, 4, 16, 4, false),
+        (8, 8, 16, 1, true),
+        (6, 4, 32, 2, true),
+    ] {
+        assert_eq!(
+            eq21_delivery_cycles_dims(w, h, block + 1, t_r, torus),
+            analytic::surrogate::mesh_scatter_cycles_dims(w, h, block, t_r, torus),
+            "{w}x{h} torus={torus}"
+        );
+    }
+}
+
+#[test]
+fn mesh_scatter_sim_tracks_eq21_dims_on_rect_and_torus() {
+    // The generalized closed form must track the simulator on the
+    // geometries the truncated-√P form got wrong.
+    for (w, h, torus) in [(8usize, 4usize, false), (8, 8, true)] {
+        let cfg = MeshConfig {
+            topology: Topology::rect(w, h, MemifPlacement::SingleCorner).with_torus(torus),
+            t_r: 1,
+            policy: RoutingPolicy::Xy,
+            memif: Default::default(),
+            buffer_depth: 2,
+            max_cycles: 1 << 30,
+            threads: 1,
+        };
+        let mut mesh = load_scatter(cfg, 64, 1);
+        let res = mesh.run().unwrap();
+        let predicted = eq21_delivery_cycles_dims(w as u64, h as u64, 65, 1, torus);
+        let err = (res.cycles as f64 - predicted as f64).abs() / predicted as f64;
+        assert!(
+            err < 0.35,
+            "{w}x{h} torus={torus}: sim {} vs Eq.21 {predicted} ({:.0}% off)",
             res.cycles,
             err * 100.0
         );

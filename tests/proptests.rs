@@ -130,7 +130,7 @@ proptest! {
             if src == dst || dst == 0 || src == 0 {
                 continue;
             }
-            mesh.inject_packet(src, &Packet::with_header(dst, i as u32, vec![i as u64; 3]));
+            mesh.inject_packet(src, &Packet::with_header(dst, i as u64, vec![i as u64; 3]));
             expected[dst as usize] += 3;
         }
         let res = mesh.run().unwrap();

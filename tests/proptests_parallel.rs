@@ -82,7 +82,7 @@ fn fingerprint_with(
         // addresses; all others are sink traffic with arbitrary payloads.
         let words = usize::from(w % 5) + 1;
         let payload: Vec<u64> = (0..words as u64).map(|k| k + i as u64 * 31).collect();
-        mesh.inject_packet(src, &Packet::with_header(dst, i as u32, payload));
+        mesh.inject_packet(src, &Packet::with_header(dst, i as u64, payload));
     }
     let res = mesh.run().expect("random traffic drains");
     let words: Vec<&[u64]> = (0..nodes as u32).map(|n| mesh.sink_words(n)).collect();
